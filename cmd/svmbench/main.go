@@ -1,0 +1,206 @@
+// Command svmbench regenerates the paper's evaluation: every table
+// (1-5) and figure (3-5).
+//
+// Examples:
+//
+//	svmbench -table 4
+//	svmbench -figure 3 -apps fft,lu
+//	svmbench -all > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swsm"
+	"swsm/internal/harness"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate table N (1-5)")
+		figure   = flag.Int("figure", 0, "regenerate figure N (3-5)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		validate = flag.Bool("validate", false, "run the simulator-validation microbenchmarks (Appendix)")
+		appsCS   = flag.String("apps", "", "comma-separated application subset (default: all)")
+		procs    = flag.Int("procs", 16, "processor count")
+		scale    = flag.String("scale", "base", "problem scale: tiny, base, large")
+		csvPath  = flag.String("csv", "", "also write figure data as CSV to this file")
+	)
+	flag.Parse()
+
+	sc := swsm.Base
+	switch *scale {
+	case "tiny":
+		sc = swsm.Tiny
+	case "base":
+		sc = swsm.Base
+	case "large":
+		sc = swsm.Large
+	default:
+		fatalf("unknown scale %q", *scale)
+	}
+
+	var sel []string
+	if *appsCS == "" {
+		sel = swsm.Apps()
+	} else {
+		sel = strings.Split(*appsCS, ",")
+	}
+
+	if *all {
+		for t := 1; t <= 5; t++ {
+			runTable(t, sc, *procs)
+		}
+		for f := 3; f <= 5; f++ {
+			runFigure(f, sel, sc, *procs)
+		}
+		return
+	}
+	if *table != 0 {
+		runTable(*table, sc, *procs)
+	}
+	if *figure != 0 {
+		runFigure(*figure, sel, sc, *procs)
+		if *csvPath != "" {
+			if err := writeCSV(*figure, sel, sc, *procs, *csvPath); err != nil {
+				fatalf("csv: %v", err)
+			}
+			fmt.Println("wrote", *csvPath)
+		}
+	}
+	if *validate {
+		res, err := harness.ValidateAll()
+		if err != nil {
+			fatalf("validate: %v", err)
+		}
+		fmt.Println("Simulator validation microbenchmarks (achievable parameters):")
+		for _, r := range res {
+			fmt.Printf("  %-24s %8d cycles (%.1f us @200MHz)\n", r.Name, r.Cycles, float64(r.Cycles)/200)
+		}
+		return
+	}
+	if *table == 0 && *figure == 0 {
+		flag.Usage()
+	}
+}
+
+func runTable(n int, scale swsm.Scale, procs int) {
+	switch n {
+	case 1:
+		fmt.Println("Table 1: applications and problem sizes")
+		fmt.Print(swsm.Table1())
+	case 2:
+		fmt.Println("Table 2: communication parameter sets")
+		fmt.Print(swsm.Table2())
+	case 3:
+		fmt.Println("Table 3: protocol cost sets")
+		fmt.Print(swsm.Table3())
+	case 4:
+		fmt.Println("Table 4: % time in protocol activity (HLRC, base config)")
+		rows, err := swsm.Table4(scale, procs)
+		if err != nil {
+			fatalf("table 4: %v", err)
+		}
+		fmt.Print(swsm.FormatTable4(rows))
+	case 5:
+		fmt.Println("Table 5: per-application layer-importance summary (HLRC)")
+		rows, err := swsm.Table5(scale, procs)
+		if err != nil {
+			fatalf("table 5: %v", err)
+		}
+		fmt.Print(swsm.FormatTable5(rows))
+	default:
+		fatalf("no table %d (have 1-5)", n)
+	}
+	fmt.Println()
+}
+
+func runFigure(n int, sel []string, scale swsm.Scale, procs int) {
+	switch n {
+	case 3:
+		fmt.Println("Figure 3: speedups across layer configurations")
+		for _, app := range sel {
+			bar, err := swsm.Figure3(app, scale, procs)
+			if err != nil {
+				fatalf("figure 3 (%s): %v", app, err)
+			}
+			fmt.Print(swsm.FormatFigure3(bar, swsm.Figure3Configs))
+			fmt.Print(harness.RenderFigure3(bar, swsm.Figure3Configs))
+		}
+	case 4:
+		fmt.Println("Figure 4: execution time breakdowns (avg cycles/proc)")
+		for _, app := range sel {
+			rows, err := swsm.Figure4(app, scale, procs)
+			if err != nil {
+				fatalf("figure 4 (%s): %v", app, err)
+			}
+			fmt.Println(app)
+			fmt.Print(swsm.FormatFigure4(rows))
+			fmt.Print(harness.RenderFigure4(rows))
+		}
+	case 5:
+		fmt.Println("Figure 5: one communication parameter varied at a time (speedups)")
+		for _, app := range sel {
+			pts, err := swsm.Figure5(app, scale, procs)
+			if err != nil {
+				fatalf("figure 5 (%s): %v", app, err)
+			}
+			fmt.Println(app)
+			fmt.Print(swsm.FormatFigure5(pts))
+		}
+	default:
+		fatalf("no figure %d (have 3-5)", n)
+	}
+	fmt.Println()
+}
+
+// writeCSV re-runs the figure and saves its data points as CSV.
+func writeCSV(figure int, sel []string, scale swsm.Scale, procs int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch figure {
+	case 3:
+		var bars []*harness.AppBar
+		for _, app := range sel {
+			b, err := swsm.Figure3(app, scale, procs)
+			if err != nil {
+				return err
+			}
+			bars = append(bars, b)
+		}
+		return harness.WriteFigure3CSV(f, bars, swsm.Figure3Configs)
+	case 4:
+		var all []harness.Figure4Row
+		for _, app := range sel {
+			rows, err := swsm.Figure4(app, scale, procs)
+			if err != nil {
+				return err
+			}
+			all = append(all, rows...)
+		}
+		return harness.WriteFigure4CSV(f, all)
+	case 5:
+		for _, app := range sel {
+			pts, err := swsm.Figure5(app, scale, procs)
+			if err != nil {
+				return err
+			}
+			if err := harness.WriteFigure5CSV(f, app, pts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("no CSV exporter for figure %d", figure)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "svmbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command svmsim runs one application on the simulated software
+// shared-memory cluster and reports speedup, the execution-time
+// breakdown and the protocol event counters.
+//
+// Examples:
+//
+//	svmsim -app fft -protocol hlrc
+//	svmsim -app barnes -protocol sc -comm B -costs B -procs 8
+//	svmsim -app radix -protocol hlrc -comm W -scale large
+//	svmsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swsm"
+	"swsm/internal/harness"
+	"swsm/internal/stats"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "fft", "application name (see -list)")
+		protocol = flag.String("protocol", "hlrc", "protocol: hlrc, sc or ideal")
+		commSet  = flag.String("comm", "A", "communication parameter set: A, B, H, W, B+")
+		costSet  = flag.String("costs", "O", "protocol cost set: O, H, B")
+		procs    = flag.Int("procs", 16, "processor count")
+		scale    = flag.String("scale", "base", "problem scale: tiny, base, large")
+		scBlock  = flag.Int("scblock", 0, "override SC block granularity (bytes)")
+		list     = flag.Bool("list", false, "list applications and exit")
+		perProc  = flag.Bool("perproc", false, "print the per-processor breakdown table")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range swsm.Apps() {
+			info, _ := swsm.AppLookup(name)
+			kind := "original"
+			if info.RestructuredOf != "" {
+				kind = "restructured " + info.RestructuredOf
+			}
+			fmt.Printf("%-16s %-30s %s\n", name, info.BaseSize, kind)
+		}
+		return
+	}
+
+	spec := swsm.DefaultSpec(*app, swsm.ProtocolKind(*protocol))
+	spec.Procs = *procs
+	spec.SCBlockOverride = *scBlock
+	switch *scale {
+	case "tiny":
+		spec.Scale = swsm.Tiny
+	case "base":
+		spec.Scale = swsm.Base
+	case "large":
+		spec.Scale = swsm.Large
+	default:
+		fatalf("unknown scale %q", *scale)
+	}
+	lc := swsm.LayerConfig{Comm: *commSet, Costs: *costSet}
+	if err := lc.Apply(&spec); err != nil {
+		fatalf("%v", err)
+	}
+
+	seq, err := swsm.SequentialBaseline(*app, spec.Scale)
+	if err != nil {
+		fatalf("sequential baseline: %v", err)
+	}
+	res, err := swsm.Run(spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("%s on %s, %d procs, config %s (scale %s)\n",
+		*app, *protocol, *procs, lc.Label(), *scale)
+	fmt.Printf("  cycles:   %d (sequential %d)\n", res.Cycles, seq)
+	fmt.Printf("  speedup:  %.2f\n", float64(seq)/float64(res.Cycles))
+	fmt.Printf("  breakdown (avg cycles/proc): %s\n", res.Stats.BreakdownString())
+	total, diffPct, handlerPct := res.Stats.ProtocolPercent()
+	fmt.Printf("  protocol activity: %.1f%% of time (diff %.1f%%, handler %.1f%%)\n",
+		total, diffPct, handlerPct)
+	fmt.Printf("  counters: %s\n", res.Stats.CounterString())
+	fmt.Printf("  imbalance: data %.2fx, lock %.2fx, barrier %.2fx\n",
+		res.Stats.Imbalance(stats.DataWait),
+		res.Stats.Imbalance(stats.LockWait),
+		res.Stats.Imbalance(stats.BarrierWait))
+	if *perProc {
+		fmt.Println("  per-processor breakdown:")
+		fmt.Print(harness.PerProcBreakdown(res))
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "svmsim: "+format+"\n", args...)
+	os.Exit(1)
+}

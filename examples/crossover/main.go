@@ -1,0 +1,67 @@
+// Crossover: sweep one communication parameter at a time (the paper's
+// Figure 5) for one application and find where the HLRC/SC protocol
+// choice flips — "these data show the points where crossovers in
+// protocol performance might happen."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"swsm"
+)
+
+func main() {
+	app := flag.String("app", "raytrace", "application")
+	procs := flag.Int("procs", 16, "processor count")
+	flag.Parse()
+
+	pts, err := swsm.Figure5(*app, swsm.Base, *procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Single-parameter communication sweeps for %s (%d procs)\n", *app, *procs)
+	fmt.Println("speedups at cost x0, x1/2, x1 (base) and x2 of the achievable value:")
+	fmt.Println(swsm.FormatFigure5(pts))
+
+	// Crossover analysis: for each parameter and factor, who wins?
+	type key struct{ param, factor string }
+	table := map[key]map[swsm.ProtocolKind]float64{}
+	var params, factors []string
+	seenP := map[string]bool{}
+	seenF := map[string]bool{}
+	for _, p := range pts {
+		k := key{p.Param, p.Factor}
+		if table[k] == nil {
+			table[k] = map[swsm.ProtocolKind]float64{}
+		}
+		table[k][p.Proto] = p.Speedup
+		if !seenP[p.Param] {
+			seenP[p.Param] = true
+			params = append(params, p.Param)
+		}
+		if !seenF[p.Factor] {
+			seenF[p.Factor] = true
+			factors = append(factors, p.Factor)
+		}
+	}
+	fmt.Println("protocol winner by parameter setting (H=HLRC, S=SC, ==tie):")
+	for _, param := range params {
+		fmt.Printf("  %-10s", param)
+		for _, f := range factors {
+			v := table[key{param, f}]
+			h, s := v[swsm.HLRC], v[swsm.SC]
+			w := "=="
+			switch {
+			case h > s*1.02:
+				w = "H"
+			case s > h*1.02:
+				w = "S"
+			}
+			fmt.Printf("  x%-3s:%-2s", f, w)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,96 @@
+// Layers: the paper's central experiment on one application — vary the
+// three layers (application structure, protocol costs, communication
+// costs) individually and together, and print the synergy analysis of
+// Section 4.5: how much each layer helps alone, and how much more it
+// helps once another layer has already been improved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"swsm"
+)
+
+func main() {
+	app := flag.String("app", "ocean", "application with a restructured variant (barnes, ocean, radix, volrend)")
+	procs := flag.Int("procs", 16, "processor count")
+	flag.Parse()
+
+	info, err := swsm.AppLookup(*app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if info.RestructuredOf != "" {
+		log.Fatalf("pass the original application, not the restructured variant %q", *app)
+	}
+	restructured := ""
+	for _, name := range swsm.Apps() {
+		i, _ := swsm.AppLookup(name)
+		if i.RestructuredOf == *app {
+			restructured = name
+		}
+	}
+	if restructured == "" {
+		log.Fatalf("%s has no restructured variant; try barnes, ocean, radix or volrend", *app)
+	}
+
+	seq, err := swsm.SequentialBaseline(*app, swsm.Base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	speedup := func(appName string, lc swsm.LayerConfig) float64 {
+		spec := swsm.DefaultSpec(appName, swsm.HLRC)
+		spec.Procs = *procs
+		if err := lc.Apply(&spec); err != nil {
+			log.Fatal(err)
+		}
+		res, err := swsm.Run(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return float64(seq) / float64(res.Cycles)
+	}
+
+	configs := []swsm.LayerConfig{
+		{Comm: "A", Costs: "O"}, {Comm: "A", Costs: "B"}, {Comm: "B", Costs: "O"},
+		{Comm: "H", Costs: "O"}, {Comm: "H", Costs: "B"}, {Comm: "B", Costs: "B"},
+	}
+	orig := map[string]float64{}
+	rest := map[string]float64{}
+	for _, lc := range configs {
+		orig[lc.Label()] = speedup(*app, lc)
+		rest[lc.Label()] = speedup(restructured, lc)
+	}
+
+	fmt.Printf("HLRC layer study: %s (original) vs %s (restructured), %d procs\n\n",
+		*app, restructured, *procs)
+	fmt.Printf("%-14s", "config")
+	for _, lc := range configs {
+		fmt.Printf("%8s", lc.Label())
+	}
+	fmt.Printf("\n%-14s", *app)
+	for _, lc := range configs {
+		fmt.Printf("%8.2f", orig[lc.Label()])
+	}
+	fmt.Printf("\n%-14s", restructured)
+	for _, lc := range configs {
+		fmt.Printf("%8.2f", rest[lc.Label()])
+	}
+	fmt.Println()
+
+	gain := func(a, b float64) float64 { return (b - a) / a * 100 }
+	fmt.Println("\nSynergy between the system layers (original application):")
+	fmt.Printf("  protocol idealized at achievable comm (AO->AB): %+.0f%%\n", gain(orig["AO"], orig["AB"]))
+	fmt.Printf("  protocol idealized at best comm       (BO->BB): %+.0f%%\n", gain(orig["BO"], orig["BB"]))
+	fmt.Printf("  comm idealized at original protocol   (AO->BO): %+.0f%%\n", gain(orig["AO"], orig["BO"]))
+	fmt.Printf("  comm idealized at best protocol       (AB->BB): %+.0f%%\n", gain(orig["AB"], orig["BB"]))
+	fmt.Printf("  halfway comm alone                    (AO->HO): %+.0f%%\n", gain(orig["AO"], orig["HO"]))
+	fmt.Printf("  protocol on top of halfway comm       (HO->HB): %+.0f%%\n", gain(orig["HO"], orig["HB"]))
+
+	fmt.Println("\nApplication layer (restructuring) against system-layer state:")
+	for _, lc := range []string{"AO", "BO", "BB"} {
+		fmt.Printf("  at %-3s restructuring gains %+.0f%%\n", lc, gain(orig[lc], rest[lc]))
+	}
+}

@@ -1,0 +1,54 @@
+// Protocols: compare HLRC and SC head to head on one application with
+// full execution-time breakdowns and protocol event counts — the data
+// behind the paper's Section 4.1 base-architecture comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"swsm"
+	"swsm/internal/stats"
+)
+
+func main() {
+	app := flag.String("app", "barnes", "application")
+	procs := flag.Int("procs", 16, "processor count")
+	commSet := flag.String("comm", "A", "communication set: A, B, H, W, B+")
+	costSet := flag.String("costs", "O", "protocol cost set: O, H, B")
+	flag.Parse()
+
+	seq, err := swsm.SequentialBaseline(*app, swsm.Base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, %d procs, config %s%s (sequential: %d cycles)\n\n",
+		*app, *procs, *commSet, *costSet, seq)
+
+	for _, prot := range []swsm.ProtocolKind{swsm.HLRC, swsm.SC} {
+		spec := swsm.DefaultSpec(*app, prot)
+		spec.Procs = *procs
+		lc := swsm.LayerConfig{Comm: *commSet, Costs: *costSet}
+		if err := lc.Apply(&spec); err != nil {
+			log.Fatal(err)
+		}
+		res, err := swsm.Run(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stats
+		totalPct, diffPct, handlerPct := st.ProtocolPercent()
+		fmt.Printf("%-5s speedup %.2f (%d cycles)\n", prot, float64(seq)/float64(res.Cycles), res.Cycles)
+		fmt.Printf("      breakdown: %s\n", st.BreakdownString())
+		fmt.Printf("      protocol:  %.1f%% of time (diff %.1f%%, handler %.1f%%)\n",
+			totalPct, diffPct, handlerPct)
+		fmt.Printf("      traffic:   %d msgs, %.1f KB, %d page fetches, %d block fetches\n",
+			st.TotalCount(stats.MsgsSent),
+			float64(st.TotalCount(stats.BytesSent))/1024,
+			st.TotalCount(stats.PageFetches),
+			st.TotalCount(stats.BlockFetches))
+		fmt.Printf("      sync:      %d lock acquires, lock wait imbalance %.2fx\n\n",
+			st.TotalCount(stats.LockAcquires), st.Imbalance(stats.LockWait))
+	}
+}

@@ -1,0 +1,3 @@
+module swsm
+
+go 1.22

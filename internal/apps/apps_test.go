@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockRangeCoversExactly(t *testing.T) {
+	f := func(n8, p8 uint8) bool {
+		n, p := int(n8)%500, int(p8)%16+1
+		covered := 0
+		prevHi := 0
+		for id := 0; id < p; id++ {
+			lo, hi := BlockRange(n, p, id)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockRangeBalance(t *testing.T) {
+	// No block may exceed another by more than one element.
+	for _, n := range []int{1, 7, 16, 100, 1001} {
+		for _, p := range []int{1, 3, 16} {
+			min, max := n, 0
+			for id := 0; id < p; id++ {
+				lo, hi := BlockRange(n, p, id)
+				if hi-lo < min {
+					min = hi - lo
+				}
+				if hi-lo > max {
+					max = hi - lo
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("n=%d p=%d: block sizes range %d..%d", n, p, min, max)
+			}
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	Register(Info{Name: "dup-test", Factory: nil})
+	Register(Info{Name: "dup-test", Factory: nil})
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-app"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := New("no-such-app", Tiny); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestArrayAddressing(t *testing.T) {
+	f := F64{Base: 1000}
+	if f.Addr(3) != 1024 {
+		t.Fatalf("f64 addr = %d", f.Addr(3))
+	}
+	u := U32{Base: 1000}
+	if u.Addr(3) != 1012 {
+		t.Fatalf("u32 addr = %d", u.Addr(3))
+	}
+	i := I32{Base: 1000}
+	if i.Addr(2) != 1008 {
+		t.Fatalf("i32 addr = %d", i.Addr(2))
+	}
+}

@@ -1,0 +1,57 @@
+package apps
+
+import "swsm/internal/core"
+
+// F64 is a shared array of float64 rooted at a simulated address.
+type F64 struct{ Base int64 }
+
+// Addr returns the address of element i.
+func (a F64) Addr(i int) int64 { return a.Base + int64(i)*8 }
+
+// Get loads element i through the protocol.
+func (a F64) Get(t *core.Thread, i int) float64 { return t.LoadF64(a.Addr(i)) }
+
+// Set stores element i through the protocol.
+func (a F64) Set(t *core.Thread, i int, v float64) { t.StoreF64(a.Addr(i), v) }
+
+// Init initializes element i before the parallel phase.
+func (a F64) Init(m *core.Machine, i int, v float64) { m.InitF64(a.Addr(i), v) }
+
+// Result reads the authoritative value after the run.
+func (a F64) Result(m *core.Machine, i int) float64 { return m.ReadResultF64(a.Addr(i)) }
+
+// U32 is a shared array of 32-bit words.
+type U32 struct{ Base int64 }
+
+// Addr returns the address of element i.
+func (a U32) Addr(i int) int64 { return a.Base + int64(i)*4 }
+
+// Get loads element i.
+func (a U32) Get(t *core.Thread, i int) uint32 { return t.Load32(a.Addr(i)) }
+
+// Set stores element i.
+func (a U32) Set(t *core.Thread, i int, v uint32) { t.Store32(a.Addr(i), v) }
+
+// Init initializes element i before the parallel phase.
+func (a U32) Init(m *core.Machine, i int, v uint32) { m.InitWord(a.Addr(i), v) }
+
+// Result reads the authoritative value after the run.
+func (a U32) Result(m *core.Machine, i int) uint32 { return m.ReadResultWord(a.Addr(i)) }
+
+// I32 is a shared array of signed 32-bit integers.
+type I32 struct{ Base int64 }
+
+// Addr returns the address of element i.
+func (a I32) Addr(i int) int64 { return a.Base + int64(i)*4 }
+
+// Get loads element i.
+func (a I32) Get(t *core.Thread, i int) int32 { return t.LoadI32(a.Addr(i)) }
+
+// Set stores element i.
+func (a I32) Set(t *core.Thread, i int, v int32) { t.StoreI32(a.Addr(i), v) }
+
+// Init initializes element i before the parallel phase.
+func (a I32) Init(m *core.Machine, i int, v int32) { m.InitWord(a.Addr(i), uint32(v)) }
+
+// Result reads the authoritative value after the run.
+func (a I32) Result(m *core.Machine, i int) int32 { return int32(m.ReadResultWord(a.Addr(i))) }

@@ -1,0 +1,516 @@
+// Package barnes implements the Barnes-Hut N-body application (Table 1:
+// 16K particles in the paper; scaled).  Two variants reproduce the
+// paper's application-layer study:
+//
+//   - "barnes" (original): all processors insert their bodies into one
+//     global octree under per-cell locks — the lock-heavy, fine-grained
+//     tree-building phase that makes original Barnes the paper's worst
+//     lock-serialization case for HLRC (each critical section incurs
+//     several page faults).
+//   - "barnes-spatial" (restructured): space is pre-partitioned into
+//     per-processor slabs; each processor builds its slab subtree with
+//     NO locks and computes its subtree's centers of mass in parallel,
+//     trading load balance for drastically less synchronization — the
+//     one case in the paper where restructuring helps HLRC beyond SC.
+//
+// The octree produced by the subdivision rule is canonical (independent
+// of insertion order), so a sequential golden model reproduces the
+// parallel computation bit-for-bit and Verify can compare positions
+// exactly.
+package barnes
+
+import (
+	"math"
+
+	"swsm/internal/apps"
+	"swsm/internal/core"
+)
+
+const (
+	flopCycles = 2
+	dt         = 0.01
+	theta      = 0.6
+	eps2       = 0.05
+
+	bodyBytes = 128
+	nodeBytes = 256
+
+	// Node field offsets.
+	nCenter   = 0  // 3 x f64
+	nHalf     = 24 // f64
+	nMass     = 32 // f64
+	nCom      = 40 // 3 x f64
+	nChildren = 64 // 8 x i32: 0 empty, >0 node idx+1, <0 -(body idx+1)
+
+	// Body field offsets.
+	bPos   = 0
+	bVel   = 24
+	bForce = 48
+	bMass  = 72
+
+	allocLock    = 999
+	cellLockBase = 1000
+	numCellLocks = 256
+)
+
+// Barnes is one instance (either variant).
+type Barnes struct {
+	name    string
+	spatial bool
+	n       int
+	steps   int
+	maxNode int
+
+	bodies   int64
+	nodes    int64
+	nextNode apps.I32 // shared allocation cursor (original variant)
+	rootHalf float64
+	rootCtr  vec3
+
+	init     []body
+	slabs    []float64 // spatial variant: x-axis slab boundaries, len procs+1
+	slabCtr  []vec3    // spatial variant: tight bounding cube per slab
+	slabHalf []float64
+	procs    int
+}
+
+type vec3 struct{ x, y, z float64 }
+
+type body struct {
+	pos, vel vec3
+	mass     float64
+}
+
+// New builds the original variant.
+func New(s apps.Scale) apps.Instance { return build(s, false) }
+
+// NewSpatial builds the restructured variant.
+func NewSpatial(s apps.Scale) apps.Instance { return build(s, true) }
+
+func build(s apps.Scale, spatial bool) *Barnes {
+	n, steps := 512, 2
+	switch s {
+	case apps.Tiny:
+		n, steps = 64, 2
+	case apps.Large:
+		n, steps = 1024, 3
+	}
+	name := "barnes"
+	if spatial {
+		name = "barnes-spatial"
+	}
+	return &Barnes{name: name, spatial: spatial, n: n, steps: steps, maxNode: 8 * n}
+}
+
+// Name implements apps.Instance.
+func (b *Barnes) Name() string { return b.name }
+
+// MemBytes implements apps.Instance.
+func (b *Barnes) MemBytes() int64 {
+	return int64(b.n)*bodyBytes + int64(b.maxNode)*nodeBytes + 4<<20
+}
+
+// SCBlock implements apps.Instance: the best-performing granularity for
+// the tree data is the 256 B node record (the paper's methodology picks
+// the best power of two per application).
+func (b *Barnes) SCBlock() int { return 256 }
+
+// Restructured implements apps.Instance.
+func (b *Barnes) Restructured() bool { return b.spatial }
+
+func (b *Barnes) bodyAddr(i int, f int64) int64 { return b.bodies + int64(i)*bodyBytes + f }
+func (b *Barnes) nodeAddr(i int, f int64) int64 { return b.nodes + int64(i)*nodeBytes + f }
+
+// initialBodies is a deterministic clustered distribution.
+func initialBodies(n int) []body {
+	out := make([]body, n)
+	// Two interacting clusters on a jittered shell layout.
+	for i := range out {
+		fi := float64(i)
+		cluster := i % 2
+		ang1 := fi * 2.399963 // golden angle
+		ang2 := fi * 0.71
+		r := 1.0 + 0.6*math.Sin(fi*1.3)
+		c := vec3{3, 3, 3}
+		if cluster == 1 {
+			c = vec3{7, 6, 5}
+		}
+		out[i] = body{
+			pos: vec3{
+				c.x + r*math.Cos(ang1)*math.Sin(ang2),
+				c.y + r*math.Sin(ang1)*math.Sin(ang2),
+				c.z + r*math.Cos(ang2),
+			},
+			vel:  vec3{0.02 * math.Sin(fi), 0.02 * math.Cos(fi), 0},
+			mass: 1.0 + 0.5*math.Sin(fi*0.9),
+		}
+	}
+	return out
+}
+
+// Setup allocates bodies and the node pool.
+func (b *Barnes) Setup(m *core.Machine) {
+	b.procs = m.Cfg.Procs
+	b.bodies = m.AllocPage(int64(b.n) * bodyBytes)
+	b.nodes = m.AllocPage(int64(b.maxNode) * nodeBytes)
+	b.nextNode = apps.I32{Base: m.AllocPage(4096)}
+	b.init = initialBodies(b.n)
+
+	// Root cell bounds the whole motion comfortably.
+	b.rootCtr = vec3{5, 5, 5}
+	b.rootHalf = 8
+
+	for i, bd := range b.init {
+		m.InitF64(b.bodyAddr(i, bPos), bd.pos.x)
+		m.InitF64(b.bodyAddr(i, bPos+8), bd.pos.y)
+		m.InitF64(b.bodyAddr(i, bPos+16), bd.pos.z)
+		m.InitF64(b.bodyAddr(i, bVel), bd.vel.x)
+		m.InitF64(b.bodyAddr(i, bVel+8), bd.vel.y)
+		m.InitF64(b.bodyAddr(i, bVel+16), bd.vel.z)
+		m.InitF64(b.bodyAddr(i, bMass), bd.mass)
+	}
+
+	if b.spatial {
+		// Slab boundaries on x by quantiles of the initial distribution
+		// (ownership is static across the short run).
+		xs := make([]float64, b.n)
+		for i, bd := range b.init {
+			xs[i] = bd.pos.x
+		}
+		sortFloats(xs)
+		b.slabs = make([]float64, b.procs+1)
+		b.slabs[0] = math.Inf(-1)
+		for p := 1; p < b.procs; p++ {
+			b.slabs[p] = xs[p*b.n/b.procs]
+		}
+		b.slabs[b.procs] = math.Inf(1)
+		// Tight bounding cube per slab (with margin for motion): a loose
+		// cube would never pass the opening criterion and force deep
+		// traversals of every slab subtree.
+		b.slabCtr = make([]vec3, b.procs)
+		b.slabHalf = make([]float64, b.procs)
+		for p := 0; p < b.procs; p++ {
+			lo := vec3{math.Inf(1), math.Inf(1), math.Inf(1)}
+			hi := vec3{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+			any := false
+			for i, bd := range b.init {
+				if b.slabOf(bd.pos.x) != p {
+					_ = i
+					continue
+				}
+				any = true
+				lo.x = math.Min(lo.x, bd.pos.x)
+				lo.y = math.Min(lo.y, bd.pos.y)
+				lo.z = math.Min(lo.z, bd.pos.z)
+				hi.x = math.Max(hi.x, bd.pos.x)
+				hi.y = math.Max(hi.y, bd.pos.y)
+				hi.z = math.Max(hi.z, bd.pos.z)
+			}
+			if !any {
+				b.slabCtr[p] = b.rootCtr
+				b.slabHalf[p] = b.rootHalf
+				continue
+			}
+			ctr := vec3{(lo.x + hi.x) / 2, (lo.y + hi.y) / 2, (lo.z + hi.z) / 2}
+			half := math.Max(hi.x-lo.x, math.Max(hi.y-lo.y, hi.z-lo.z)) / 2
+			b.slabCtr[p] = ctr
+			b.slabHalf[p] = half*1.25 + 0.5
+		}
+	}
+
+	// Place each processor's bodies with it (original: blocked
+	// ownership; spatial: slab ownership).
+	for i := 0; i < b.n; i++ {
+		m.Place(b.bodies+int64(i)*bodyBytes, bodyBytes, b.ownerOf(i))
+	}
+}
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+// ownerOf maps a body to its owning processor.
+func (b *Barnes) ownerOf(i int) int {
+	if !b.spatial {
+		for id := 0; id < b.procs; id++ {
+			lo, hi := apps.BlockRange(b.n, b.procs, id)
+			if i >= lo && i < hi {
+				return id
+			}
+		}
+		return b.procs - 1
+	}
+	return b.slabOf(b.init[i].pos.x)
+}
+
+// slabOf maps an x coordinate to its slab.
+func (b *Barnes) slabOf(x float64) int {
+	for p := 0; p < b.procs; p++ {
+		if x >= b.slabs[p] && x < b.slabs[p+1] {
+			return p
+		}
+	}
+	return b.procs - 1
+}
+
+// ownedBodies lists this processor's bodies (either variant).
+func (b *Barnes) ownedBodies(id int) []int {
+	var out []int
+	for i := 0; i < b.n; i++ {
+		if b.ownerOf(i) == id {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// --- simulated-machine octree operations ---
+
+// initNode writes a fresh cell's geometry and clears its children.
+func (b *Barnes) initNode(t *core.Thread, idx int, ctr vec3, half float64) {
+	t.StoreF64(b.nodeAddr(idx, nCenter), ctr.x)
+	t.StoreF64(b.nodeAddr(idx, nCenter+8), ctr.y)
+	t.StoreF64(b.nodeAddr(idx, nCenter+16), ctr.z)
+	t.StoreF64(b.nodeAddr(idx, nHalf), half)
+	for c := 0; c < 8; c++ {
+		t.StoreI32(b.nodeAddr(idx, nChildren+int64(4*c)), 0)
+	}
+}
+
+// octantOf picks the child octant of pos within a cell centered at ctr.
+func octantOf(ctr, pos vec3) int {
+	oct := 0
+	if pos.x >= ctr.x {
+		oct |= 1
+	}
+	if pos.y >= ctr.y {
+		oct |= 2
+	}
+	if pos.z >= ctr.z {
+		oct |= 4
+	}
+	return oct
+}
+
+// childCell computes a child cell's center and half-size.
+func childCell(ctr vec3, half float64, oct int) (vec3, float64) {
+	h := half / 2
+	c := ctr
+	if oct&1 != 0 {
+		c.x += h
+	} else {
+		c.x -= h
+	}
+	if oct&2 != 0 {
+		c.y += h
+	} else {
+		c.y -= h
+	}
+	if oct&4 != 0 {
+		c.z += h
+	} else {
+		c.z -= h
+	}
+	return c, h
+}
+
+// loadBodyPos reads a body's position through the protocol.
+func (b *Barnes) loadBodyPos(t *core.Thread, i int) vec3 {
+	return vec3{
+		t.LoadF64(b.bodyAddr(i, bPos)),
+		t.LoadF64(b.bodyAddr(i, bPos+8)),
+		t.LoadF64(b.bodyAddr(i, bPos+16)),
+	}
+}
+
+// loadNodeGeom reads a cell's center and half-size.
+func (b *Barnes) loadNodeGeom(t *core.Thread, idx int) (vec3, float64) {
+	return vec3{
+		t.LoadF64(b.nodeAddr(idx, nCenter)),
+		t.LoadF64(b.nodeAddr(idx, nCenter+8)),
+		t.LoadF64(b.nodeAddr(idx, nCenter+16)),
+	}, t.LoadF64(b.nodeAddr(idx, nHalf))
+}
+
+func cellLock(idx int) int { return cellLockBase + idx%numCellLocks }
+
+// allocNodeShared bumps the shared node cursor under the alloc lock
+// (original variant).
+func (b *Barnes) allocNodeShared(t *core.Thread) int {
+	t.Acquire(allocLock)
+	idx := int(b.nextNode.Get(t, 0))
+	b.nextNode.Set(t, 0, int32(idx+1))
+	t.Release(allocLock)
+	if idx >= b.maxNode {
+		panic("barnes: node pool exhausted")
+	}
+	return idx
+}
+
+// insertLocked inserts body i into the global tree under per-cell locks
+// (original variant).  The subtree grown during a subdivision is only
+// reachable through the locked parent, so chain nodes need no locks of
+// their own.
+func (b *Barnes) insertLocked(t *core.Thread, alloc func() int, root int, i int) {
+	pos := b.loadBodyPos(t, i)
+	cur := root
+	for {
+		t.Acquire(cellLock(cur))
+		ctr, half := b.loadNodeGeom(t, cur)
+		oct := octantOf(ctr, pos)
+		chAddr := b.nodeAddr(cur, nChildren+int64(4*oct))
+		ch := t.LoadI32(chAddr)
+		if ch == 0 {
+			t.StoreI32(chAddr, int32(-(i + 1)))
+			t.Release(cellLock(cur))
+			return
+		}
+		if ch > 0 {
+			t.Release(cellLock(cur))
+			cur = int(ch) - 1
+			continue
+		}
+		// Collision with an existing body: subdivide until separated.
+		e := int(-ch) - 1
+		epos := b.loadBodyPos(t, e)
+		parentAddr := chAddr
+		cctr, chalf := childCell(ctr, half, oct)
+		for {
+			nn := alloc()
+			b.initNode(t, nn, cctr, chalf)
+			t.StoreI32(parentAddr, int32(nn+1))
+			octE := octantOf(cctr, epos)
+			octB := octantOf(cctr, pos)
+			if octE != octB {
+				t.StoreI32(b.nodeAddr(nn, nChildren+int64(4*octE)), int32(-(e + 1)))
+				t.StoreI32(b.nodeAddr(nn, nChildren+int64(4*octB)), int32(-(i + 1)))
+				t.Release(cellLock(cur))
+				return
+			}
+			parentAddr = b.nodeAddr(nn, nChildren+int64(4*octE))
+			cctr, chalf = childCell(cctr, chalf, octE)
+			t.Compute(10 * flopCycles)
+		}
+	}
+}
+
+// computeCOM fills mass and center-of-mass bottom-up for the subtree at
+// idx, returning (mass, com).  Child order is fixed, so the float
+// summation order is canonical.
+func (b *Barnes) computeCOM(t *core.Thread, idx int) (float64, vec3) {
+	var mass float64
+	var mx, my, mz float64
+	for c := 0; c < 8; c++ {
+		ch := t.LoadI32(b.nodeAddr(idx, nChildren+int64(4*c)))
+		if ch == 0 {
+			continue
+		}
+		var cm float64
+		var cp vec3
+		if ch > 0 {
+			cm, cp = b.computeCOM(t, int(ch)-1)
+		} else {
+			bi := int(-ch) - 1
+			cm = t.LoadF64(b.bodyAddr(bi, bMass))
+			cp = b.loadBodyPos(t, bi)
+		}
+		mass += cm
+		mx += cm * cp.x
+		my += cm * cp.y
+		mz += cm * cp.z
+		t.Compute(8 * flopCycles)
+	}
+	com := vec3{mx / mass, my / mass, mz / mass}
+	t.StoreF64(b.nodeAddr(idx, nMass), mass)
+	t.StoreF64(b.nodeAddr(idx, nCom), com.x)
+	t.StoreF64(b.nodeAddr(idx, nCom+8), com.y)
+	t.StoreF64(b.nodeAddr(idx, nCom+16), com.z)
+	return mass, com
+}
+
+// forceOn computes the Barnes-Hut force on body i by tree traversal.
+func (b *Barnes) forceOn(t *core.Thread, root, i int) vec3 {
+	pos := b.loadBodyPos(t, i)
+	var f vec3
+	var walk func(idx int)
+	walk = func(idx int) {
+		half := t.LoadF64(b.nodeAddr(idx, nHalf))
+		mass := t.LoadF64(b.nodeAddr(idx, nMass))
+		com := vec3{
+			t.LoadF64(b.nodeAddr(idx, nCom)),
+			t.LoadF64(b.nodeAddr(idx, nCom+8)),
+			t.LoadF64(b.nodeAddr(idx, nCom+16)),
+		}
+		dx, dy, dz := com.x-pos.x, com.y-pos.y, com.z-pos.z
+		d2 := dx*dx + dy*dy + dz*dz
+		size := 2 * half
+		t.Compute(10 * flopCycles)
+		if size*size < theta*theta*d2 {
+			// Far enough: use the aggregate.
+			ir := 1 / math.Sqrt(d2+eps2)
+			g := mass * ir * ir * ir
+			f.x += g * dx
+			f.y += g * dy
+			f.z += g * dz
+			t.Compute(12 * flopCycles)
+			return
+		}
+		for c := 0; c < 8; c++ {
+			ch := t.LoadI32(b.nodeAddr(idx, nChildren+int64(4*c)))
+			if ch == 0 {
+				continue
+			}
+			if ch > 0 {
+				walk(int(ch) - 1)
+				continue
+			}
+			bj := int(-ch) - 1
+			if bj == i {
+				continue
+			}
+			bp := b.loadBodyPos(t, bj)
+			bm := t.LoadF64(b.bodyAddr(bj, bMass))
+			ddx, ddy, ddz := bp.x-pos.x, bp.y-pos.y, bp.z-pos.z
+			dd2 := ddx*ddx + ddy*ddy + ddz*ddz
+			ir := 1 / math.Sqrt(dd2+eps2)
+			g := bm * ir * ir * ir
+			f.x += g * ddx
+			f.y += g * ddy
+			f.z += g * ddz
+			t.Compute(16 * flopCycles)
+		}
+	}
+	walk(root)
+	return f
+}
+
+// integrate advances owned bodies.
+func (b *Barnes) integrate(t *core.Thread, owned []int) {
+	for _, i := range owned {
+		for f := int64(0); f < 3; f++ {
+			v := t.LoadF64(b.bodyAddr(i, bVel+8*f))
+			v += dt * t.LoadF64(b.bodyAddr(i, bForce+8*f))
+			t.StoreF64(b.bodyAddr(i, bVel+8*f), v)
+			x := t.LoadF64(b.bodyAddr(i, bPos+8*f))
+			t.StoreF64(b.bodyAddr(i, bPos+8*f), x+dt*v)
+		}
+		t.Compute(12 * flopCycles)
+	}
+}
+
+var _ apps.Instance = (*Barnes)(nil)
+
+func init() {
+	apps.Register(apps.Info{
+		Name: "barnes", BaseSize: "512 bodies, 2 steps", PaperSize: "16K particles",
+		InstrumentationPct: 24, Factory: New,
+	})
+	apps.Register(apps.Info{
+		Name: "barnes-spatial", BaseSize: "512 bodies, 2 steps", PaperSize: "16K particles",
+		InstrumentationPct: 24, RestructuredOf: "barnes", Factory: NewSpatial,
+	})
+}

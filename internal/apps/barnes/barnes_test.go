@@ -1,0 +1,114 @@
+package barnes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOctantOf(t *testing.T) {
+	ctr := vec3{0, 0, 0}
+	cases := []struct {
+		pos vec3
+		oct int
+	}{
+		{vec3{-1, -1, -1}, 0},
+		{vec3{1, -1, -1}, 1},
+		{vec3{-1, 1, -1}, 2},
+		{vec3{1, 1, 1}, 7},
+		{vec3{0, 0, 0}, 7}, // boundary goes high
+	}
+	for _, c := range cases {
+		if got := octantOf(ctr, c.pos); got != c.oct {
+			t.Fatalf("octantOf(%v) = %d, want %d", c.pos, got, c.oct)
+		}
+	}
+}
+
+func TestChildCellGeometry(t *testing.T) {
+	ctr, half := vec3{0, 0, 0}, 4.0
+	for oct := 0; oct < 8; oct++ {
+		c, h := childCell(ctr, half, oct)
+		if h != 2 {
+			t.Fatalf("child half = %f", h)
+		}
+		// The child center must be inside the parent and in the right
+		// octant.
+		if octantOf(ctr, c) != oct {
+			t.Fatalf("child %d center %v is in octant %d", oct, c, octantOf(ctr, c))
+		}
+	}
+}
+
+// Canonical tree: insertion order must not change the tree's center of
+// mass computation (the property Verify relies on).
+func TestTreeShapeCanonical(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := 64
+	pos := make([]vec3, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec3{r.Float64() * 10, r.Float64() * 10, r.Float64() * 10}
+		mass[i] = 1 + r.Float64()
+	}
+	build := func(order []int) (float64, vec3) {
+		rt := &refTree{}
+		root := rt.alloc(vec3{5, 5, 5}, 8)
+		for _, i := range order {
+			rt.insert(root, pos, i)
+		}
+		return rt.computeCOM(root, pos, mass)
+	}
+	fwd := make([]int, n)
+	rev := make([]int, n)
+	shuf := make([]int, n)
+	for i := 0; i < n; i++ {
+		fwd[i] = i
+		rev[i] = n - 1 - i
+		shuf[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+	m1, c1 := build(fwd)
+	m2, c2 := build(rev)
+	m3, c3 := build(shuf)
+	if m1 != m2 || m1 != m3 {
+		t.Fatalf("masses differ: %v %v %v", m1, m2, m3)
+	}
+	if c1 != c2 || c1 != c3 {
+		t.Fatalf("centers of mass differ: %v %v %v", c1, c2, c3)
+	}
+}
+
+func TestReferenceMassConservation(t *testing.T) {
+	b := build(0, false) // Tiny original
+	b.procs = 4
+	b.init = initialBodies(b.n)
+	b.rootCtr = vec3{5, 5, 5}
+	b.rootHalf = 8
+	rt := &refTree{}
+	root := rt.alloc(b.rootCtr, b.rootHalf)
+	pos := make([]vec3, b.n)
+	mass := make([]float64, b.n)
+	var want float64
+	for i, bd := range b.init {
+		pos[i], mass[i] = bd.pos, bd.mass
+		want += bd.mass
+	}
+	for i := 0; i < b.n; i++ {
+		rt.insert(root, pos, i)
+	}
+	got, _ := rt.computeCOM(root, pos, mass)
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("root mass %f, want %f", got, want)
+	}
+}
+
+func TestBodiesInsideRootCube(t *testing.T) {
+	for _, n := range []int{64, 512} {
+		for _, bd := range initialBodies(n) {
+			p := bd.pos
+			if p.x < -3 || p.x > 13 || p.y < -3 || p.y > 13 || p.z < -3 || p.z > 13 {
+				t.Fatalf("body outside root cube: %v", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package barnes
+
+import "math"
+
+// Sequential golden model.  It performs bit-identical arithmetic to the
+// simulated run: the octree produced by the subdivision rule is
+// canonical (independent of insertion order), center-of-mass summation
+// follows fixed child order, and force traversal visits children in the
+// same order, so final positions must match the simulated machine's
+// exactly (protocol bugs show up as large deviations).
+
+type refNode struct {
+	ctr      vec3
+	half     float64
+	mass     float64
+	com      vec3
+	children [8]int32 // 0 empty, >0 node idx+1, <0 -(body idx+1)
+}
+
+type refTree struct {
+	nodes []refNode
+}
+
+func (rt *refTree) alloc(ctr vec3, half float64) int {
+	rt.nodes = append(rt.nodes, refNode{ctr: ctr, half: half})
+	return len(rt.nodes) - 1
+}
+
+func (rt *refTree) insert(root int, pos []vec3, i int) {
+	cur := root
+	for {
+		n := &rt.nodes[cur]
+		oct := octantOf(n.ctr, pos[i])
+		ch := n.children[oct]
+		if ch == 0 {
+			n.children[oct] = int32(-(i + 1))
+			return
+		}
+		if ch > 0 {
+			cur = int(ch) - 1
+			continue
+		}
+		e := int(-ch) - 1
+		cctr, chalf := childCell(n.ctr, n.half, oct)
+		parent, poct := cur, oct
+		for {
+			nn := rt.alloc(cctr, chalf)
+			rt.nodes[parent].children[poct] = int32(nn + 1)
+			octE := octantOf(cctr, pos[e])
+			octB := octantOf(cctr, pos[i])
+			if octE != octB {
+				rt.nodes[nn].children[octE] = int32(-(e + 1))
+				rt.nodes[nn].children[octB] = int32(-(i + 1))
+				return
+			}
+			parent, poct = nn, octE
+			cctr, chalf = childCell(cctr, chalf, octE)
+		}
+	}
+}
+
+func (rt *refTree) computeCOM(idx int, pos []vec3, mass []float64) (float64, vec3) {
+	var m, mx, my, mz float64
+	for c := 0; c < 8; c++ {
+		ch := rt.nodes[idx].children[c]
+		if ch == 0 {
+			continue
+		}
+		var cm float64
+		var cp vec3
+		if ch > 0 {
+			cm, cp = rt.computeCOM(int(ch)-1, pos, mass)
+		} else {
+			bi := int(-ch) - 1
+			cm = mass[bi]
+			cp = pos[bi]
+		}
+		m += cm
+		mx += cm * cp.x
+		my += cm * cp.y
+		mz += cm * cp.z
+	}
+	com := vec3{mx / m, my / m, mz / m}
+	rt.nodes[idx].mass = m
+	rt.nodes[idx].com = com
+	return m, com
+}
+
+func (rt *refTree) force(idx, i int, pos []vec3, mass []float64) vec3 {
+	var f vec3
+	var walk func(idx int)
+	walk = func(idx int) {
+		n := &rt.nodes[idx]
+		dx, dy, dz := n.com.x-pos[i].x, n.com.y-pos[i].y, n.com.z-pos[i].z
+		d2 := dx*dx + dy*dy + dz*dz
+		size := 2 * n.half
+		if size*size < theta*theta*d2 {
+			ir := 1 / math.Sqrt(d2+eps2)
+			g := n.mass * ir * ir * ir
+			f.x += g * dx
+			f.y += g * dy
+			f.z += g * dz
+			return
+		}
+		for c := 0; c < 8; c++ {
+			ch := n.children[c]
+			if ch == 0 {
+				continue
+			}
+			if ch > 0 {
+				walk(int(ch) - 1)
+				continue
+			}
+			bj := int(-ch) - 1
+			if bj == i {
+				continue
+			}
+			ddx, ddy, ddz := pos[bj].x-pos[i].x, pos[bj].y-pos[i].y, pos[bj].z-pos[i].z
+			dd2 := ddx*ddx + ddy*ddy + ddz*ddz
+			ir := 1 / math.Sqrt(dd2+eps2)
+			g := mass[bj] * ir * ir * ir
+			f.x += g * ddx
+			f.y += g * ddy
+			f.z += g * ddz
+		}
+	}
+	walk(idx)
+	return f
+}
+
+// reference runs the full simulation sequentially and returns the final
+// positions.
+func (b *Barnes) reference() []vec3 {
+	pos := make([]vec3, b.n)
+	vel := make([]vec3, b.n)
+	mass := make([]float64, b.n)
+	for i, bd := range b.init {
+		pos[i], vel[i], mass[i] = bd.pos, bd.vel, bd.mass
+	}
+	force := make([]vec3, b.n)
+
+	for step := 0; step < b.steps; step++ {
+		if b.spatial {
+			// Per-slab canonical subtrees; ownership from initial
+			// positions, as in the simulated run.
+			trees := make([]*refTree, b.procs)
+			roots := make([]int, b.procs)
+			counts := make([]int, b.procs)
+			for p := 0; p < b.procs; p++ {
+				trees[p] = &refTree{}
+				ctr, half := b.slabCube(p)
+				roots[p] = trees[p].alloc(ctr, half)
+			}
+			for i := 0; i < b.n; i++ {
+				p := b.ownerOf(i)
+				trees[p].insert(roots[p], pos, i)
+				counts[p]++
+			}
+			for p := 0; p < b.procs; p++ {
+				if counts[p] > 0 {
+					trees[p].computeCOM(roots[p], pos, mass)
+				}
+			}
+			for i := 0; i < b.n; i++ {
+				var f vec3
+				for p := 0; p < b.procs; p++ {
+					if counts[p] == 0 {
+						continue
+					}
+					g := trees[p].force(roots[p], i, pos, mass)
+					f.x += g.x
+					f.y += g.y
+					f.z += g.z
+				}
+				force[i] = f
+			}
+		} else {
+			rt := &refTree{}
+			root := rt.alloc(b.rootCtr, b.rootHalf)
+			for i := 0; i < b.n; i++ {
+				rt.insert(root, pos, i)
+			}
+			rt.computeCOM(root, pos, mass)
+			for i := 0; i < b.n; i++ {
+				force[i] = rt.force(root, i, pos, mass)
+			}
+		}
+		for i := 0; i < b.n; i++ {
+			vel[i].x += dt * force[i].x
+			vel[i].y += dt * force[i].y
+			vel[i].z += dt * force[i].z
+			pos[i].x += dt * vel[i].x
+			pos[i].y += dt * vel[i].y
+			pos[i].z += dt * vel[i].z
+		}
+	}
+	return pos
+}

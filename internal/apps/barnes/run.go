@@ -1,0 +1,180 @@
+package barnes
+
+import (
+	"fmt"
+	"math"
+
+	"swsm/internal/core"
+)
+
+// Run executes the timestep loop for either variant.
+func (b *Barnes) Run(t *core.Thread) {
+	if b.spatial {
+		b.runSpatial(t)
+	} else {
+		b.runOriginal(t)
+	}
+}
+
+// runOriginal: global tree built under per-cell locks; processor 0 does
+// the (cheap) center-of-mass pass.
+func (b *Barnes) runOriginal(t *core.Thread) {
+	me := t.Proc()
+	owned := b.ownedBodies(me)
+	bar := 0
+	next := func() {
+		t.Barrier(bar)
+		bar ^= 1
+	}
+	for step := 0; step < b.steps; step++ {
+		if me == 0 {
+			b.initNode(t, 0, b.rootCtr, b.rootHalf)
+			b.nextNode.Set(t, 0, 1)
+		}
+		next()
+		for _, i := range owned {
+			b.insertLocked(t, func() int { return b.allocNodeShared(t) }, 0, i)
+		}
+		next()
+		if me == 0 {
+			b.computeCOM(t, 0)
+		}
+		next()
+		for _, i := range owned {
+			f := b.forceOn(t, 0, i)
+			t.StoreF64(b.bodyAddr(i, bForce), f.x)
+			t.StoreF64(b.bodyAddr(i, bForce+8), f.y)
+			t.StoreF64(b.bodyAddr(i, bForce+16), f.z)
+		}
+		next()
+		b.integrate(t, owned)
+		next()
+	}
+}
+
+// slabRootIdx returns the node index reserved for processor p's slab
+// subtree root.
+func (b *Barnes) slabRootIdx(p int) int {
+	per := (b.maxNode - 1) / b.procs
+	return 1 + p*per
+}
+
+// slabCube returns the tight cubic cell used as processor p's subtree
+// root (computed from the initial body distribution at Setup).
+func (b *Barnes) slabCube(p int) (vec3, float64) {
+	return b.slabCtr[p], b.slabHalf[p]
+}
+
+// runSpatial: lock-free per-slab subtree build and parallel COM.
+func (b *Barnes) runSpatial(t *core.Thread) {
+	me := t.Proc()
+	owned := b.ownedBodies(me)
+	per := (b.maxNode - 1) / b.procs
+	bar := 0
+	next := func() {
+		t.Barrier(bar)
+		bar ^= 1
+	}
+	for step := 0; step < b.steps; step++ {
+		// Build own slab subtree without locks.
+		root := b.slabRootIdx(me)
+		cursor := root + 1
+		limit := root + per
+		alloc := func() int {
+			idx := cursor
+			cursor++
+			if cursor > limit {
+				panic("barnes-spatial: slab node pool exhausted")
+			}
+			return idx
+		}
+		ctr, half := b.slabCube(me)
+		b.initNode(t, root, ctr, half)
+		for _, i := range owned {
+			b.insertPlain(t, alloc, root, i)
+		}
+		// Parallel per-slab centers of mass (empty slabs have no bodies:
+		// leave mass zero).
+		if len(owned) > 0 {
+			b.computeCOM(t, root)
+		} else {
+			t.StoreF64(b.nodeAddr(root, nMass), 0)
+		}
+		next()
+		// Forces: traverse every slab subtree in processor order.
+		for _, i := range owned {
+			var f vec3
+			for p := 0; p < b.procs; p++ {
+				if t.LoadF64(b.nodeAddr(b.slabRootIdx(p), nMass)) == 0 {
+					continue
+				}
+				g := b.forceOn(t, b.slabRootIdx(p), i)
+				f.x += g.x
+				f.y += g.y
+				f.z += g.z
+			}
+			t.StoreF64(b.bodyAddr(i, bForce), f.x)
+			t.StoreF64(b.bodyAddr(i, bForce+8), f.y)
+			t.StoreF64(b.bodyAddr(i, bForce+16), f.z)
+		}
+		next()
+		b.integrate(t, owned)
+		next()
+	}
+}
+
+// insertPlain is insertLocked without the locks (single-writer subtree).
+func (b *Barnes) insertPlain(t *core.Thread, alloc func() int, root, i int) {
+	pos := b.loadBodyPos(t, i)
+	cur := root
+	for {
+		ctr, half := b.loadNodeGeom(t, cur)
+		oct := octantOf(ctr, pos)
+		chAddr := b.nodeAddr(cur, nChildren+int64(4*oct))
+		ch := t.LoadI32(chAddr)
+		if ch == 0 {
+			t.StoreI32(chAddr, int32(-(i + 1)))
+			return
+		}
+		if ch > 0 {
+			cur = int(ch) - 1
+			continue
+		}
+		e := int(-ch) - 1
+		epos := b.loadBodyPos(t, e)
+		parentAddr := chAddr
+		cctr, chalf := childCell(ctr, half, oct)
+		for {
+			nn := alloc()
+			b.initNode(t, nn, cctr, chalf)
+			t.StoreI32(parentAddr, int32(nn+1))
+			octE := octantOf(cctr, epos)
+			octB := octantOf(cctr, pos)
+			if octE != octB {
+				t.StoreI32(b.nodeAddr(nn, nChildren+int64(4*octE)), int32(-(e + 1)))
+				t.StoreI32(b.nodeAddr(nn, nChildren+int64(4*octB)), int32(-(i + 1)))
+				return
+			}
+			parentAddr = b.nodeAddr(nn, nChildren+int64(4*octE))
+			cctr, chalf = childCell(cctr, chalf, octE)
+			t.Compute(10 * flopCycles)
+		}
+	}
+}
+
+// Verify compares final positions against the sequential golden model,
+// which replays the identical canonical-tree computation.
+func (b *Barnes) Verify(m *core.Machine) error {
+	want := b.reference()
+	for i := 0; i < b.n; i++ {
+		gx := m.ReadResultF64(b.bodyAddr(i, bPos))
+		gy := m.ReadResultF64(b.bodyAddr(i, bPos+8))
+		gz := m.ReadResultF64(b.bodyAddr(i, bPos+16))
+		w := want[i]
+		if math.Abs(gx-w.x) > 1e-9 || math.Abs(gy-w.y) > 1e-9 || math.Abs(gz-w.z) > 1e-9 {
+			return fmt.Errorf("%s: body %d at (%.12g,%.12g,%.12g), want (%.12g,%.12g,%.12g)",
+				b.name, i, gx, gy, gz, w.x, w.y, w.z)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+// Package fft implements the SPLASH-2 1-D radix-sqrt(n) six-step FFT
+// kernel (Table 1: 1M points in the paper; scaled here).  The n complex
+// points are viewed as a sqrt(n) x sqrt(n) matrix whose rows are
+// block-distributed; as in SPLASH-2, the matrix is stored as p x p
+// PATCHES, each (rn/p)^2 points contiguous, so each transpose step
+// reads one whole contiguous patch from each other processor — the
+// coarse-grained all-to-all that makes FFT bandwidth-bound (the reason
+// the paper finds FFT still improves from B to B+ communication, and
+// why SC wants its 4 KB granularity here).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"swsm/internal/apps"
+	"swsm/internal/core"
+)
+
+const flopCycles = 2 // charged per floating-point operation (1 IPC core)
+
+// FFT is one instance of the kernel.
+type FFT struct {
+	n  int // total complex points (rn*rn)
+	rn int // matrix dimension
+	bs int // patch edge (rn / procs), set at Setup
+	p  int
+
+	data  apps.F64 // interleaved complex, patch-blocked layout
+	trans apps.F64 // transpose target
+	input []complex128
+}
+
+// New builds the kernel at a scale.
+func New(s apps.Scale) apps.Instance {
+	n := 65536
+	switch s {
+	case apps.Tiny:
+		n = 1024
+	case apps.Large:
+		n = 262144
+	}
+	rn := int(math.Round(math.Sqrt(float64(n))))
+	if rn*rn != n {
+		panic(fmt.Sprintf("fft: n=%d is not a perfect square", n))
+	}
+	return &FFT{n: n, rn: rn}
+}
+
+// Name implements apps.Instance.
+func (f *FFT) Name() string { return "fft" }
+
+// MemBytes implements apps.Instance.
+func (f *FFT) MemBytes() int64 { return int64(f.n)*16*2 + 1<<20 }
+
+// SCBlock implements apps.Instance: FFT uses the coarse 4 KB granularity.
+func (f *FFT) SCBlock() int { return 4096 }
+
+// Restructured implements apps.Instance.
+func (f *FFT) Restructured() bool { return false }
+
+// idx maps matrix coordinates (r, c) to the patch-blocked element index
+// (SPLASH-2 layout: processor i's patches (i, 0..p-1) are contiguous).
+func (f *FFT) idx(r, c int) int {
+	pi, pj := r/f.bs, c/f.bs
+	return (pi*f.p+pj)*f.bs*f.bs + (r%f.bs)*f.bs + (c % f.bs)
+}
+
+// Setup allocates the matrices, distributes patch bands, and fills the
+// input with a deterministic pseudo-random signal.
+func (f *FFT) Setup(m *core.Machine) {
+	p := m.Cfg.Procs
+	if f.rn%p != 0 {
+		panic(fmt.Sprintf("fft: processor count %d must divide sqrt(n)=%d", p, f.rn))
+	}
+	f.p = p
+	f.bs = f.rn / p
+	f.data = apps.F64{Base: m.AllocPage(int64(f.n) * 16)}
+	f.trans = apps.F64{Base: m.AllocPage(int64(f.n) * 16)}
+	bandBytes := int64(f.rn*f.bs) * 16 // one processor's p patches
+	for id := 0; id < p; id++ {
+		m.Place(f.data.Base+int64(id)*bandBytes, bandBytes, id)
+		m.Place(f.trans.Base+int64(id)*bandBytes, bandBytes, id)
+	}
+	r := rand.New(rand.NewSource(42))
+	f.input = make([]complex128, f.n)
+	for i := 0; i < f.n; i++ {
+		re, im := r.Float64()-0.5, r.Float64()-0.5
+		f.input[i] = complex(re, im)
+	}
+	for rr := 0; rr < f.rn; rr++ {
+		for c := 0; c < f.rn; c++ {
+			v := f.input[rr*f.rn+c]
+			f.data.Init(m, 2*f.idx(rr, c), real(v))
+			f.data.Init(m, 2*f.idx(rr, c)+1, imag(v))
+		}
+	}
+}
+
+// Run implements the six-step algorithm.
+func (f *FFT) Run(t *core.Thread) {
+	p := t.NumProcs()
+	lo, hi := apps.BlockRange(f.rn, p, t.Proc())
+
+	f.transpose(t, f.data, f.trans, lo, hi)
+	t.Barrier(0)
+	f.rowFFTs(t, f.trans, lo, hi, false)
+	t.Barrier(1)
+	f.twiddle(t, f.trans, lo, hi)
+	t.Barrier(2)
+	f.transpose(t, f.trans, f.data, lo, hi)
+	t.Barrier(3)
+	f.rowFFTs(t, f.data, lo, hi, false)
+	t.Barrier(4)
+	f.transpose(t, f.data, f.trans, lo, hi)
+	t.Barrier(5)
+}
+
+// transpose writes rows [lo,hi) of dst from the corresponding columns of
+// src: patch by patch, each a contiguous remote read from one processor.
+func (f *FFT) transpose(t *core.Thread, src, dst apps.F64, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		for c := 0; c < f.rn; c++ {
+			re := src.Get(t, 2*f.idx(c, r))
+			im := src.Get(t, 2*f.idx(c, r)+1)
+			dst.Set(t, 2*f.idx(r, c), re)
+			dst.Set(t, 2*f.idx(r, c)+1, im)
+		}
+		// Index arithmetic and loop control, ~10 instructions/element.
+		t.Compute(int64(f.rn) * 10)
+	}
+}
+
+// rowFFTs runs an in-place iterative radix-2 FFT on each owned row.
+func (f *FFT) rowFFTs(t *core.Thread, a apps.F64, lo, hi int, inverse bool) {
+	buf := make([]complex128, f.rn)
+	for r := lo; r < hi; r++ {
+		for c := 0; c < f.rn; c++ {
+			buf[c] = complex(a.Get(t, 2*f.idx(r, c)), a.Get(t, 2*f.idx(r, c)+1))
+		}
+		fftInPlace(buf, inverse)
+		// log2(rn) stages x rn/2 butterflies x ~10 flops.
+		stages := int64(math.Log2(float64(f.rn)))
+		t.Compute(stages * int64(f.rn/2) * 10 * flopCycles)
+		for c := 0; c < f.rn; c++ {
+			a.Set(t, 2*f.idx(r, c), real(buf[c]))
+			a.Set(t, 2*f.idx(r, c)+1, imag(buf[c]))
+		}
+	}
+}
+
+// twiddle multiplies element (r,c) by W^(r*c).
+func (f *FFT) twiddle(t *core.Thread, a apps.F64, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		for c := 0; c < f.rn; c++ {
+			i := 2 * f.idx(r, c)
+			v := complex(a.Get(t, i), a.Get(t, i+1))
+			v *= twiddleFactor(r*c, f.n)
+			a.Set(t, i, real(v))
+			a.Set(t, i+1, imag(v))
+		}
+		t.Compute(int64(f.rn) * 8 * flopCycles)
+	}
+}
+
+func twiddleFactor(k, n int) complex128 {
+	ang := -2 * math.Pi * float64(k) / float64(n)
+	return complex(math.Cos(ang), math.Sin(ang))
+}
+
+// fftInPlace is a standard iterative radix-2 Cooley-Tukey FFT.
+func fftInPlace(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		for i := range a {
+			a[i] /= complex(float64(n), 0)
+		}
+	}
+}
+
+// sixStepReference computes the same six-step FFT sequentially.
+func (f *FFT) sixStepReference() []complex128 {
+	rn, n := f.rn, f.n
+	cur := make([]complex128, n)
+	copy(cur, f.input)
+	tmp := make([]complex128, n)
+	transposeRef := func(src, dst []complex128) {
+		for r := 0; r < rn; r++ {
+			for c := 0; c < rn; c++ {
+				dst[r*rn+c] = src[c*rn+r]
+			}
+		}
+	}
+	transposeRef(cur, tmp)
+	for r := 0; r < rn; r++ {
+		fftInPlace(tmp[r*rn:(r+1)*rn], false)
+	}
+	for r := 0; r < rn; r++ {
+		for c := 0; c < rn; c++ {
+			tmp[r*rn+c] *= twiddleFactor(r*c, n)
+		}
+	}
+	transposeRef(tmp, cur)
+	for r := 0; r < rn; r++ {
+		fftInPlace(cur[r*rn:(r+1)*rn], false)
+	}
+	transposeRef(cur, tmp)
+	return tmp
+}
+
+// Verify compares the parallel result against the sequential six-step
+// reference.
+func (f *FFT) Verify(m *core.Machine) error {
+	want := f.sixStepReference()
+	for r := 0; r < f.rn; r++ {
+		for c := 0; c < f.rn; c++ {
+			i := r*f.rn + c
+			gotRe := f.trans.Result(m, 2*f.idx(r, c))
+			gotIm := f.trans.Result(m, 2*f.idx(r, c)+1)
+			if math.Abs(gotRe-real(want[i])) > 1e-9 || math.Abs(gotIm-imag(want[i])) > 1e-9 {
+				return fmt.Errorf("fft: element %d = (%g,%g), want (%g,%g)",
+					i, gotRe, gotIm, real(want[i]), imag(want[i]))
+			}
+		}
+	}
+	return nil
+}
+
+var _ apps.Instance = (*FFT)(nil)
+
+func init() {
+	apps.Register(apps.Info{
+		Name: "fft", BaseSize: "64K points", PaperSize: "1M points",
+		InstrumentationPct: 29, Factory: New,
+	})
+}

@@ -1,0 +1,111 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"swsm/internal/apps"
+)
+
+// directDFT is the O(n^2) reference.
+func directDFT(in []complex128) []complex128 {
+	n := len(in)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			out[k] += in[j] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	return out
+}
+
+func TestFFTInPlaceMatchesDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 8, 32} {
+		in := make([]complex128, n)
+		for i := range in {
+			in[i] = complex(r.Float64()-0.5, r.Float64()-0.5)
+		}
+		got := append([]complex128(nil), in...)
+		fftInPlace(got, false)
+		want := directDFT(in)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("n=%d: element %d = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	in := make([]complex128, 64)
+	for i := range in {
+		in[i] = complex(r.Float64(), r.Float64())
+	}
+	a := append([]complex128(nil), in...)
+	fftInPlace(a, false)
+	fftInPlace(a, true)
+	for i := range a {
+		if cmplx.Abs(a[i]-in[i]) > 1e-9 {
+			t.Fatalf("round trip diverged at %d", i)
+		}
+	}
+}
+
+func TestSixStepReferenceIsDFT(t *testing.T) {
+	f := New(apps.Tiny).(*FFT)
+	f.p = 4
+	f.bs = f.rn / f.p
+	r := rand.New(rand.NewSource(5))
+	f.input = make([]complex128, f.n)
+	for i := range f.input {
+		f.input[i] = complex(r.Float64()-0.5, r.Float64()-0.5)
+	}
+	got := f.sixStepReference()
+	want := directDFT(f.input)
+	for i := range got {
+		if cmplx.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("six-step != DFT at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPatchIndexBijective(t *testing.T) {
+	f := &FFT{n: 256, rn: 16, p: 4, bs: 4}
+	seen := make([]bool, f.n)
+	for r := 0; r < f.rn; r++ {
+		for c := 0; c < f.rn; c++ {
+			i := f.idx(r, c)
+			if i < 0 || i >= f.n || seen[i] {
+				t.Fatalf("idx(%d,%d) = %d invalid or duplicate", r, c, i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestPatchBandContiguous(t *testing.T) {
+	// Processor i's patches (rows band) occupy one contiguous range.
+	f := &FFT{n: 256, rn: 16, p: 4, bs: 4}
+	for band := 0; band < f.p; band++ {
+		lo, hi := f.n, 0
+		for r := band * f.bs; r < (band+1)*f.bs; r++ {
+			for c := 0; c < f.rn; c++ {
+				i := f.idx(r, c)
+				if i < lo {
+					lo = i
+				}
+				if i >= hi {
+					hi = i + 1
+				}
+			}
+		}
+		if hi-lo != f.rn*f.bs {
+			t.Fatalf("band %d spans %d elements, want %d", band, hi-lo, f.rn*f.bs)
+		}
+	}
+}

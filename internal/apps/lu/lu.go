@@ -1,0 +1,278 @@
+// Package lu implements the SPLASH-2 LU-Contiguous kernel: blocked dense
+// LU factorization without pivoting, with each B x B block stored
+// contiguously and blocks 2-D-scatter-assigned to processors (Table 1:
+// 512x512 in the paper; scaled here).  LU is the paper's archetypal
+// coarse-grained, single-writer application: almost no protocol activity
+// for HLRC, and SC prefers a coarse (2-4 KB) granularity.
+package lu
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"swsm/internal/apps"
+	"swsm/internal/core"
+)
+
+const flopCycles = 2
+
+// LU is one instance of the kernel.
+type LU struct {
+	n  int // matrix dimension
+	b  int // block dimension
+	nb int // blocks per side
+
+	a     apps.F64 // blocks stored contiguously: block (I,J) at (I*nb+J)*b*b
+	orig  []float64
+	procs int
+}
+
+// New builds the kernel at a scale.
+func New(s apps.Scale) apps.Instance {
+	n, b := 256, 32
+	switch s {
+	case apps.Tiny:
+		n, b = 64, 16
+	case apps.Large:
+		n, b = 512, 32
+	}
+	return &LU{n: n, b: b, nb: n / b}
+}
+
+// Name implements apps.Instance.
+func (l *LU) Name() string { return "lu" }
+
+// MemBytes implements apps.Instance.
+func (l *LU) MemBytes() int64 { return int64(l.n)*int64(l.n)*8 + 1<<20 }
+
+// SCBlock implements apps.Instance: LU uses coarse blocks.
+func (l *LU) SCBlock() int { return 2048 }
+
+// Restructured implements apps.Instance.
+func (l *LU) Restructured() bool { return false }
+
+// owner 2-D scatters blocks over processors, as SPLASH-2 does.
+func (l *LU) owner(I, J, procs int) int {
+	dim := 1
+	for dim*dim < procs {
+		dim++
+	}
+	return (I%dim)*dim + J%dim
+}
+
+// blockBase returns the address of block (I,J).
+func (l *LU) blockBase(I, J int) int64 {
+	return l.a.Base + int64((I*l.nb+J)*l.b*l.b)*8
+}
+
+// Setup allocates the matrix, scatters block homes, and fills a
+// diagonally dominant matrix (stable without pivoting).
+func (l *LU) Setup(m *core.Machine) {
+	l.procs = m.Cfg.Procs
+	l.a = apps.F64{Base: m.AllocPage(int64(l.n) * int64(l.n) * 8)}
+	blockBytes := int64(l.b*l.b) * 8
+	for I := 0; I < l.nb; I++ {
+		for J := 0; J < l.nb; J++ {
+			m.Place(l.blockBase(I, J), blockBytes, l.owner(I, J, m.Cfg.Procs)%m.Cfg.Procs)
+		}
+	}
+	r := rand.New(rand.NewSource(17))
+	l.orig = make([]float64, l.n*l.n)
+	for i := 0; i < l.n; i++ {
+		for j := 0; j < l.n; j++ {
+			v := r.Float64() - 0.5
+			if i == j {
+				v += float64(l.n) // diagonal dominance
+			}
+			l.orig[i*l.n+j] = v
+			I, J := i/l.b, j/l.b
+			ii, jj := i%l.b, j%l.b
+			idx := (I*l.nb+J)*l.b*l.b + ii*l.b + jj
+			l.a.Init(m, idx, v)
+		}
+	}
+}
+
+// idx addresses element (ii,jj) of block (I,J).
+func (l *LU) idx(I, J, ii, jj int) int {
+	return (I*l.nb+J)*l.b*l.b + ii*l.b + jj
+}
+
+// Run performs right-looking blocked LU with barriers between steps.
+func (l *LU) Run(t *core.Thread) {
+	p := t.NumProcs()
+	me := t.Proc()
+	bar := 0
+	for k := 0; k < l.nb; k++ {
+		// 1. Factor the diagonal block (its owner does it).
+		if l.owner(k, k, p)%p == me {
+			l.factorDiag(t, k)
+		}
+		t.Barrier(bar)
+		bar ^= 1
+		// 2. Update perimeter blocks (row k and column k).
+		for J := k + 1; J < l.nb; J++ {
+			if l.owner(k, J, p)%p == me {
+				l.updateRowBlock(t, k, J)
+			}
+		}
+		for I := k + 1; I < l.nb; I++ {
+			if l.owner(I, k, p)%p == me {
+				l.updateColBlock(t, I, k)
+			}
+		}
+		t.Barrier(bar)
+		bar ^= 1
+		// 3. Update interior blocks.
+		for I := k + 1; I < l.nb; I++ {
+			for J := k + 1; J < l.nb; J++ {
+				if l.owner(I, J, p)%p == me {
+					l.updateInterior(t, I, J, k)
+				}
+			}
+		}
+		t.Barrier(bar)
+		bar ^= 1
+	}
+}
+
+// factorDiag does an unblocked LU of block (k,k): A = L*U in place, unit
+// lower diagonal.
+func (l *LU) factorDiag(t *core.Thread, k int) {
+	b := l.b
+	// Work on a local copy: load, factor, store (the block is owned).
+	blk := l.loadBlock(t, k, k)
+	for j := 0; j < b; j++ {
+		for i := j + 1; i < b; i++ {
+			blk[i*b+j] /= blk[j*b+j]
+			for jj := j + 1; jj < b; jj++ {
+				blk[i*b+jj] -= blk[i*b+j] * blk[j*b+jj]
+			}
+		}
+	}
+	t.Compute(int64(b*b*b/3) * flopCycles)
+	l.storeBlock(t, k, k, blk)
+}
+
+// updateRowBlock computes U-part: A[k][J] = L(k,k)^-1 * A[k][J].
+func (l *LU) updateRowBlock(t *core.Thread, k, J int) {
+	b := l.b
+	diag := l.loadBlock(t, k, k)
+	blk := l.loadBlock(t, k, J)
+	for j := 0; j < b; j++ {
+		for i := j + 1; i < b; i++ {
+			lij := diag[i*b+j]
+			for c := 0; c < b; c++ {
+				blk[i*b+c] -= lij * blk[j*b+c]
+			}
+		}
+	}
+	t.Compute(int64(b*b*b/2) * flopCycles)
+	l.storeBlock(t, k, J, blk)
+}
+
+// updateColBlock computes L-part: A[I][k] = A[I][k] * U(k,k)^-1.
+func (l *LU) updateColBlock(t *core.Thread, I, k int) {
+	b := l.b
+	diag := l.loadBlock(t, k, k)
+	blk := l.loadBlock(t, I, k)
+	for j := 0; j < b; j++ {
+		ujj := diag[j*b+j]
+		for i := 0; i < b; i++ {
+			blk[i*b+j] /= ujj
+			for c := j + 1; c < b; c++ {
+				blk[i*b+c] -= blk[i*b+j] * diag[j*b+c]
+			}
+		}
+	}
+	t.Compute(int64(b*b*b/2) * flopCycles)
+	l.storeBlock(t, I, k, blk)
+}
+
+// updateInterior computes A[I][J] -= A[I][k] * A[k][J].
+func (l *LU) updateInterior(t *core.Thread, I, J, k int) {
+	b := l.b
+	lb := l.loadBlock(t, I, k)
+	ub := l.loadBlock(t, k, J)
+	blk := l.loadBlock(t, I, J)
+	for i := 0; i < b; i++ {
+		for kk := 0; kk < b; kk++ {
+			lik := lb[i*b+kk]
+			if lik == 0 {
+				continue
+			}
+			for j := 0; j < b; j++ {
+				blk[i*b+j] -= lik * ub[kk*b+j]
+			}
+		}
+	}
+	t.Compute(int64(2*b*b*b) * flopCycles)
+	l.storeBlock(t, I, J, blk)
+}
+
+func (l *LU) loadBlock(t *core.Thread, I, J int) []float64 {
+	b := l.b
+	out := make([]float64, b*b)
+	base := (I*l.nb + J) * b * b
+	for i := range out {
+		out[i] = l.a.Get(t, base+i)
+	}
+	return out
+}
+
+func (l *LU) storeBlock(t *core.Thread, I, J int, blk []float64) {
+	base := (I*l.nb + J) * l.b * l.b
+	for i, v := range blk {
+		l.a.Set(t, base+i, v)
+	}
+}
+
+// Verify reconstructs A from the computed L and U factors and compares
+// with the original matrix.
+func (l *LU) Verify(m *core.Machine) error {
+	n := l.n
+	lu := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			I, J := i/l.b, j/l.b
+			ii, jj := i%l.b, j%l.b
+			lu[i*n+j] = l.a.Result(m, l.idx(I, J, ii, jj))
+		}
+	}
+	// Spot-check rows (all rows at Tiny/Base sizes are cheap enough).
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				lv := lu[i*n+k]
+				if k == i {
+					lv = 1 // unit diagonal of L
+				}
+				if k > i {
+					lv = 0
+				}
+				sum += lv * lu[k*n+j]
+			}
+			diff := math.Abs(sum - l.orig[i*n+j])
+			if diff > 1e-6*(1+math.Abs(l.orig[i*n+j])) {
+				return fmt.Errorf("lu: (LU)[%d][%d] = %g, want %g (diff %g)",
+					i, j, sum, l.orig[i*n+j], diff)
+			}
+		}
+	}
+	return nil
+}
+
+var _ apps.Instance = (*LU)(nil)
+
+func init() {
+	apps.Register(apps.Info{
+		Name: "lu", BaseSize: "256x256, 32x32 blocks", PaperSize: "512x512 matrix",
+		InstrumentationPct: 29, Factory: New,
+	})
+}

@@ -1,0 +1,66 @@
+package lu
+
+import (
+	"testing"
+
+	"swsm/internal/apps"
+)
+
+func TestOwnerScatter(t *testing.T) {
+	l := New(apps.Tiny).(*LU)
+	// 2-D scatter over 16 procs: owners repeat with period 4 in each
+	// dimension.
+	for I := 0; I < l.nb; I++ {
+		for J := 0; J < l.nb; J++ {
+			if got, want := l.owner(I, J, 16), l.owner(I+4, J+4, 16); got != want {
+				t.Fatalf("owner(%d,%d) = %d, owner shifted = %d", I, J, got, want)
+			}
+		}
+	}
+	// All 16 owners appear when nb >= 4.
+	if l.nb >= 4 {
+		seen := map[int]bool{}
+		for I := 0; I < 4; I++ {
+			for J := 0; J < 4; J++ {
+				seen[l.owner(I, J, 16)] = true
+			}
+		}
+		if len(seen) != 16 {
+			t.Fatalf("only %d distinct owners", len(seen))
+		}
+	}
+}
+
+func TestBlockAddressing(t *testing.T) {
+	l := New(apps.Tiny).(*LU)
+	l.a = apps.F64{Base: 1 << 20}
+	// Blocks must be disjoint and contiguous: block (I,J) spans
+	// [base + (I*nb+J)*b*b*8, ... + b*b*8).
+	sz := int64(l.b*l.b) * 8
+	for I := 0; I < l.nb; I++ {
+		for J := 0; J < l.nb; J++ {
+			base := l.blockBase(I, J)
+			want := l.a.Base + int64(I*l.nb+J)*sz
+			if base != want {
+				t.Fatalf("blockBase(%d,%d) = %d, want %d", I, J, base, want)
+			}
+		}
+	}
+}
+
+func TestIdxWithinBlock(t *testing.T) {
+	l := New(apps.Tiny).(*LU)
+	seen := map[int]bool{}
+	for ii := 0; ii < l.b; ii++ {
+		for jj := 0; jj < l.b; jj++ {
+			i := l.idx(1, 2, ii, jj)
+			if seen[i] {
+				t.Fatalf("duplicate index %d", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != l.b*l.b {
+		t.Fatalf("covered %d cells", len(seen))
+	}
+}

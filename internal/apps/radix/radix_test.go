@@ -1,0 +1,48 @@
+package radix
+
+import (
+	"sort"
+	"testing"
+
+	"swsm/internal/apps"
+)
+
+func TestScalesSizes(t *testing.T) {
+	for _, s := range []apps.Scale{apps.Tiny, apps.Base, apps.Large} {
+		r := New(s).(*Radix)
+		if r.n%radixSize != 0 {
+			t.Fatalf("n=%d not a multiple of the radix", r.n)
+		}
+	}
+}
+
+func TestVariantsShareSizes(t *testing.T) {
+	a := New(apps.Base).(*Radix)
+	b := NewLocal(apps.Base).(*Radix)
+	if a.n != b.n {
+		t.Fatalf("variants differ in size: %d vs %d", a.n, b.n)
+	}
+	if !b.Restructured() || a.Restructured() {
+		t.Fatal("restructured flags wrong")
+	}
+}
+
+func TestKeyBitsCoverKeys(t *testing.T) {
+	r := New(apps.Tiny).(*Radix)
+	_ = r
+	if keyBits%digitBits != 0 {
+		t.Fatalf("keyBits %d not a multiple of digitBits %d", keyBits, digitBits)
+	}
+}
+
+// The golden model: LSD radix sort is a stable sort; verify the final
+// expectation used in Verify is simply the sorted input.
+func TestGoldenModelIsSorted(t *testing.T) {
+	r := New(apps.Tiny).(*Radix)
+	r.input = []uint32{5, 3, 3, 1, 65535, 0}
+	want := append([]uint32(nil), r.input...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if want[0] != 0 || want[len(want)-1] != 65535 {
+		t.Fatal("sort sanity failed")
+	}
+}

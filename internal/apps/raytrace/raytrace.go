@@ -1,0 +1,310 @@
+// Package raytrace implements the Raytrace application (Table 1: the
+// "car" scene in the paper; substituted here by a deterministic
+// procedural sphere scene, since the original model file is not
+// available — the substitution preserves the behaviour that matters: a
+// read-shared scene accessed irregularly per ray, tile task queues with
+// stealing, and a very large number of fine-grained reads that make
+// protocol handler cost a large fraction of data wait time, as Table 4
+// reports).
+package raytrace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"swsm/internal/apps"
+	"swsm/internal/core"
+)
+
+const (
+	flopCycles = 2
+	tile       = 8 // tile edge in pixels
+	sphBytes   = 64
+)
+
+// Raytrace is one instance.
+type Raytrace struct {
+	w, h     int
+	nSpheres int
+
+	spheres int64    // sphere records: cx cy cz r, cr cg cb, pad
+	img     apps.U32 // packed RGB
+	queue   *apps.TaskQueue
+	scene   []sphere
+	procs   int
+}
+
+type sphere struct {
+	cx, cy, cz, r float64
+	cr, cg, cb    float64
+}
+
+// New builds the app at a scale.
+func New(s apps.Scale) apps.Instance {
+	w, h, ns := 96, 96, 48
+	switch s {
+	case apps.Tiny:
+		w, h, ns = 24, 24, 12
+	case apps.Large:
+		w, h, ns = 192, 192, 64
+	}
+	return &Raytrace{w: w, h: h, nSpheres: ns}
+}
+
+// Name implements apps.Instance.
+func (r *Raytrace) Name() string { return "raytrace" }
+
+// MemBytes implements apps.Instance.
+func (r *Raytrace) MemBytes() int64 {
+	return int64(r.nSpheres)*sphBytes + int64(r.w*r.h)*4 + 4<<20
+}
+
+// SCBlock implements apps.Instance.
+func (r *Raytrace) SCBlock() int { return 64 }
+
+// Restructured implements apps.Instance.
+func (r *Raytrace) Restructured() bool { return false }
+
+func (r *Raytrace) sphAddr(i int, f int64) int64 { return r.spheres + int64(i)*sphBytes + f }
+
+// makeScene generates the deterministic procedural sphere field.
+func makeScene(n int) []sphere {
+	rng := rand.New(rand.NewSource(99))
+	scene := make([]sphere, n)
+	for i := range scene {
+		scene[i] = sphere{
+			cx: rng.Float64()*4 - 2,
+			cy: rng.Float64()*4 - 2,
+			cz: rng.Float64()*3 + 3,
+			r:  0.2 + rng.Float64()*0.5,
+			cr: rng.Float64(), cg: rng.Float64(), cb: rng.Float64(),
+		}
+	}
+	return scene
+}
+
+// Setup builds the procedural scene and seeds the tile queues.
+func (r *Raytrace) Setup(m *core.Machine) {
+	r.procs = m.Cfg.Procs
+	r.spheres = m.AllocPage(int64(r.nSpheres) * sphBytes)
+	r.img = apps.U32{Base: m.AllocPage(int64(r.w*r.h) * 4)}
+
+	r.scene = makeScene(r.nSpheres)
+	for i := range r.scene {
+		s := r.scene[i]
+		m.InitF64(r.sphAddr(i, 0), s.cx)
+		m.InitF64(r.sphAddr(i, 8), s.cy)
+		m.InitF64(r.sphAddr(i, 16), s.cz)
+		m.InitF64(r.sphAddr(i, 24), s.r)
+		m.InitF64(r.sphAddr(i, 32), s.cr)
+		m.InitF64(r.sphAddr(i, 40), s.cg)
+		m.InitF64(r.sphAddr(i, 48), s.cb)
+	}
+
+	// Tiles round-robin across processor queues (SPLASH-2 style).
+	tx, ty := (r.w+tile-1)/tile, (r.h+tile-1)/tile
+	nTasks := tx * ty
+	perProc := make([][]int32, r.procs)
+	for task := 0; task < nTasks; task++ {
+		p := task % r.procs
+		perProc[p] = append(perProc[p], int32(task))
+	}
+	r.queue = apps.NewTaskQueue(m, r.procs, nTasks, 200)
+	for p := 0; p < r.procs; p++ {
+		r.queue.Fill(m, p, perProc[p])
+	}
+}
+
+// Run consumes tiles until the queues drain.
+func (r *Raytrace) Run(t *core.Thread) {
+	me := t.Proc()
+	tx := (r.w + tile - 1) / tile
+	for {
+		task, ok := r.queue.Next(t, me)
+		if !ok {
+			break
+		}
+		bx, by := int(task)%tx*tile, int(task)/tx*tile
+		for y := by; y < by+tile && y < r.h; y++ {
+			for x := bx; x < bx+tile && x < r.w; x++ {
+				c := r.tracePixel(t, x, y)
+				r.img.Set(t, y*r.w+x, c)
+			}
+		}
+	}
+	t.Barrier(0)
+}
+
+// tracePixel shoots a primary ray and, on a hit, a shadow ray.  Sphere
+// data is loaded through the protocol (read-shared, irregular).
+func (r *Raytrace) tracePixel(t *core.Thread, x, y int) uint32 {
+	ox, oy, oz := 0.0, 0.0, 0.0
+	dx := (float64(x)+0.5)/float64(r.w)*2 - 1
+	dy := (float64(y)+0.5)/float64(r.h)*2 - 1
+	dz := 1.5
+	inv := 1 / math.Sqrt(dx*dx+dy*dy+dz*dz)
+	dx, dy, dz = dx*inv, dy*inv, dz*inv
+
+	best, bestI := math.Inf(1), -1
+	for i := 0; i < r.nSpheres; i++ {
+		d := r.intersect(t, i, ox, oy, oz, dx, dy, dz)
+		if d > 0 && d < best {
+			best, bestI = d, i
+		}
+	}
+	t.Compute(int64(r.nSpheres) * 12 * flopCycles)
+	if bestI < 0 {
+		return pack(0.1, 0.1, 0.2) // background
+	}
+	// Shade: Lambert against a fixed light, with a shadow pass.
+	px, py, pz := ox+dx*best, oy+dy*best, oz+dz*best
+	scx := t.LoadF64(r.sphAddr(bestI, 0))
+	scy := t.LoadF64(r.sphAddr(bestI, 8))
+	scz := t.LoadF64(r.sphAddr(bestI, 16))
+	rad := t.LoadF64(r.sphAddr(bestI, 24))
+	nx, ny, nz := (px-scx)/rad, (py-scy)/rad, (pz-scz)/rad
+	lx, ly, lz := -0.5, -0.8, -0.3
+	linv := 1 / math.Sqrt(lx*lx+ly*ly+lz*lz)
+	lx, ly, lz = lx*linv, ly*linv, lz*linv
+	lambert := -(nx*lx + ny*ly + nz*lz)
+	if lambert < 0 {
+		lambert = 0
+	}
+	// Shadow ray toward the light.
+	if lambert > 0 {
+		for i := 0; i < r.nSpheres; i++ {
+			if i == bestI {
+				continue
+			}
+			if d := r.intersect(t, i, px, py, pz, -lx, -ly, -lz); d > 1e-6 {
+				lambert *= 0.3
+				break
+			}
+		}
+		t.Compute(int64(r.nSpheres) * 12 * flopCycles)
+	}
+	cr := t.LoadF64(r.sphAddr(bestI, 32))
+	cg := t.LoadF64(r.sphAddr(bestI, 40))
+	cb := t.LoadF64(r.sphAddr(bestI, 48))
+	amb := 0.15
+	return pack(amb+cr*lambert, amb+cg*lambert, amb+cb*lambert)
+}
+
+// intersect tests one ray against sphere i (loading its geometry).
+func (r *Raytrace) intersect(t *core.Thread, i int, ox, oy, oz, dx, dy, dz float64) float64 {
+	cx := t.LoadF64(r.sphAddr(i, 0))
+	cy := t.LoadF64(r.sphAddr(i, 8))
+	cz := t.LoadF64(r.sphAddr(i, 16))
+	rad := t.LoadF64(r.sphAddr(i, 24))
+	lx, ly, lz := cx-ox, cy-oy, cz-oz
+	b := lx*dx + ly*dy + lz*dz
+	det := b*b - (lx*lx + ly*ly + lz*lz) + rad*rad
+	if det < 0 {
+		return -1
+	}
+	s := math.Sqrt(det)
+	if b-s > 1e-6 {
+		return b - s
+	}
+	if b+s > 1e-6 {
+		return b + s
+	}
+	return -1
+}
+
+func pack(r, g, b float64) uint32 {
+	cl := func(v float64) uint32 {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		return uint32(v * 255)
+	}
+	return cl(r)<<16 | cl(g)<<8 | cl(b)
+}
+
+// refPixel renders a pixel sequentially from the host-side scene copy.
+func (r *Raytrace) refPixel(x, y int) uint32 {
+	// Re-run tracePixel logic against r.scene without the simulator.
+	intersect := func(i int, ox, oy, oz, dx, dy, dz float64) float64 {
+		s := r.scene[i]
+		lx, ly, lz := s.cx-ox, s.cy-oy, s.cz-oz
+		b := lx*dx + ly*dy + lz*dz
+		det := b*b - (lx*lx + ly*ly + lz*lz) + s.r*s.r
+		if det < 0 {
+			return -1
+		}
+		q := math.Sqrt(det)
+		if b-q > 1e-6 {
+			return b - q
+		}
+		if b+q > 1e-6 {
+			return b + q
+		}
+		return -1
+	}
+	dx := (float64(x)+0.5)/float64(r.w)*2 - 1
+	dy := (float64(y)+0.5)/float64(r.h)*2 - 1
+	dz := 1.5
+	inv := 1 / math.Sqrt(dx*dx+dy*dy+dz*dz)
+	dx, dy, dz = dx*inv, dy*inv, dz*inv
+	best, bestI := math.Inf(1), -1
+	for i := range r.scene {
+		if d := intersect(i, 0, 0, 0, dx, dy, dz); d > 0 && d < best {
+			best, bestI = d, i
+		}
+	}
+	if bestI < 0 {
+		return pack(0.1, 0.1, 0.2)
+	}
+	s := r.scene[bestI]
+	px, py, pz := dx*best, dy*best, dz*best
+	nx, ny, nz := (px-s.cx)/s.r, (py-s.cy)/s.r, (pz-s.cz)/s.r
+	lx, ly, lz := -0.5, -0.8, -0.3
+	linv := 1 / math.Sqrt(lx*lx+ly*ly+lz*lz)
+	lx, ly, lz = lx*linv, ly*linv, lz*linv
+	lambert := -(nx*lx + ny*ly + nz*lz)
+	if lambert < 0 {
+		lambert = 0
+	}
+	if lambert > 0 {
+		for i := range r.scene {
+			if i == bestI {
+				continue
+			}
+			if d := intersect(i, px, py, pz, -lx, -ly, -lz); d > 1e-6 {
+				lambert *= 0.3
+				break
+			}
+		}
+	}
+	amb := 0.15
+	return pack(amb+s.cr*lambert, amb+s.cg*lambert, amb+s.cb*lambert)
+}
+
+// Verify compares every pixel against the sequential render (identical
+// arithmetic => exact equality).
+func (r *Raytrace) Verify(m *core.Machine) error {
+	for y := 0; y < r.h; y++ {
+		for x := 0; x < r.w; x++ {
+			got := r.img.Result(m, y*r.w+x)
+			want := r.refPixel(x, y)
+			if got != want {
+				return fmt.Errorf("raytrace: pixel (%d,%d) = %06x, want %06x", x, y, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+var _ apps.Instance = (*Raytrace)(nil)
+
+func init() {
+	apps.Register(apps.Info{
+		Name: "raytrace", BaseSize: "96x96 image, 48 spheres", PaperSize: "car scene",
+		InstrumentationPct: 29, Factory: New,
+	})
+}

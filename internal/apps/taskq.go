@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"swsm/internal/core"
+	"swsm/internal/stats"
+)
+
+// TaskQueue is a distributed work queue with stealing, the tasking
+// structure of Raytrace and Volrend: each processor owns a queue of task
+// ids protected by a lock; when a processor's own queue drains it steals
+// from the others.  Stealing is expensive under SVM (lock + protocol
+// activity), which is exactly the effect the paper studies in Volrend's
+// restructuring.
+type TaskQueue struct {
+	nproc    int
+	cap      int
+	lockBase int
+	heads    I32 // per-proc pop cursor (padded to 64 B)
+	tails    I32 // per-proc fill count (padded to 64 B)
+	tasks    I32 // per-proc task arrays
+}
+
+const qPad = 16 // 16 words = 64 bytes between per-proc counters
+
+// NewTaskQueue allocates queue structures for nproc processors with the
+// given per-processor capacity.  Locks [lockBase, lockBase+nproc) are
+// used to protect the queues.
+func NewTaskQueue(m *core.Machine, nproc, capacity, lockBase int) *TaskQueue {
+	q := &TaskQueue{nproc: nproc, cap: capacity, lockBase: lockBase}
+	q.heads = I32{Base: m.AllocPage(int64(nproc*qPad) * 4)}
+	q.tails = I32{Base: m.AllocPage(int64(nproc*qPad) * 4)}
+	q.tasks = I32{Base: m.AllocPage(int64(nproc*capacity) * 4)}
+	for p := 0; p < nproc; p++ {
+		q.heads.Init(m, p*qPad, 0)
+		q.tails.Init(m, p*qPad, 0)
+		m.Place(q.tasks.Base+int64(p*capacity)*4, int64(capacity)*4, p)
+	}
+	return q
+}
+
+// Fill seeds processor p's queue with tasks (during Setup).
+func (q *TaskQueue) Fill(m *core.Machine, p int, tasks []int32) {
+	if len(tasks) > q.cap {
+		panic("apps: task queue overflow")
+	}
+	for i, task := range tasks {
+		q.tasks.Init(m, p*q.cap+i, task)
+	}
+	q.tails.Init(m, p*qPad, int32(len(tasks)))
+}
+
+// popFrom tries to take a task from processor v's queue.
+func (q *TaskQueue) popFrom(t *core.Thread, v int) (int32, bool) {
+	t.Acquire(q.lockBase + v)
+	h := q.heads.Get(t, v*qPad)
+	tail := q.tails.Get(t, v*qPad)
+	var task int32
+	ok := h < tail
+	if ok {
+		task = q.tasks.Get(t, v*q.cap+int(h))
+		q.heads.Set(t, v*qPad, h+1)
+	}
+	t.Release(q.lockBase + v)
+	return task, ok
+}
+
+// Next returns the next task for processor `me`: its own queue first,
+// then round-robin stealing.  ok=false means global exhaustion.
+func (q *TaskQueue) Next(t *core.Thread, me int) (int32, bool) {
+	if task, ok := q.popFrom(t, me); ok {
+		return task, ok
+	}
+	for i := 1; i < q.nproc; i++ {
+		v := (me + i) % q.nproc
+		if task, ok := q.popFrom(t, v); ok {
+			t.Machine().Stats.Inc(me, stats.TaskSteals, 1)
+			return task, ok
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,105 @@
+package apps_test
+
+import (
+	"testing"
+
+	"swsm/internal/apps"
+	"swsm/internal/comm"
+	"swsm/internal/core"
+	"swsm/internal/proto"
+	"swsm/internal/proto/ideal"
+	"swsm/internal/stats"
+)
+
+func idealMachine(procs int) *core.Machine {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.MemLimit = 8 << 20
+	cfg.Comm = comm.Best()
+	cfg.Costs = proto.BestCosts()
+	cfg.SharedMem = true
+	cfg.CacheEnabled = false
+	return core.NewMachine(cfg, ideal.New())
+}
+
+func TestTaskQueueDrainsExactlyOnce(t *testing.T) {
+	const procs = 4
+	const nTasks = 57
+	m := idealMachine(procs)
+	q := apps.NewTaskQueue(m, procs, nTasks, 500)
+	// Uneven fill: all tasks on processor 0 (forces stealing).
+	all := make([]int32, nTasks)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	q.Fill(m, 0, all)
+
+	var mu [procs][]int32
+	_, err := m.Run(func(th *core.Thread) {
+		for {
+			task, ok := q.Next(th, th.Proc())
+			if !ok {
+				break
+			}
+			mu[th.Proc()] = append(mu[th.Proc()], task)
+			th.Compute(100)
+		}
+		th.Barrier(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]int{}
+	for p := 0; p < procs; p++ {
+		for _, task := range mu[p] {
+			seen[task]++
+		}
+	}
+	if len(seen) != nTasks {
+		t.Fatalf("saw %d distinct tasks, want %d", len(seen), nTasks)
+	}
+	for task, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d executed %d times", task, n)
+		}
+	}
+	if m.Stats.TotalCount(stats.TaskSteals) == 0 {
+		t.Fatal("expected steals with all tasks on one queue")
+	}
+}
+
+func TestTaskQueueBalancedNoSteals(t *testing.T) {
+	const procs = 4
+	m := idealMachine(procs)
+	q := apps.NewTaskQueue(m, procs, 16, 500)
+	for p := 0; p < procs; p++ {
+		q.Fill(m, p, []int32{int32(p * 4), int32(p*4 + 1), int32(p*4 + 2), int32(p*4 + 3)})
+	}
+	_, err := m.Run(func(th *core.Thread) {
+		for i := 0; i < 4; i++ {
+			if _, ok := q.Next(th, th.Proc()); !ok {
+				t.Errorf("proc %d queue dry after %d tasks", th.Proc(), i)
+				break
+			}
+			th.Compute(100)
+		}
+		th.Barrier(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats.TotalCount(stats.TaskSteals); got != 0 {
+		t.Fatalf("steals = %d, want 0 (balanced, equal-cost tasks)", got)
+	}
+}
+
+func TestTaskQueueOverflowPanics(t *testing.T) {
+	m := idealMachine(1)
+	q := apps.NewTaskQueue(m, 1, 2, 500)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.Fill(m, 0, []int32{1, 2, 3})
+}

@@ -1,0 +1,252 @@
+// Package volrend implements the Volrend application: front-to-back ray
+// casting through a 3-D density volume (the paper renders a 256^3 CT
+// head; that dataset is proprietary, so a deterministic synthetic
+// head-like phantom — nested ellipsoid shells — substitutes for it,
+// preserving the behaviours under study: read-shared volume data with
+// irregular access, tile task queues with stealing, and an output image
+// whose page-grain false sharing the restructuring removes).
+//
+// Two variants:
+//
+//   - "volrend" (original): image tiles are handed out round-robin, so
+//     neighbouring tiles — which share image pages — belong to different
+//     processors (page false sharing and fragmentation), and the initial
+//     assignment ignores ray cost, so task stealing is frequent.
+//   - "volrend-rest" (restructured): each processor starts with a
+//     contiguous band of tiles whose image rows are padded to page
+//     boundaries, greatly reducing both stealing and image false
+//     sharing, as described in the paper's application-layer study.
+package volrend
+
+import (
+	"fmt"
+	"math"
+
+	"swsm/internal/apps"
+	"swsm/internal/core"
+	"swsm/internal/mem"
+)
+
+const (
+	flopCycles = 2
+	tile       = 8
+)
+
+// Volrend is one instance.
+type Volrend struct {
+	name string
+	rest bool
+	vol  int // volume edge
+	w, h int // image size
+
+	volume    apps.U32 // density 0..255 per voxel
+	img       apps.U32
+	rowStride int64 // image row stride in words
+	queue     *apps.TaskQueue
+	density   []uint8
+	procs     int
+}
+
+// New builds the original variant.
+func New(s apps.Scale) apps.Instance { return build(s, false) }
+
+// NewRestructured builds the restructured variant.
+func NewRestructured(s apps.Scale) apps.Instance { return build(s, true) }
+
+func build(s apps.Scale, rest bool) *Volrend {
+	vol, w, h := 48, 64, 64
+	switch s {
+	case apps.Tiny:
+		vol, w, h = 16, 24, 24
+	case apps.Large:
+		vol, w, h = 64, 128, 128
+	}
+	name := "volrend"
+	if rest {
+		name = "volrend-rest"
+	}
+	return &Volrend{name: name, rest: rest, vol: vol, w: w, h: h}
+}
+
+// Name implements apps.Instance.
+func (v *Volrend) Name() string { return v.name }
+
+// MemBytes implements apps.Instance.
+func (v *Volrend) MemBytes() int64 {
+	return int64(v.vol*v.vol*v.vol)*4 + int64(v.h)*mem.PageSize + 4<<20
+}
+
+// SCBlock implements apps.Instance.
+func (v *Volrend) SCBlock() int { return 64 }
+
+// Restructured implements apps.Instance.
+func (v *Volrend) Restructured() bool { return v.rest }
+
+// phantom computes the synthetic head density at a voxel.
+func (v *Volrend) phantom(x, y, z int) uint8 {
+	n := float64(v.vol)
+	fx, fy, fz := (float64(x)/n-0.5)*2, (float64(y)/n-0.5)*2, (float64(z)/n-0.5)*2
+	// Skull: ellipsoid shell; brain: inner blob; air outside.
+	r := math.Sqrt(fx*fx*1.2 + fy*fy + fz*fz*1.4)
+	switch {
+	case r > 0.95:
+		return 0
+	case r > 0.8:
+		return 230 // bone
+	case r > 0.75:
+		return 40
+	default:
+		// Brain with lumpy structure.
+		l := math.Sin(fx*7) * math.Sin(fy*9) * math.Sin(fz*8)
+		return uint8(90 + 40*l)
+	}
+}
+
+func (v *Volrend) voxIdx(x, y, z int) int { return (z*v.vol+y)*v.vol + x }
+
+// imgIdx returns the word index of pixel (x,y) in the image array.
+func (v *Volrend) imgIdx(x, y int) int { return y*int(v.rowStride) + x }
+
+// Setup builds the volume, image and task queues.
+func (v *Volrend) Setup(m *core.Machine) {
+	v.procs = m.Cfg.Procs
+	nvox := v.vol * v.vol * v.vol
+	v.volume = apps.U32{Base: m.AllocPage(int64(nvox) * 4)}
+	v.density = make([]uint8, nvox)
+	for z := 0; z < v.vol; z++ {
+		for y := 0; y < v.vol; y++ {
+			for x := 0; x < v.vol; x++ {
+				d := v.phantom(x, y, z)
+				v.density[v.voxIdx(x, y, z)] = d
+				v.volume.Init(m, v.voxIdx(x, y, z), uint32(d))
+			}
+		}
+	}
+
+	// Image layout: original packs rows tightly; restructured pads each
+	// row to a page so tile bands never share pages.
+	if v.rest {
+		v.rowStride = mem.PageSize / 4
+	} else {
+		v.rowStride = int64(v.w)
+	}
+	v.img = apps.U32{Base: m.AllocPage(int64(v.h) * v.rowStride * 4)}
+
+	// Tasks: original round-robins tiles; restructured assigns each
+	// processor a contiguous band (and places those image rows locally).
+	tx, ty := (v.w+tile-1)/tile, (v.h+tile-1)/tile
+	nTasks := tx * ty
+	perProc := make([][]int32, v.procs)
+	if v.rest {
+		for p := 0; p < v.procs; p++ {
+			lo, hi := apps.BlockRange(nTasks, v.procs, p)
+			for task := lo; task < hi; task++ {
+				perProc[p] = append(perProc[p], int32(task))
+			}
+			// Place the band's image rows at the owner.
+			rowLo := lo / tx * tile
+			rowHi := (hi + tx - 1) / tx * tile
+			if rowHi > v.h {
+				rowHi = v.h
+			}
+			if rowLo < rowHi {
+				m.Place(v.img.Base+int64(rowLo)*v.rowStride*4,
+					int64(rowHi-rowLo)*v.rowStride*4, p)
+			}
+		}
+	} else {
+		for task := 0; task < nTasks; task++ {
+			perProc[task%v.procs] = append(perProc[task%v.procs], int32(task))
+		}
+	}
+	v.queue = apps.NewTaskQueue(m, v.procs, nTasks, 300)
+	for p := 0; p < v.procs; p++ {
+		v.queue.Fill(m, p, perProc[p])
+	}
+}
+
+// Run renders tiles until global exhaustion.
+func (v *Volrend) Run(t *core.Thread) {
+	me := t.Proc()
+	tx := (v.w + tile - 1) / tile
+	for {
+		task, ok := v.queue.Next(t, me)
+		if !ok {
+			break
+		}
+		bx, by := int(task)%tx*tile, int(task)/tx*tile
+		for y := by; y < by+tile && y < v.h; y++ {
+			for x := bx; x < bx+tile && x < v.w; x++ {
+				v.img.Set(t, v.imgIdx(x, y), v.castRay(t, x, y))
+			}
+		}
+	}
+	t.Barrier(0)
+}
+
+// castRay accumulates intensity front to back along +z with early
+// termination, sampling the shared volume (nearest neighbour).
+func (v *Volrend) castRay(t *core.Thread, px, py int) uint32 {
+	vx := px * v.vol / v.w
+	vy := py * v.vol / v.h
+	var acc, trans float64 = 0, 1
+	steps := 0
+	for z := 0; z < v.vol && trans > 0.05; z++ {
+		d := float64(t.Load32(v.volume.Addr(v.voxIdx(vx, vy, z))) & 0xff)
+		op := d / 255 * 0.22
+		acc += trans * op * d
+		trans *= 1 - op
+		steps++
+	}
+	t.Compute(int64(steps) * 8 * flopCycles)
+	val := uint32(acc)
+	if val > 255 {
+		val = 255
+	}
+	return val
+}
+
+// refRay renders a pixel from the host-side volume copy.
+func (v *Volrend) refRay(px, py int) uint32 {
+	vx := px * v.vol / v.w
+	vy := py * v.vol / v.h
+	var acc, trans float64 = 0, 1
+	for z := 0; z < v.vol && trans > 0.05; z++ {
+		d := float64(v.density[v.voxIdx(vx, vy, z)])
+		op := d / 255 * 0.22
+		acc += trans * op * d
+		trans *= 1 - op
+	}
+	val := uint32(acc)
+	if val > 255 {
+		val = 255
+	}
+	return val
+}
+
+// Verify compares each pixel against the sequential reference.
+func (v *Volrend) Verify(m *core.Machine) error {
+	for y := 0; y < v.h; y++ {
+		for x := 0; x < v.w; x++ {
+			got := v.img.Result(m, v.imgIdx(x, y))
+			want := v.refRay(x, y)
+			if got != want {
+				return fmt.Errorf("%s: pixel (%d,%d) = %d, want %d", v.name, x, y, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+var _ apps.Instance = (*Volrend)(nil)
+
+func init() {
+	apps.Register(apps.Info{
+		Name: "volrend", BaseSize: "48^3 volume, 64x64 image", PaperSize: "256^3 CT head",
+		InstrumentationPct: 20, Factory: New,
+	})
+	apps.Register(apps.Info{
+		Name: "volrend-rest", BaseSize: "48^3 volume, 64x64 image", PaperSize: "256^3 CT head",
+		InstrumentationPct: 20, RestructuredOf: "volrend", Factory: NewRestructured,
+	})
+}

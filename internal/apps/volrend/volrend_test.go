@@ -1,0 +1,67 @@
+package volrend
+
+import (
+	"testing"
+
+	"swsm/internal/apps"
+)
+
+func TestPhantomStructure(t *testing.T) {
+	v := build(apps.Base, false)
+	// Outside the head: air.
+	if d := v.phantom(0, 0, 0); d != 0 {
+		t.Fatalf("corner density = %d, want 0 (air)", d)
+	}
+	// Center: brain tissue, mid density.
+	c := v.vol / 2
+	if d := v.phantom(c, c, c); d < 40 || d > 140 {
+		t.Fatalf("center density = %d, want brain range", d)
+	}
+	// Somewhere on the shell there must be bone (density 230).
+	bone := false
+	for x := 0; x < v.vol; x++ {
+		if v.phantom(x, c, c) == 230 {
+			bone = true
+			break
+		}
+	}
+	if !bone {
+		t.Fatal("no skull found along the midline")
+	}
+}
+
+func TestRefRayDeterministicAndBounded(t *testing.T) {
+	v := build(apps.Tiny, false)
+	v.density = make([]uint8, v.vol*v.vol*v.vol)
+	for z := 0; z < v.vol; z++ {
+		for y := 0; y < v.vol; y++ {
+			for x := 0; x < v.vol; x++ {
+				v.density[v.voxIdx(x, y, z)] = v.phantom(x, y, z)
+			}
+		}
+	}
+	for y := 0; y < v.h; y++ {
+		for x := 0; x < v.w; x++ {
+			a := v.refRay(x, y)
+			b := v.refRay(x, y)
+			if a != b {
+				t.Fatalf("refRay nondeterministic at (%d,%d)", x, y)
+			}
+			if a > 255 {
+				t.Fatalf("pixel value %d out of range", a)
+			}
+		}
+	}
+}
+
+func TestRestructuredImageRowsPageAligned(t *testing.T) {
+	v := build(apps.Base, true)
+	if v.rest != true {
+		t.Fatal("variant flag")
+	}
+	// rowStride set at Setup; emulate.
+	v.rowStride = 4096 / 4
+	if v.imgIdx(0, 1)*4%4096 != 0 {
+		t.Fatal("restructured image rows not page aligned")
+	}
+}

@@ -1,0 +1,273 @@
+// Package water implements the two SPLASH-2 Water molecular-dynamics
+// applications (Table 1: 512 molecules in the paper; scaled):
+//
+//   - Water-Nsquared: O(n^2) pairwise forces; each processor owns a block
+//     of molecules and accumulates force contributions into OTHER
+//     processors' molecules under per-molecule locks — the migratory,
+//     diff-heavy pattern the paper calls out ("computes many diffs for a
+//     lot of migratory data when it is updating forces").
+//   - Water-Spatial: a cell decomposition where each molecule's owner
+//     computes its full force by reading neighbour cells (no locks in the
+//     force phase), trading redundant computation for locality.
+package water
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"swsm/internal/apps"
+	"swsm/internal/core"
+)
+
+const (
+	flopCycles = 2
+	dt         = 0.002
+	cutoff2    = 6.25 // squared interaction cutoff
+)
+
+// body layout in shared memory: per-molecule record of 9 doubles
+// (pos xyz, vel xyz, force xyz), padded to 128 bytes.
+const molBytes = 128
+
+// NSquared is one Water-Nsquared instance.
+type NSquared struct {
+	n     int
+	steps int
+
+	mol   int64 // base address of the molecule array
+	init  []vec3
+	procs int
+	locks int
+}
+
+type vec3 struct{ x, y, z float64 }
+
+// NewNSquared builds the kernel at a scale.
+func NewNSquared(s apps.Scale) apps.Instance {
+	n, steps := 128, 2
+	switch s {
+	case apps.Tiny:
+		n, steps = 24, 2
+	case apps.Large:
+		n, steps = 216, 3
+	}
+	return &NSquared{n: n, steps: steps, locks: 32}
+}
+
+// Name implements apps.Instance.
+func (w *NSquared) Name() string { return "water-nsquared" }
+
+// MemBytes implements apps.Instance.
+func (w *NSquared) MemBytes() int64 { return int64(w.n)*molBytes + 1<<20 }
+
+// SCBlock implements apps.Instance: one 128 B molecule record per block.
+func (w *NSquared) SCBlock() int { return 128 }
+
+// Restructured implements apps.Instance.
+func (w *NSquared) Restructured() bool { return false }
+
+// Field offsets within a molecule record.
+const (
+	offPos   = 0
+	offVel   = 24
+	offForce = 48
+)
+
+func (w *NSquared) molAddr(i int, field int64) int64 {
+	return w.mol + int64(i)*molBytes + field
+}
+
+// initialPositions lays molecules on a jittered lattice.
+func initialPositions(n int, seed int64) []vec3 {
+	r := rand.New(rand.NewSource(seed))
+	side := int(math.Ceil(math.Cbrt(float64(n))))
+	out := make([]vec3, 0, n)
+	for i := 0; len(out) < n; i++ {
+		x := float64(i%side) * 1.8
+		y := float64((i/side)%side) * 1.8
+		z := float64(i/(side*side)) * 1.8
+		out = append(out, vec3{
+			x + 0.2*(r.Float64()-0.5),
+			y + 0.2*(r.Float64()-0.5),
+			z + 0.2*(r.Float64()-0.5),
+		})
+	}
+	return out
+}
+
+// Setup allocates the molecule array.
+func (w *NSquared) Setup(m *core.Machine) {
+	w.procs = m.Cfg.Procs
+	w.mol = m.AllocPage(int64(w.n) * molBytes)
+	for id := 0; id < w.procs; id++ {
+		lo, hi := apps.BlockRange(w.n, w.procs, id)
+		m.Place(w.mol+int64(lo)*molBytes, int64(hi-lo)*molBytes, id)
+	}
+	w.init = initialPositions(w.n, 23)
+	for i, p := range w.init {
+		m.InitF64(w.molAddr(i, offPos), p.x)
+		m.InitF64(w.molAddr(i, offPos+8), p.y)
+		m.InitF64(w.molAddr(i, offPos+16), p.z)
+		for f := int64(0); f < 6; f++ {
+			m.InitF64(w.molAddr(i, offVel+8*f), 0)
+		}
+	}
+}
+
+// pairForce is a truncated soft Lennard-Jones-like force kernel.
+func pairForce(dx, dy, dz float64) (fx, fy, fz float64) {
+	r2 := dx*dx + dy*dy + dz*dz
+	if r2 > cutoff2 || r2 == 0 {
+		return 0, 0, 0
+	}
+	r2 += 0.1 // softening
+	inv := 1 / r2
+	inv3 := inv * inv * inv
+	g := 24 * inv3 * (2*inv3 - 1) * inv
+	return g * dx, g * dy, g * dz
+}
+
+// halfShell lists the partners molecule i is responsible for: the next
+// n/2 molecules around the ring (SPLASH-2's balanced split of the n^2/2
+// pair triangle).
+func halfShell(i, n int) []int {
+	half := n / 2
+	out := make([]int, 0, half)
+	for d := 1; d <= half; d++ {
+		j := (i + d) % n
+		if d == half && n%2 == 0 && i >= half {
+			break // pair (i, i+n/2) handled by the lower-numbered side
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// Run performs the timestep loop.
+func (w *NSquared) Run(t *core.Thread) {
+	p := t.NumProcs()
+	me := t.Proc()
+	lo, hi := apps.BlockRange(w.n, p, me)
+	bar := 0
+	for step := 0; step < w.steps; step++ {
+		// Zero own forces.
+		for i := lo; i < hi; i++ {
+			for f := int64(0); f < 3; f++ {
+				t.StoreF64(w.molAddr(i, offForce+8*f), 0)
+			}
+		}
+		t.Barrier(bar)
+		bar ^= 1
+
+		// Pairwise forces, SPLASH-2 style: proc handling i computes pairs
+		// (i, j>i), accumulating all contributions in a PRIVATE array,
+		// then merges them into the shared force array under
+		// per-molecule locks at the end of the phase — the migratory,
+		// diff-heavy update pattern the paper describes.
+		contrib := make([]vec3, w.n)
+		for i := lo; i < hi; i++ {
+			xi := t.LoadF64(w.molAddr(i, offPos))
+			yi := t.LoadF64(w.molAddr(i, offPos+8))
+			zi := t.LoadF64(w.molAddr(i, offPos+16))
+			for _, j := range halfShell(i, w.n) {
+				xj := t.LoadF64(w.molAddr(j, offPos))
+				yj := t.LoadF64(w.molAddr(j, offPos+8))
+				zj := t.LoadF64(w.molAddr(j, offPos+16))
+				fx, fy, fz := pairForce(xi-xj, yi-yj, zi-zj)
+				t.Compute(20 * flopCycles)
+				if fx == 0 && fy == 0 && fz == 0 {
+					continue
+				}
+				contrib[i].x += fx
+				contrib[i].y += fy
+				contrib[i].z += fz
+				contrib[j].x -= fx
+				contrib[j].y -= fy
+				contrib[j].z -= fz
+				t.Compute(6 * flopCycles)
+			}
+		}
+		// Locked merge pass over every molecule this proc touched.
+		for j := 0; j < w.n; j++ {
+			c := contrib[j]
+			if c.x == 0 && c.y == 0 && c.z == 0 {
+				continue
+			}
+			lk := 100 + j%w.locks
+			t.Acquire(lk)
+			t.StoreF64(w.molAddr(j, offForce), t.LoadF64(w.molAddr(j, offForce))+c.x)
+			t.StoreF64(w.molAddr(j, offForce+8), t.LoadF64(w.molAddr(j, offForce+8))+c.y)
+			t.StoreF64(w.molAddr(j, offForce+16), t.LoadF64(w.molAddr(j, offForce+16))+c.z)
+			t.Release(lk)
+		}
+		t.Barrier(bar)
+		bar ^= 1
+
+		// Integrate own molecules.
+		for i := lo; i < hi; i++ {
+			for f := int64(0); f < 3; f++ {
+				v := t.LoadF64(w.molAddr(i, offVel+8*f))
+				v += dt * t.LoadF64(w.molAddr(i, offForce+8*f))
+				t.StoreF64(w.molAddr(i, offVel+8*f), v)
+				x := t.LoadF64(w.molAddr(i, offPos+8*f))
+				t.StoreF64(w.molAddr(i, offPos+8*f), x+dt*v)
+			}
+			t.Compute(12 * flopCycles)
+		}
+		t.Barrier(bar)
+		bar ^= 1
+	}
+}
+
+// Verify runs the same dynamics sequentially and compares positions.
+// Lock-ordered force accumulation reorders floating-point additions, so
+// a small tolerance is allowed.
+func (w *NSquared) Verify(m *core.Machine) error {
+	pos := append([]vec3(nil), w.init...)
+	vel := make([]vec3, w.n)
+	force := make([]vec3, w.n)
+	for step := 0; step < w.steps; step++ {
+		for i := range force {
+			force[i] = vec3{}
+		}
+		for i := 0; i < w.n; i++ {
+			for _, j := range halfShell(i, w.n) {
+				fx, fy, fz := pairForce(pos[i].x-pos[j].x, pos[i].y-pos[j].y, pos[i].z-pos[j].z)
+				force[i].x += fx
+				force[i].y += fy
+				force[i].z += fz
+				force[j].x -= fx
+				force[j].y -= fy
+				force[j].z -= fz
+			}
+		}
+		for i := 0; i < w.n; i++ {
+			vel[i].x += dt * force[i].x
+			vel[i].y += dt * force[i].y
+			vel[i].z += dt * force[i].z
+			pos[i].x += dt * vel[i].x
+			pos[i].y += dt * vel[i].y
+			pos[i].z += dt * vel[i].z
+		}
+	}
+	for i := 0; i < w.n; i++ {
+		gx := m.ReadResultF64(w.molAddr(i, offPos))
+		gy := m.ReadResultF64(w.molAddr(i, offPos+8))
+		gz := m.ReadResultF64(w.molAddr(i, offPos+16))
+		if math.Abs(gx-pos[i].x) > 1e-6 || math.Abs(gy-pos[i].y) > 1e-6 || math.Abs(gz-pos[i].z) > 1e-6 {
+			return fmt.Errorf("water-nsquared: molecule %d at (%g,%g,%g), want (%g,%g,%g)",
+				i, gx, gy, gz, pos[i].x, pos[i].y, pos[i].z)
+		}
+	}
+	return nil
+}
+
+var _ apps.Instance = (*NSquared)(nil)
+
+func init() {
+	apps.Register(apps.Info{
+		Name: "water-nsquared", BaseSize: "128 molecules, 2 steps", PaperSize: "512 molecules",
+		InstrumentationPct: 14, Factory: NewNSquared,
+	})
+}

@@ -1,0 +1,249 @@
+package water
+
+import (
+	"fmt"
+	"math"
+
+	"swsm/internal/apps"
+	"swsm/internal/core"
+)
+
+// Spatial is one Water-Spatial instance: molecules are binned into a 3-D
+// grid of cells, cells are block-assigned to processors, and each
+// molecule's owner computes its full force by scanning the 27 neighbour
+// cells — reads only, no locks in the force phase (cells do not change
+// hands between the few simulated steps; SPLASH-2 reassigns molecules to
+// cells as they move, which these short runs do not need).
+type Spatial struct {
+	n     int
+	steps int
+	cells int // cells per side
+
+	mol      int64
+	cellIdx  apps.I32 // molecule -> cell (static for the short run)
+	cellList [][]int  // cell -> molecules (host-side, built at setup)
+	init     []vec3
+	procs    int
+}
+
+// NewSpatial builds the kernel at a scale.
+func NewSpatial(s apps.Scale) apps.Instance {
+	n, steps, cells := 216, 2, 4
+	switch s {
+	case apps.Tiny:
+		n, steps, cells = 32, 2, 2
+	case apps.Large:
+		n, steps, cells = 512, 3, 5
+	}
+	return &Spatial{n: n, steps: steps, cells: cells}
+}
+
+// Name implements apps.Instance.
+func (w *Spatial) Name() string { return "water-spatial" }
+
+// MemBytes implements apps.Instance.
+func (w *Spatial) MemBytes() int64 { return int64(w.n)*molBytes + int64(w.n)*4 + 1<<20 }
+
+// SCBlock implements apps.Instance: one 128 B molecule record per block.
+func (w *Spatial) SCBlock() int { return 128 }
+
+// Restructured implements apps.Instance.
+func (w *Spatial) Restructured() bool { return false }
+
+func (w *Spatial) molAddr(i int, field int64) int64 {
+	return w.mol + int64(i)*molBytes + field
+}
+
+// cellOf bins a position.
+func (w *Spatial) cellOf(p vec3) int {
+	side := float64(w.cells)
+	span := 1.8 * math.Ceil(math.Cbrt(float64(w.n))) // lattice extent
+	cx := int(p.x / span * side)
+	cy := int(p.y / span * side)
+	cz := int(p.z / span * side)
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= w.cells {
+			return w.cells - 1
+		}
+		return v
+	}
+	return (clamp(cx)*w.cells+clamp(cy))*w.cells + clamp(cz)
+}
+
+// Setup bins molecules into cells and assigns cell blocks to processors.
+func (w *Spatial) Setup(m *core.Machine) {
+	w.procs = m.Cfg.Procs
+	w.mol = m.AllocPage(int64(w.n) * molBytes)
+	w.cellIdx = apps.I32{Base: m.AllocPage(int64(w.n) * 4)}
+	w.init = initialPositions(w.n, 31)
+
+	nc := w.cells * w.cells * w.cells
+	w.cellList = make([][]int, nc)
+	for i, p := range w.init {
+		c := w.cellOf(p)
+		w.cellList[c] = append(w.cellList[c], i)
+	}
+	// Owner of a molecule = owner of its cell; place molecule records
+	// with their owner.
+	for i, p := range w.init {
+		c := w.cellOf(p)
+		owner := w.cellOwner(c)
+		m.Place(w.mol+int64(i)*molBytes, molBytes, owner)
+		w.cellIdx.Init(m, i, int32(c))
+		m.InitF64(w.molAddr(i, offPos), p.x)
+		m.InitF64(w.molAddr(i, offPos+8), p.y)
+		m.InitF64(w.molAddr(i, offPos+16), p.z)
+		for f := int64(0); f < 6; f++ {
+			m.InitF64(w.molAddr(i, offVel+8*f), 0)
+		}
+	}
+}
+
+func (w *Spatial) cellOwner(c int) int {
+	nc := w.cells * w.cells * w.cells
+	return rowBandOf(c, nc, w.procs)
+}
+
+func rowBandOf(i, n, nb int) int {
+	for b := 0; b < nb; b++ {
+		lo, hi := apps.BlockRange(n, nb, b)
+		if i >= lo && i < hi {
+			return b
+		}
+	}
+	return nb - 1
+}
+
+// neighbours lists the (up to 27) neighbour cells of c.
+func (w *Spatial) neighbours(c int) []int {
+	cz := c % w.cells
+	cy := (c / w.cells) % w.cells
+	cx := c / (w.cells * w.cells)
+	var out []int
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				x, y, z := cx+dx, cy+dy, cz+dz
+				if x < 0 || y < 0 || z < 0 || x >= w.cells || y >= w.cells || z >= w.cells {
+					continue
+				}
+				out = append(out, (x*w.cells+y)*w.cells+z)
+			}
+		}
+	}
+	return out
+}
+
+// Run performs the timestep loop.
+func (w *Spatial) Run(t *core.Thread) {
+	p := t.NumProcs()
+	me := t.Proc()
+	nc := w.cells * w.cells * w.cells
+	clo, chi := apps.BlockRange(nc, p, me)
+	bar := 0
+	for step := 0; step < w.steps; step++ {
+		// Force phase: each owner computes full forces for its cells'
+		// molecules by scanning neighbour cells (reads only).
+		for c := clo; c < chi; c++ {
+			for _, i := range w.cellList[c] {
+				xi := t.LoadF64(w.molAddr(i, offPos))
+				yi := t.LoadF64(w.molAddr(i, offPos+8))
+				zi := t.LoadF64(w.molAddr(i, offPos+16))
+				var fx, fy, fz float64
+				for _, nb := range w.neighbours(c) {
+					for _, j := range w.cellList[nb] {
+						if j == i {
+							continue
+						}
+						xj := t.LoadF64(w.molAddr(j, offPos))
+						yj := t.LoadF64(w.molAddr(j, offPos+8))
+						zj := t.LoadF64(w.molAddr(j, offPos+16))
+						gx, gy, gz := pairForce(xi-xj, yi-yj, zi-zj)
+						fx += gx
+						fy += gy
+						fz += gz
+						t.Compute(20 * flopCycles)
+					}
+				}
+				t.StoreF64(w.molAddr(i, offForce), fx)
+				t.StoreF64(w.molAddr(i, offForce+8), fy)
+				t.StoreF64(w.molAddr(i, offForce+16), fz)
+			}
+		}
+		t.Barrier(bar)
+		bar ^= 1
+		// Integrate own molecules.
+		for c := clo; c < chi; c++ {
+			for _, i := range w.cellList[c] {
+				for f := int64(0); f < 3; f++ {
+					v := t.LoadF64(w.molAddr(i, offVel+8*f))
+					v += dt * t.LoadF64(w.molAddr(i, offForce+8*f))
+					t.StoreF64(w.molAddr(i, offVel+8*f), v)
+					x := t.LoadF64(w.molAddr(i, offPos+8*f))
+					t.StoreF64(w.molAddr(i, offPos+8*f), x+dt*v)
+				}
+				t.Compute(12 * flopCycles)
+			}
+		}
+		t.Barrier(bar)
+		bar ^= 1
+	}
+}
+
+// Verify runs the identical cell-based dynamics sequentially; operation
+// order matches exactly, so the comparison is tight.
+func (w *Spatial) Verify(m *core.Machine) error {
+	pos := append([]vec3(nil), w.init...)
+	vel := make([]vec3, w.n)
+	force := make([]vec3, w.n)
+	nc := w.cells * w.cells * w.cells
+	for step := 0; step < w.steps; step++ {
+		for c := 0; c < nc; c++ {
+			for _, i := range w.cellList[c] {
+				var fx, fy, fz float64
+				for _, nb := range w.neighbours(c) {
+					for _, j := range w.cellList[nb] {
+						if j == i {
+							continue
+						}
+						gx, gy, gz := pairForce(pos[i].x-pos[j].x, pos[i].y-pos[j].y, pos[i].z-pos[j].z)
+						fx += gx
+						fy += gy
+						fz += gz
+					}
+				}
+				force[i] = vec3{fx, fy, fz}
+			}
+		}
+		for i := 0; i < w.n; i++ {
+			vel[i].x += dt * force[i].x
+			vel[i].y += dt * force[i].y
+			vel[i].z += dt * force[i].z
+			pos[i].x += dt * vel[i].x
+			pos[i].y += dt * vel[i].y
+			pos[i].z += dt * vel[i].z
+		}
+	}
+	for i := 0; i < w.n; i++ {
+		gx := m.ReadResultF64(w.molAddr(i, offPos))
+		gy := m.ReadResultF64(w.molAddr(i, offPos+8))
+		gz := m.ReadResultF64(w.molAddr(i, offPos+16))
+		if math.Abs(gx-pos[i].x) > 1e-9 || math.Abs(gy-pos[i].y) > 1e-9 || math.Abs(gz-pos[i].z) > 1e-9 {
+			return fmt.Errorf("water-spatial: molecule %d at (%g,%g,%g), want (%g,%g,%g)",
+				i, gx, gy, gz, pos[i].x, pos[i].y, pos[i].z)
+		}
+	}
+	return nil
+}
+
+var _ apps.Instance = (*Spatial)(nil)
+
+func init() {
+	apps.Register(apps.Info{
+		Name: "water-spatial", BaseSize: "216 molecules, 2 steps", PaperSize: "512 molecules",
+		InstrumentationPct: 14, Factory: NewSpatial,
+	})
+}

@@ -1,0 +1,118 @@
+package water
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: halfShell assigns every unordered pair {i,j} to exactly one
+// responsible molecule.
+func TestHalfShellCoversPairsOnce(t *testing.T) {
+	for _, n := range []int{2, 7, 24, 128} {
+		count := map[[2]int]int{}
+		for i := 0; i < n; i++ {
+			for _, j := range halfShell(i, n) {
+				a, b := i, j
+				if a > b {
+					a, b = b, a
+				}
+				count[[2]int{a, b}]++
+			}
+		}
+		want := n * (n - 1) / 2
+		if len(count) != want {
+			t.Fatalf("n=%d: %d pairs covered, want %d", n, len(count), want)
+		}
+		for pair, c := range count {
+			if c != 1 {
+				t.Fatalf("n=%d: pair %v handled %d times", n, pair, c)
+			}
+		}
+	}
+}
+
+// Property: halfShell load is balanced within one partner.
+func TestHalfShellBalanced(t *testing.T) {
+	n := 128
+	min, max := n, 0
+	for i := 0; i < n; i++ {
+		l := len(halfShell(i, n))
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("partner counts range %d..%d", min, max)
+	}
+}
+
+// Property: pairForce is antisymmetric and zero beyond the cutoff.
+func TestPairForceProperties(t *testing.T) {
+	f := func(dx, dy, dz float64) bool {
+		// Clamp to a sane range.
+		if dx != dx || dy != dy || dz != dz {
+			return true
+		}
+		clamp := func(v float64) float64 {
+			if v > 10 {
+				return 10
+			}
+			if v < -10 {
+				return -10
+			}
+			return v
+		}
+		dx, dy, dz = clamp(dx), clamp(dy), clamp(dz)
+		fx, fy, fz := pairForce(dx, dy, dz)
+		gx, gy, gz := pairForce(-dx, -dy, -dz)
+		if fx != -gx || fy != -gy || fz != -gz {
+			return false
+		}
+		if dx*dx+dy*dy+dz*dz > cutoff2 && (fx != 0 || fy != 0 || fz != 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialPositionsDistinct(t *testing.T) {
+	pos := initialPositions(128, 23)
+	if len(pos) != 128 {
+		t.Fatalf("len = %d", len(pos))
+	}
+	seen := map[vec3]bool{}
+	for _, p := range pos {
+		if seen[p] {
+			t.Fatalf("duplicate position %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestCellNeighboursWithinBounds(t *testing.T) {
+	w := &Spatial{cells: 3}
+	for c := 0; c < 27; c++ {
+		nbs := w.neighbours(c)
+		if len(nbs) < 8 || len(nbs) > 27 {
+			t.Fatalf("cell %d has %d neighbours", c, len(nbs))
+		}
+		self := false
+		for _, nb := range nbs {
+			if nb < 0 || nb >= 27 {
+				t.Fatalf("cell %d neighbour %d out of range", c, nb)
+			}
+			if nb == c {
+				self = true
+			}
+		}
+		if !self {
+			t.Fatalf("cell %d not its own neighbour", c)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package cache models the node memory hierarchy of the simulated
+// cluster: a two-level, set-associative, write-back cache modeled on the
+// PentiumPro systems the paper's real implementation used, with LRU
+// replacement and explicit invalidation so protocol activity (twinning,
+// diffing, page copies) pollutes the cache exactly as in the paper's
+// simulator.
+package cache
+
+import "fmt"
+
+// Config describes the hierarchy.  All sizes in bytes; latencies in
+// processor cycles.  The L1 hit cost is folded into the 1-IPC model, so
+// only L2 hits and memory accesses add stall cycles.
+type Config struct {
+	LineSize int // bytes per cache line (both levels)
+
+	L1Size  int
+	L1Assoc int
+
+	L2Size  int
+	L2Assoc int
+
+	L2HitCycles     int64 // stall on L1 miss / L2 hit
+	MemCycles       int64 // stall on L2 miss
+	WritebackCycles int64 // extra stall when a dirty L2 victim is evicted
+}
+
+// DefaultConfig is the P6-like hierarchy used throughout the study:
+// 32-byte lines, 16 KB 4-way L1, 512 KB 4-way L2, 10-cycle L2 hit,
+// 60-cycle memory access at 200 MHz.
+func DefaultConfig() Config {
+	return Config{
+		LineSize:        32,
+		L1Size:          16 << 10,
+		L1Assoc:         4,
+		L2Size:          512 << 10,
+		L2Assoc:         4,
+		L2HitCycles:     10,
+		MemCycles:       60,
+		WritebackCycles: 30,
+	}
+}
+
+// line is one cache line's tag state.
+type line struct {
+	tag   int64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// level is one set-associative array.
+type level struct {
+	sets     [][]line
+	setMask  int64
+	lineBits uint
+	tick     uint64
+}
+
+func newLevel(size, assoc, lineSize int) *level {
+	nLines := size / lineSize
+	if nLines < assoc {
+		assoc = nLines
+	}
+	nSets := nLines / assoc
+	if nSets == 0 {
+		nSets = 1
+	}
+	// nSets must be a power of two for masking.
+	if nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", nSets))
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < lineSize {
+		lineBits++
+	}
+	sets := make([][]line, nSets)
+	for i := range sets {
+		sets[i] = make([]line, assoc)
+	}
+	return &level{sets: sets, setMask: int64(nSets - 1), lineBits: lineBits}
+}
+
+// access probes the level; on miss it installs the line, returning the
+// victim's dirtiness.  hit reports whether the tag was present.
+func (l *level) access(addr int64, write bool) (hit, victimDirty bool) {
+	l.tick++
+	lineAddr := addr >> l.lineBits
+	set := l.sets[lineAddr&l.setMask]
+	tag := lineAddr
+	victim := 0
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = l.tick
+			if write {
+				ln.dirty = true
+			}
+			return true, false
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	victimDirty = v.valid && v.dirty
+	v.tag = tag
+	v.valid = true
+	v.dirty = write
+	v.lru = l.tick
+	return false, victimDirty
+}
+
+// invalidate drops the line containing addr if present, reporting whether
+// it was dirty.
+func (l *level) invalidate(addr int64) (present, dirty bool) {
+	lineAddr := addr >> l.lineBits
+	set := l.sets[lineAddr&l.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			present, dirty = true, set[i].dirty
+			set[i].valid = false
+			set[i].dirty = false
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Cache is one node's two-level hierarchy.
+type Cache struct {
+	cfg Config
+	l1  *level
+	l2  *level
+
+	// Accumulated counters.
+	Accesses int64
+	L1Misses int64
+	L2Misses int64
+}
+
+// New builds a hierarchy from the config.
+func New(cfg Config) *Cache {
+	return &Cache{
+		cfg: cfg,
+		l1:  newLevel(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
+		l2:  newLevel(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
+	}
+}
+
+// LineSize reports the configured line size.
+func (c *Cache) LineSize() int { return c.cfg.LineSize }
+
+// Access simulates one data reference of `size` bytes at addr and returns
+// the stall cycles beyond the 1-IPC instruction cost, plus miss flags for
+// the first line touched.  References spanning multiple lines probe each
+// line (the common case, aligned word/double accesses, touches one).
+func (c *Cache) Access(addr int64, size int, write bool) (stall int64, l1Miss, l2Miss bool) {
+	lineSize := int64(c.cfg.LineSize)
+	first := addr &^ (lineSize - 1)
+	last := (addr + int64(size) - 1) &^ (lineSize - 1)
+	for a := first; a <= last; a += lineSize {
+		s, m1, m2 := c.accessLine(a, write)
+		stall += s
+		if a == first {
+			l1Miss, l2Miss = m1, m2
+		}
+	}
+	return stall, l1Miss, l2Miss
+}
+
+func (c *Cache) accessLine(addr int64, write bool) (stall int64, l1Miss, l2Miss bool) {
+	c.Accesses++
+	hit1, _ := c.l1.access(addr, write)
+	if hit1 {
+		return 0, false, false
+	}
+	c.L1Misses++
+	hit2, victimDirty := c.l2.access(addr, write)
+	if hit2 {
+		return c.cfg.L2HitCycles, true, false
+	}
+	c.L2Misses++
+	stall = c.cfg.MemCycles
+	if victimDirty {
+		stall += c.cfg.WritebackCycles
+	}
+	return stall, true, true
+}
+
+// Touch runs a block of protocol data movement (page copy, twin create,
+// diff scan) through the hierarchy to model cache pollution, returning the
+// total stall cycles.  The block is touched line by line.
+func (c *Cache) Touch(addr int64, size int, write bool) (stall int64) {
+	lineSize := int64(c.cfg.LineSize)
+	end := addr + int64(size)
+	for a := addr &^ (lineSize - 1); a < end; a += lineSize {
+		s, _, _ := c.accessLine(a, write)
+		stall += s
+	}
+	return stall
+}
+
+// InvalidateRange drops all lines overlapping [addr, addr+size) from both
+// levels, as a coherence invalidation (page or block) must.
+func (c *Cache) InvalidateRange(addr int64, size int) {
+	lineSize := int64(c.cfg.LineSize)
+	end := addr + int64(size)
+	for a := addr &^ (lineSize - 1); a < end; a += lineSize {
+		c.l1.invalidate(a)
+		c.l2.invalidate(a)
+	}
+}
+
+// Contains reports whether addr is present in either level (for tests).
+func (c *Cache) Contains(addr int64) bool {
+	lineAddr1 := addr >> c.l1.lineBits
+	for _, ln := range c.l1.sets[lineAddr1&c.l1.setMask] {
+		if ln.valid && ln.tag == lineAddr1 {
+			return true
+		}
+	}
+	lineAddr2 := addr >> c.l2.lineBits
+	for _, ln := range c.l2.sets[lineAddr2&c.l2.setMask] {
+		if ln.valid && ln.tag == lineAddr2 {
+			return true
+		}
+	}
+	return false
+}

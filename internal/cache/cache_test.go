@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tiny() Config {
+	return Config{
+		LineSize: 32, L1Size: 256, L1Assoc: 2, L2Size: 1024, L2Assoc: 2,
+		L2HitCycles: 10, MemCycles: 60, WritebackCycles: 30,
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(tiny())
+	stall, m1, m2 := c.Access(0x100, 4, false)
+	if !m1 || !m2 || stall != 60 {
+		t.Fatalf("cold access: stall=%d m1=%v m2=%v", stall, m1, m2)
+	}
+	stall, m1, m2 = c.Access(0x104, 4, false) // same line
+	if m1 || m2 || stall != 0 {
+		t.Fatalf("warm access: stall=%d m1=%v m2=%v", stall, m1, m2)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	c := New(tiny()) // L1: 8 lines, 2-way, 4 sets; set = (addr>>5)&3
+	// Fill one L1 set with 3 distinct lines mapping to set 0: strides of 128.
+	c.Access(0*128, 4, false)
+	c.Access(1*128, 4, false)
+	c.Access(2*128, 4, false) // evicts line 0 from L1; L2 keeps it
+	stall, m1, m2 := c.Access(0, 4, false)
+	if !m1 || m2 {
+		t.Fatalf("expected L1 miss, L2 hit; got m1=%v m2=%v", m1, m2)
+	}
+	if stall != 10 {
+		t.Fatalf("L2 hit stall = %d, want 10", stall)
+	}
+}
+
+func TestDirtyWritebackCharged(t *testing.T) {
+	c := New(tiny())                         // L2: 32 lines, 2-way, 16 sets; same-set stride = 512
+	c.Access(0*512, 4, true)                 // dirty
+	c.Access(1*512, 4, true)                 // dirty
+	stall, _, _ := c.Access(2*512, 4, false) // evicts dirty victim from L2
+	if stall != 60+30 {
+		t.Fatalf("stall = %d, want 90 (mem + writeback)", stall)
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c := New(tiny())
+	c.Access(0x200, 4, true)
+	if !c.Contains(0x200) {
+		t.Fatal("line should be cached")
+	}
+	c.InvalidateRange(0x200, 64)
+	if c.Contains(0x200) {
+		t.Fatal("line should be invalidated")
+	}
+	stall, _, _ := c.Access(0x200, 4, false)
+	if stall != 60 {
+		t.Fatalf("post-invalidate access stall = %d, want 60", stall)
+	}
+}
+
+func TestMultiLineAccess(t *testing.T) {
+	c := New(tiny())
+	// 8-byte access straddling a line boundary touches two lines.
+	stall, _, _ := c.Access(32-4, 8, false)
+	if stall != 120 {
+		t.Fatalf("straddling access stall = %d, want 120", stall)
+	}
+}
+
+func TestTouchPollutes(t *testing.T) {
+	c := New(tiny())
+	c.Access(0, 4, false) // app line in L1 set 0
+	// Protocol touch of a large buffer mapping over all sets evicts it
+	// from L1 (tiny L1 = 256B).
+	c.Touch(0x1000, 512, true)
+	// The line should now miss in L1 (possibly still in L2).
+	_, m1, _ := c.Access(0, 4, false)
+	if !m1 {
+		t.Fatal("protocol touch should have polluted L1")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c := New(tiny()) // L1 2-way; set stride 128
+	c.Access(0, 4, false)
+	c.Access(128, 4, false)
+	c.Access(0, 4, false)   // refresh line 0
+	c.Access(256, 4, false) // should evict 128, not 0
+	if _, m1, _ := c.Access(0, 4, false); m1 {
+		t.Fatal("LRU evicted the recently used line")
+	}
+}
+
+// Property: a second access to any address immediately after the first is
+// always an L1 hit with zero stall, regardless of history.
+func TestRepeatAccessAlwaysHits(t *testing.T) {
+	c := New(DefaultConfig())
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			addr := int64(a % (1 << 24))
+			c.Access(addr, 4, a%2 == 0)
+			stall, m1, _ := c.Access(addr, 4, false)
+			if stall != 0 || m1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: miss counters are monotone and L2Misses <= L1Misses <= Accesses.
+func TestCounterInvariant(t *testing.T) {
+	c := New(tiny())
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		c.Access(int64(r.Intn(1<<16)), 4, r.Intn(2) == 0)
+		if c.L2Misses > c.L1Misses || c.L1Misses > c.Accesses {
+			t.Fatalf("counter invariant violated: acc=%d l1=%d l2=%d",
+				c.Accesses, c.L1Misses, c.L2Misses)
+		}
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	c := New(DefaultConfig())
+	// A 8KB working set fits in 16KB L1: after a warmup pass, the second
+	// pass must be all hits.
+	for a := int64(0); a < 8192; a += 32 {
+		c.Access(a, 4, false)
+	}
+	before := c.L1Misses
+	for a := int64(0); a < 8192; a += 32 {
+		c.Access(a, 4, false)
+	}
+	if c.L1Misses != before {
+		t.Fatalf("second pass over fitting working set missed %d times", c.L1Misses-before)
+	}
+}

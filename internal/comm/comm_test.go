@@ -1,0 +1,208 @@
+package comm
+
+import (
+	"testing"
+
+	"swsm/internal/sim"
+)
+
+func TestParamSets(t *testing.T) {
+	a := Achievable()
+	if a.HostOverhead != 600 || a.NIOccupancy != 400 || a.MsgHandling != 200 {
+		t.Fatalf("achievable set wrong: %+v", a)
+	}
+	b := Best()
+	if b.HostOverhead != 0 || b.NIOccupancy != 0 || b.MsgHandling != 0 {
+		t.Fatalf("best set wrong: %+v", b)
+	}
+	if b.IOBusBytesNum != a.IOBusBytesNum || b.IOBusBytesDen != a.IOBusBytesDen {
+		t.Fatalf("best set must keep achievable bandwidth: %+v", b)
+	}
+	h := Halfway()
+	if h.HostOverhead*2 != a.HostOverhead || h.NIOccupancy*2 != a.NIOccupancy {
+		t.Fatalf("halfway not half of achievable: %+v", h)
+	}
+	if h.IOBusBytesNum != a.IOBusBytesNum || h.IOBusBytesDen != a.IOBusBytesDen {
+		t.Fatalf("halfway must keep achievable bandwidth (as Best does): %+v", h)
+	}
+	w := Worse()
+	if w.HostOverhead != 2*a.HostOverhead {
+		t.Fatalf("worse not double: %+v", w)
+	}
+	bp := BetterThanBest()
+	if bp.LinkLatency != 0 || bp.IOBusBytesNum != 4 {
+		t.Fatalf("B+ wrong: %+v", bp)
+	}
+	for _, name := range []string{"A", "B", "H", "W", "B+"} {
+		if _, err := ParamsByName(name); err != nil {
+			t.Fatalf("ParamsByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ParamsByName("Z"); err == nil {
+		t.Fatal("expected error for unknown set")
+	}
+}
+
+func TestBandwidthMBs(t *testing.T) {
+	if got := Achievable().BandwidthMBs(); got < 130 || got > 140 {
+		t.Fatalf("achievable bandwidth = %.1f MB/s, want ~133", got)
+	}
+	inf := Params{IOBusBytesNum: 0, IOBusBytesDen: 1}
+	if inf.BandwidthMBs() != -1 {
+		t.Fatal("infinite bandwidth should report -1")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := Achievable()
+	half := a.Scale(1, 2)
+	if half.HostOverhead != 300 {
+		t.Fatalf("scaled overhead = %d", half.HostOverhead)
+	}
+	// Bandwidth cost per byte halves => TransferCycles halves.
+	full := sim.NewBandwidth("f", a.IOBusBytesNum, a.IOBusBytesDen)
+	halfbw := sim.NewBandwidth("h", half.IOBusBytesNum, half.IOBusBytesDen)
+	if halfbw.TransferCycles(3000) >= full.TransferCycles(3000) {
+		t.Fatal("halved cost should transfer faster")
+	}
+}
+
+func deliverAt(t *testing.T, p Params, size int64) sim.Time {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := NewNetwork(eng, 4, p)
+	var at sim.Time = -1
+	eng.At(0, func() {
+		nw.Send(&Message{Src: 0, Dst: 1, Size: size,
+			OnDeliver: func(now sim.Time) { at = now }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at < 0 {
+		t.Fatal("message never delivered")
+	}
+	return at
+}
+
+func TestSmallMessageLatency(t *testing.T) {
+	// Achievable, 32B payload + 32B header = 64B: srcIO ceil(64*3/2)=96,
+	// NI 400, link 2, NI 400, dstIO 96 => 994.
+	got := deliverAt(t, Achievable(), 32)
+	if got != 994 {
+		t.Fatalf("small message latency = %d, want 994", got)
+	}
+}
+
+func TestBestLatencyIsLinkPlusBus(t *testing.T) {
+	// Best zeroes overhead/occupancy/handling; bus transfer (96+96) and
+	// the 2-cycle link remain.
+	if got := deliverAt(t, Best(), 32); got != 194 {
+		t.Fatalf("best latency = %d, want 194", got)
+	}
+	// B+ removes the link and widens the bus: 16+16 cycles.
+	if got := deliverAt(t, BetterThanBest(), 32); got != 32 {
+		t.Fatalf("B+ latency = %d, want 32", got)
+	}
+}
+
+func TestPacketization(t *testing.T) {
+	eng := sim.NewEngine()
+	p := Achievable()
+	nw := NewNetwork(eng, 2, p)
+	eng.At(0, func() {
+		nw.Send(&Message{Src: 0, Dst: 1, Size: 10000, OnDeliver: func(sim.Time) {}})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 10000+32 = 10032 bytes => 3 packets (4096+4096+1840).
+	if nw.PktCount != 3 {
+		t.Fatalf("packets = %d, want 3", nw.PktCount)
+	}
+	if nw.NIUses(0) != 3 {
+		t.Fatalf("sender NI uses = %d, want 3", nw.NIUses(0))
+	}
+}
+
+func TestFIFOOrderingPerPair(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := NewNetwork(eng, 2, Achievable())
+	var order []int
+	eng.At(0, func() {
+		for i := 0; i < 5; i++ {
+			i := i
+			nw.Send(&Message{Src: 0, Dst: 1, Size: int64(100 * (5 - i)),
+				OnDeliver: func(sim.Time) { order = append(order, i) }})
+		}
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("delivery order %v not FIFO", order)
+		}
+	}
+}
+
+func TestHandlerDispatch(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := NewNetwork(eng, 2, Best())
+	var got *Message
+	nw.Dispatch = func(m *Message, now sim.Time) { got = m }
+	eng.At(0, func() {
+		nw.Send(&Message{Src: 0, Dst: 1, Kind: 7, Size: 16, NeedsHandler: true})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Kind != 7 {
+		t.Fatalf("handler dispatch failed: %+v", got)
+	}
+}
+
+func TestContentionSerializesAtDestination(t *testing.T) {
+	eng := sim.NewEngine()
+	p := Achievable()
+	nw := NewNetwork(eng, 3, p)
+	var times []sim.Time
+	eng.At(0, func() {
+		// Two senders hit node 2 simultaneously with 4KB data.
+		for s := 0; s < 2; s++ {
+			nw.Send(&Message{Src: s, Dst: 2, Size: 4000,
+				OnDeliver: func(now sim.Time) { times = append(times, now) }})
+		}
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatal("expected two deliveries")
+	}
+	gap := times[1] - times[0]
+	// Destination NI occupancy + I/O bus must separate the deliveries by
+	// at least the packet service time at the bottleneck.
+	minGap := sim.NewBandwidth("x", p.IOBusBytesNum, p.IOBusBytesDen).TransferCycles(4000)
+	if gap < minGap {
+		t.Fatalf("deliveries %v separated by %d, want >= %d (contention not modeled?)", times, gap, minGap)
+	}
+}
+
+func TestLoopbackDelivers(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := NewNetwork(eng, 2, Achievable())
+	done := false
+	eng.At(0, func() {
+		nw.Send(&Message{Src: 1, Dst: 1, Size: 64, OnDeliver: func(sim.Time) { done = true }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("loopback message lost")
+	}
+	if nw.MsgCount != 0 {
+		t.Fatal("loopback should not count as network traffic")
+	}
+}

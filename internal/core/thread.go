@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+
+	"swsm/internal/comm"
+	"swsm/internal/mem"
+	"swsm/internal/proto"
+	"swsm/internal/sim"
+	"swsm/internal/stats"
+)
+
+// Thread is one application thread, pinned to its node's processor
+// (uniprocessor nodes).  It exposes the shared-address-space programming
+// model: loads and stores against simulated shared memory, explicit
+// compute-cycle charging, and acquire/release/barrier synchronization.
+//
+// Time accounting uses the paper's polling model: busy and local-stall
+// cycles accumulate in a pending ledger and are materialized (yielding to
+// the simulation engine, then draining any queued protocol handlers — a
+// back-edge poll) at synchronization operations, remote operations, and
+// at least every PollQuantum cycles.
+type Thread struct {
+	m    *Machine
+	node *Node
+	co   *sim.Coro
+
+	pending      [stats.NumCategories]int64
+	pendingTotal int64
+}
+
+func newThread(m *Machine, n *Node) *Thread {
+	return &Thread{m: m, node: n}
+}
+
+// Proc reports this thread's processor id.
+func (t *Thread) Proc() int { return t.node.ID }
+
+// NumProcs reports the machine size.
+func (t *Thread) NumProcs() int { return t.m.Cfg.Procs }
+
+// Machine returns the owning machine.
+func (t *Thread) Machine() *Machine { return t.m }
+
+// Env returns the protocol environment (the machine).
+func (t *Thread) Env() proto.Env { return t.m }
+
+// Now reports the thread's current virtual time, including pending
+// unmaterialized cycles.
+func (t *Thread) Now() sim.Time { return t.co.Now() + t.pendingTotal }
+
+// tick accrues cycles in the pending ledger, materializing at the poll
+// quantum or whenever handlers are waiting.
+func (t *Thread) tick(cat stats.Category, cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	t.pending[cat] += cycles
+	t.pendingTotal += cycles
+	if t.pendingTotal >= t.m.Cfg.PollQuantum || len(t.node.pendingH) > 0 {
+		t.sync()
+	}
+}
+
+// sync materializes pending time and polls for queued protocol handlers,
+// running them inline on this processor (charged to the Handler
+// category), exactly as instrumentation-based back-edge polling would.
+func (t *Thread) sync() {
+	if t.pendingTotal > 0 {
+		total := t.pendingTotal
+		for c := stats.Category(0); c < stats.NumCategories; c++ {
+			if t.pending[c] != 0 {
+				t.m.Stats.Add(t.node.ID, c, t.pending[c])
+				t.pending[c] = 0
+			}
+		}
+		t.pendingTotal = 0
+		t.co.Sleep(total)
+	}
+	t.drainHandlers()
+}
+
+// drainHandlers runs queued handler messages inline (a successful poll).
+func (t *Thread) drainHandlers() {
+	n := t.node
+	for len(n.pendingH) > 0 {
+		msg := n.pendingH[0]
+		n.pendingH = n.pendingH[1:]
+		h := &handlerCtx{m: t.m, node: n.ID}
+		body := t.m.Prot.Handle(h, msg)
+		cost := t.m.Cfg.Comm.MsgHandling + body +
+			t.m.Cfg.Comm.HostOverhead*int64(len(h.sends))
+		t.m.Stats.Inc(n.ID, stats.MsgsHandled, 1)
+		t.m.Stats.AddHandlerBody(n.ID, cost)
+		t.m.Stats.Add(n.ID, stats.Handler, cost)
+		if cost > 0 {
+			t.co.Sleep(cost)
+		}
+		for _, s := range h.sends {
+			t.m.Send(s)
+		}
+	}
+}
+
+// Charge advances this thread's time by `cycles` attributed to cat
+// (protocol fault paths use this; it materializes immediately).
+func (t *Thread) Charge(cat stats.Category, cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	t.sync()
+	t.m.Stats.Add(t.node.ID, cat, cycles)
+	t.co.Sleep(cycles)
+	t.drainHandlers()
+}
+
+// Send charges the host overhead to cat and injects m into the network.
+func (t *Thread) Send(cat stats.Category, m *comm.Message) {
+	t.sync()
+	if o := t.m.Cfg.Comm.HostOverhead; o > 0 {
+		t.m.Stats.Add(t.node.ID, cat, o)
+		t.co.Sleep(o)
+	}
+	t.m.Send(m)
+}
+
+// BlockFor suspends the thread until the protocol wakes it, attributing
+// the elapsed wait to cat.  Handlers arriving while blocked run
+// immediately (the processor is idle); the thread resumes only when the
+// processor frees up.
+func (t *Thread) BlockFor(cat stats.Category) {
+	t.sync()
+	n := t.node
+	start := t.co.Now()
+	n.idle = true
+	t.co.Block()
+	n.idle = false
+	if n.cpuFreeAt > t.co.Now() {
+		t.co.SleepUntil(n.cpuFreeAt)
+	}
+	t.m.Stats.Add(n.ID, cat, t.co.Now()-start)
+	t.drainHandlers()
+}
+
+var _ proto.Thread = (*Thread)(nil)
+
+// Compute charges busy cycles of pure computation (the 1-IPC model's
+// instruction time for work between shared-memory references).
+func (t *Thread) Compute(cycles int64) {
+	q := t.m.Cfg.PollQuantum
+	for cycles > 0 {
+		step := cycles
+		if step > q {
+			step = q
+		}
+		t.tick(stats.Busy, step)
+		cycles -= step
+	}
+}
+
+// memFor returns the memory this thread addresses (node-local, or node
+// 0's on the ideal shared-memory machine).
+func (t *Thread) memFor() *mem.NodeMem {
+	if t.m.Cfg.SharedMem {
+		return t.m.Nodes[0].Mem
+	}
+	return t.node.Mem
+}
+
+// pre performs the timing work that must precede the data operation of
+// one shared reference: one busy cycle (a poll point) and the protocol
+// access check, which may fault and block.  The caller must perform the
+// data operation immediately after pre returns — before post — because
+// protocol handlers (a recall, an invalidation) may run at the next poll
+// point and the granted access right is only guaranteed at this instant.
+func (t *Thread) pre(addr int64, size int, write bool) {
+	t.tick(stats.Busy, 1+t.m.Cfg.AccessInstrCycles)
+	if write {
+		t.m.Stats.Inc(t.node.ID, stats.Stores, 1)
+	} else {
+		t.m.Stats.Inc(t.node.ID, stats.Loads, 1)
+	}
+	t.m.Prot.Access(t, addr, size, write)
+}
+
+// post charges the node cache model for the reference just performed.
+func (t *Thread) post(addr int64, size int, write bool) {
+	if c := t.node.Cache; c != nil {
+		stall, _, _ := c.Access(addr, size, write)
+		t.tick(stats.CacheStall, stall)
+	}
+}
+
+// Load32 loads a shared 32-bit word.
+func (t *Thread) Load32(a int64) uint32 {
+	t.pre(a, 4, false)
+	v := t.memFor().ReadWord(a)
+	t.post(a, 4, false)
+	return v
+}
+
+// Store32 stores a shared 32-bit word.
+func (t *Thread) Store32(a int64, v uint32) {
+	t.pre(a, 4, true)
+	t.memFor().WriteWord(a, v)
+	t.post(a, 4, true)
+}
+
+// LoadI32 loads a shared int32.
+func (t *Thread) LoadI32(a int64) int32 { return int32(t.Load32(a)) }
+
+// StoreI32 stores a shared int32.
+func (t *Thread) StoreI32(a int64, v int32) { t.Store32(a, uint32(v)) }
+
+// LoadF64 loads a shared float64.
+func (t *Thread) LoadF64(a int64) float64 {
+	t.pre(a, 8, false)
+	v := t.memFor().ReadF64(a)
+	t.post(a, 8, false)
+	return v
+}
+
+// StoreF64 stores a shared float64.
+func (t *Thread) StoreF64(a int64, v float64) {
+	t.pre(a, 8, true)
+	t.memFor().WriteF64(a, v)
+	t.post(a, 8, true)
+}
+
+// LoadF32 loads a shared float32 (stored as one word).
+func (t *Thread) LoadF32(a int64) float32 {
+	return math.Float32frombits(t.Load32(a))
+}
+
+// StoreF32 stores a shared float32.
+func (t *Thread) StoreF32(a int64, v float32) {
+	t.Store32(a, math.Float32bits(v))
+}
+
+// Acquire obtains lock l with acquire semantics.
+func (t *Thread) Acquire(l int) {
+	t.sync()
+	t.m.Stats.Inc(t.node.ID, stats.LockAcquires, 1)
+	t.m.Prot.Acquire(t, l)
+}
+
+// Release releases lock l with release semantics.
+func (t *Thread) Release(l int) {
+	t.sync()
+	t.m.Prot.Release(t, l)
+}
+
+// Barrier waits until all threads reach barrier b.
+func (t *Thread) Barrier(b int) {
+	t.sync()
+	t.m.Stats.Inc(t.node.ID, stats.BarriersCrossed, 1)
+	t.m.Prot.Barrier(t, b, t.m.Cfg.Procs)
+}

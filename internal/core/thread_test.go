@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"swsm/internal/comm"
+	"swsm/internal/proto"
+	"swsm/internal/stats"
+)
+
+// pollProbe is a minimal protocol that lets tests observe handler
+// dispatch and thread-side blocking.
+type pollProbe struct {
+	env       proto.Env
+	handlerAt []int64 // engine time at each Handle call
+	bodyCost  int64
+}
+
+func (p *pollProbe) Name() string                                             { return "probe" }
+func (p *pollProbe) Attach(env proto.Env)                                     { p.env = env }
+func (p *pollProbe) Access(th proto.Thread, addr int64, size int, write bool) {}
+func (p *pollProbe) Acquire(th proto.Thread, lock int)                        {}
+func (p *pollProbe) Release(th proto.Thread, lock int)                        {}
+func (p *pollProbe) Barrier(th proto.Thread, bar, total int)                  {}
+func (p *pollProbe) Finalize(th proto.Thread)                                 {}
+func (p *pollProbe) ReadCoherent(addr int64) uint32                           { return 0 }
+func (p *pollProbe) InitWrite(addr int64, v uint32)                           {}
+func (p *pollProbe) Handle(h proto.HandlerCtx, m *comm.Message) int64 {
+	p.handlerAt = append(p.handlerAt, p.env.Now())
+	return p.bodyCost
+}
+
+func probeConfig(procs int) Config {
+	cfg := DefaultConfig()
+	cfg.Procs = procs
+	cfg.MemLimit = 1 << 20
+	cfg.CacheEnabled = false
+	cfg.Comm = comm.Best()
+	return cfg
+}
+
+func TestHandlerWaitsForPollWhileComputing(t *testing.T) {
+	// A request arriving while the destination thread is busy computing
+	// must wait for the next poll point (<= PollQuantum away).
+	probe := &pollProbe{}
+	cfg := probeConfig(2)
+	cfg.PollQuantum = 500
+	m := NewMachine(cfg, probe)
+	_, err := m.Run(func(th *Thread) {
+		if th.Proc() == 0 {
+			th.Send(stats.Busy, &comm.Message{
+				Src: 0, Dst: 1, Kind: 1, Size: 8, NeedsHandler: true})
+			return
+		}
+		th.Compute(100000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.handlerAt) != 1 {
+		t.Fatalf("handlers ran %d times, want 1", len(probe.handlerAt))
+	}
+	// Delivery is ~2 cycles (Best comm); the handler must not run before
+	// that nor later than one quantum after.
+	at := probe.handlerAt[0]
+	if at < 2 || at > 2+cfg.PollQuantum+1 {
+		t.Fatalf("handler ran at %d, want within one poll quantum of delivery", at)
+	}
+}
+
+func TestHandlerRunsImmediatelyWhenIdle(t *testing.T) {
+	probe := &pollProbe{}
+	cfg := probeConfig(2)
+	m := NewMachine(cfg, probe)
+	_, err := m.Run(func(th *Thread) {
+		if th.Proc() == 0 {
+			th.Compute(5000) // let proc 1 finish (become idle) first
+			th.Send(stats.Busy, &comm.Message{
+				Src: 0, Dst: 1, Kind: 1, Size: 8, NeedsHandler: true})
+		}
+		// proc 1 returns immediately and sits idle.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.handlerAt) != 1 {
+		t.Fatalf("handlers ran %d times", len(probe.handlerAt))
+	}
+	// Sent at 5000; Best comm still pays the I/O bus (40 wire bytes at
+	// 0.67 B/cy = 60 cycles per side) plus the 2-cycle link: delivery at
+	// 5122.  The handler must run AT delivery (idle node), not at a poll.
+	if at := probe.handlerAt[0]; at != 5122 {
+		t.Fatalf("idle-node handler ran at %d, want 5122", at)
+	}
+}
+
+func TestHandlerCostChargedToNode(t *testing.T) {
+	probe := &pollProbe{bodyCost: 700}
+	cfg := probeConfig(2)
+	cfg.Comm = comm.Achievable()
+	m := NewMachine(cfg, probe)
+	_, err := m.Run(func(th *Thread) {
+		if th.Proc() == 0 {
+			th.Send(stats.Busy, &comm.Message{
+				Src: 0, Dst: 1, Kind: 1, Size: 8, NeedsHandler: true})
+		} else {
+			th.Compute(20000)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 polled the handler inline: message handling (200) + body
+	// (700) charged to its Handler category.
+	if got := m.Stats.Procs[1].Time[stats.Handler]; got != 900 {
+		t.Fatalf("handler time = %d, want 900", got)
+	}
+	if got := m.Stats.Procs[1].HandlerCycles; got != 900 {
+		t.Fatalf("handler book = %d, want 900", got)
+	}
+	if got := m.Stats.TotalCount(stats.MsgsHandled); got != 1 {
+		t.Fatalf("msgsHandled = %d", got)
+	}
+}
+
+func TestPendingTimeMaterializesOnCharge(t *testing.T) {
+	cfg := probeConfig(1)
+	m := NewMachine(cfg, &pollProbe{})
+	_, err := m.Run(func(th *Thread) {
+		th.Compute(123)                // pending busy
+		th.Charge(stats.Protocol, 777) // must flush pending first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats.TotalTime(stats.Busy); got != 123 {
+		t.Fatalf("busy = %d, want 123", got)
+	}
+	if got := m.Stats.TotalTime(stats.Protocol); got != 777 {
+		t.Fatalf("protocol = %d, want 777", got)
+	}
+	if m.Stats.ExecCycles != 900 {
+		t.Fatalf("exec = %d, want 900", m.Stats.ExecCycles)
+	}
+}
+
+func TestSendChargesHostOverhead(t *testing.T) {
+	cfg := probeConfig(2)
+	cfg.Comm = comm.Achievable() // overhead 600
+	m := NewMachine(cfg, &pollProbe{})
+	_, err := m.Run(func(th *Thread) {
+		if th.Proc() == 0 {
+			th.Send(stats.DataWait, &comm.Message{
+				Src: 0, Dst: 1, Kind: 1, Size: 8, NeedsHandler: true})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats.Procs[0].Time[stats.DataWait]; got != 600 {
+		t.Fatalf("send overhead charged %d, want 600", got)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	m := NewMachine(probeConfig(1), &pollProbe{})
+	if _, err := m.Run(func(th *Thread) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(func(th *Thread) {}); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestThreadNowIncludesPending(t *testing.T) {
+	m := NewMachine(probeConfig(1), &pollProbe{})
+	_, err := m.Run(func(th *Thread) {
+		th.Compute(10)
+		if th.Now() != 10 {
+			t.Errorf("Now = %d, want 10 (pending included)", th.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package harness_test
+
+import (
+	"testing"
+
+	"swsm/internal/apps"
+	"swsm/internal/comm"
+	"swsm/internal/harness"
+	"swsm/internal/proto"
+
+	// Register the application suite.
+	_ "swsm/internal/apps/barnes"
+	_ "swsm/internal/apps/fft"
+	_ "swsm/internal/apps/lu"
+	_ "swsm/internal/apps/ocean"
+	_ "swsm/internal/apps/radix"
+	_ "swsm/internal/apps/raytrace"
+	_ "swsm/internal/apps/volrend"
+	_ "swsm/internal/apps/water"
+)
+
+// TestConformance runs every registered application at Tiny scale on all
+// three protocols and several processor counts; Verify inside Run checks
+// the computed result against the golden model, so this is the
+// protocol-correctness integration suite.
+func TestConformance(t *testing.T) {
+	for _, app := range apps.Names() {
+		for _, prot := range []harness.ProtocolKind{harness.Ideal, harness.HLRC, harness.SC, harness.LRC} {
+			for _, procs := range []int{1, 4, 8} {
+				app, prot, procs := app, prot, procs
+				t.Run(app+"/"+string(prot)+"/"+itoa(procs), func(t *testing.T) {
+					t.Parallel()
+					spec := harness.DefaultSpec(app, prot)
+					spec.Scale = apps.Tiny
+					spec.Procs = procs
+					if _, err := harness.Run(spec); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConformanceBestConfig reruns the suite in the BB configuration
+// (zero-cost layers), where latiencies collapse and event orderings
+// differ — a distinct stress of the protocols.
+func TestConformanceBestConfig(t *testing.T) {
+	for _, app := range apps.Names() {
+		for _, prot := range []harness.ProtocolKind{harness.HLRC, harness.SC, harness.LRC} {
+			app, prot := app, prot
+			t.Run(app+"/"+string(prot), func(t *testing.T) {
+				t.Parallel()
+				spec := harness.DefaultSpec(app, prot)
+				spec.Scale = apps.Tiny
+				spec.Procs = 8
+				spec.Comm = comm.BetterThanBest()
+				spec.Costs = proto.BestCosts()
+				if _, err := harness.Run(spec); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceFineGrainHLRC reruns the suite with HLRC at a 256 B
+// coherence unit — the delayed-consistency fine-grained multiple-writer
+// protocol of the paper's referee note.
+func TestConformanceFineGrainHLRC(t *testing.T) {
+	for _, app := range apps.Names() {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			spec := harness.DefaultSpec(app, harness.HLRC)
+			spec.Scale = apps.Tiny
+			spec.Procs = 8
+			spec.HLRCUnitShift = 8
+			if _, err := harness.Run(spec); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDeterminism: identical specs produce identical cycle counts.
+func TestDeterminism(t *testing.T) {
+	for _, prot := range []harness.ProtocolKind{harness.HLRC, harness.SC} {
+		spec := harness.DefaultSpec("fft", prot)
+		spec.Scale = apps.Tiny
+		spec.Procs = 4
+		a, err := harness.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := harness.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles {
+			t.Fatalf("%s: replay diverged: %d vs %d", prot, a.Cycles, b.Cycles)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

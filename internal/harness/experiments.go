@@ -1,0 +1,322 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"swsm/internal/apps"
+	"swsm/internal/comm"
+	"swsm/internal/proto"
+	"swsm/internal/stats"
+)
+
+// LayerConfig names one point of the paper's layer-cost grid: a
+// communication parameter set (A, H, B, W, B+) paired with a protocol
+// cost set (O, H, B).  The paper's bar labels compose them: "AO" is the
+// base system, "BB" both layers idealized, "B+B" the limit
+// configuration.
+type LayerConfig struct {
+	Comm  string // "A", "H", "B", "W", "B+"
+	Costs string // "O", "H", "B"
+}
+
+// Label formats the configuration the way the paper labels its bars.
+func (lc LayerConfig) Label() string { return lc.Comm + lc.Costs }
+
+// Apply fills a RunSpec's layer parameters.
+func (lc LayerConfig) Apply(spec *RunSpec) error {
+	cp, err := comm.ParamsByName(lc.Comm)
+	if err != nil {
+		return err
+	}
+	costs, ok := proto.CostsByName(lc.Costs)
+	if !ok {
+		return fmt.Errorf("harness: unknown protocol cost set %q", lc.Costs)
+	}
+	spec.Comm = cp
+	spec.Costs = costs
+	return nil
+}
+
+// Figure3Configs is the configuration ladder of the paper's Figure 3
+// speedup bars, best to worst: B+B, BB, AB, BO, AO (base), WO.
+var Figure3Configs = []LayerConfig{
+	{"B+", "B"}, {"B", "B"}, {"A", "B"}, {"B", "O"}, {"A", "O"}, {"W", "O"},
+}
+
+// SynergyConfigs adds the halfway points used in the synergy analysis.
+var SynergyConfigs = []LayerConfig{
+	{"H", "O"}, {"A", "H"}, {"H", "B"}, {"B", "H"}, {"H", "H"},
+}
+
+// AppBar is one application's full Figure-3 bar group.
+type AppBar struct {
+	App     string
+	Ideal   float64 // algorithmic speedup on the ideal machine
+	HLRC    map[string]float64
+	SC      map[string]float64
+	Results map[string]*Result // keyed "hlrc/AO", "sc/BB", ...
+}
+
+// Figure3 runs the speedup ladder for one application at the given
+// scale and processor count.
+func Figure3(app string, scale apps.Scale, procs int, configs []LayerConfig) (*AppBar, error) {
+	bar := &AppBar{
+		App:  app,
+		HLRC: map[string]float64{}, SC: map[string]float64{},
+		Results: map[string]*Result{},
+	}
+	seq, err := SequentialBaseline(app, scale, true)
+	if err != nil {
+		return nil, err
+	}
+	// Ideal machine speedup.
+	idealSpec := RunSpec{App: app, Scale: scale, Protocol: Ideal, Procs: procs,
+		Comm: comm.Best(), Costs: proto.BestCosts(), CacheEnabled: true}
+	idealRes, err := Run(idealSpec)
+	if err != nil {
+		return nil, err
+	}
+	bar.Ideal = float64(seq) / float64(idealRes.Cycles)
+	bar.Results["ideal"] = idealRes
+
+	for _, prot := range []ProtocolKind{HLRC, SC} {
+		for _, lc := range configs {
+			spec := DefaultSpec(app, prot)
+			spec.Scale = scale
+			spec.Procs = procs
+			if err := lc.Apply(&spec); err != nil {
+				return nil, err
+			}
+			res, err := Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s %s: %w", app, prot, lc.Label(), err)
+			}
+			sp := float64(seq) / float64(res.Cycles)
+			key := string(prot) + "/" + lc.Label()
+			bar.Results[key] = res
+			if prot == HLRC {
+				bar.HLRC[lc.Label()] = sp
+			} else {
+				bar.SC[lc.Label()] = sp
+			}
+		}
+	}
+	return bar, nil
+}
+
+// FormatFigure3 renders one app's bars as the paper's figure row.
+func FormatFigure3(bar *AppBar, configs []LayerConfig) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (Ideal %.2f)\n", bar.App, bar.Ideal)
+	fmt.Fprintf(&sb, "  %-6s", "cfg")
+	for _, lc := range configs {
+		fmt.Fprintf(&sb, "%8s", lc.Label())
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "  %-6s", "HLRC")
+	for _, lc := range configs {
+		fmt.Fprintf(&sb, "%8.2f", bar.HLRC[lc.Label()])
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "  %-6s", "SC")
+	for _, lc := range configs {
+		fmt.Fprintf(&sb, "%8.2f", bar.SC[lc.Label()])
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// Figure4Row is one execution-time breakdown bar (averaged over procs,
+// normalized to the AO configuration's total, as the paper presents).
+type Figure4Row struct {
+	App    string
+	Proto  ProtocolKind
+	Config string
+	// Fractions of per-processor time by category.
+	Breakdown [stats.NumCategories]float64
+	Cycles    int64
+}
+
+// Figure4 computes breakdowns for an application across configurations.
+func Figure4(app string, scale apps.Scale, procs int, configs []LayerConfig) ([]Figure4Row, error) {
+	var out []Figure4Row
+	for _, prot := range []ProtocolKind{HLRC, SC} {
+		for _, lc := range configs {
+			spec := DefaultSpec(app, prot)
+			spec.Scale = scale
+			spec.Procs = procs
+			if err := lc.Apply(&spec); err != nil {
+				return nil, err
+			}
+			res, err := Run(spec)
+			if err != nil {
+				return nil, err
+			}
+			row := Figure4Row{App: app, Proto: prot, Config: lc.Label(), Cycles: res.Cycles}
+			avg := res.Stats.AverageBreakdown()
+			for c := stats.Category(0); c < stats.NumCategories; c++ {
+				row.Breakdown[c] = avg[c]
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// PerProcBreakdown captures what the paper's analysis relies on ("to
+// analyze the results we always refer to per-processor breakdowns"):
+// each processor's time by category for one run.
+func PerProcBreakdown(res *Result) string {
+	var sb strings.Builder
+	st := res.Stats
+	fmt.Fprintf(&sb, "  %-5s", "proc")
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		fmt.Fprintf(&sb, "%10s", c.String())
+	}
+	fmt.Fprintf(&sb, "%10s\n", "total")
+	for i := range st.Procs {
+		fmt.Fprintf(&sb, "  %-5d", i)
+		for c := stats.Category(0); c < stats.NumCategories; c++ {
+			fmt.Fprintf(&sb, "%10d", st.Procs[i].Time[c])
+		}
+		fmt.Fprintf(&sb, "%10d\n", st.Procs[i].Total())
+	}
+	return sb.String()
+}
+
+// FormatFigure4 renders breakdown rows.
+func FormatFigure4(rows []Figure4Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  %-6s %-5s %10s", "proto", "cfg", "cycles")
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		fmt.Fprintf(&sb, "%9s", c.String())
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-6s %-5s %10d", r.Proto, r.Config, r.Cycles)
+		for c := stats.Category(0); c < stats.NumCategories; c++ {
+			fmt.Fprintf(&sb, "%9.0f", r.Breakdown[c])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Figure5Point is one single-parameter sweep measurement.
+type Figure5Point struct {
+	Param   string
+	Factor  string // "0", "1/2", "1" (base), "2"
+	Proto   ProtocolKind
+	Speedup float64
+}
+
+// Figure5Params are the individually varied communication parameters.
+var Figure5Params = []string{"overhead", "occupancy", "bandwidth", "handling"}
+
+// vary builds a Params with only one communication parameter changed by
+// scale num/den (0/1 = idealized).
+func vary(base comm.Params, param string, num, den int64) comm.Params {
+	p := base
+	switch param {
+	case "overhead":
+		p.HostOverhead = base.HostOverhead * num / den
+	case "occupancy":
+		p.NIOccupancy = base.NIOccupancy * num / den
+	case "handling":
+		p.MsgHandling = base.MsgHandling * num / den
+	case "bandwidth":
+		if num == 0 {
+			p.IOBusBytesNum = 0 // infinite
+		} else {
+			// Cost per byte scales by num/den.
+			p.IOBusBytesNum = base.IOBusBytesNum * den
+			p.IOBusBytesDen = base.IOBusBytesDen * num
+		}
+	default:
+		panic("harness: unknown comm parameter " + param)
+	}
+	return p
+}
+
+// Figure5 sweeps one communication parameter at a time (others at
+// achievable values), for both protocols.
+func Figure5(app string, scale apps.Scale, procs int) ([]Figure5Point, error) {
+	seq, err := SequentialBaseline(app, scale, true)
+	if err != nil {
+		return nil, err
+	}
+	factors := []struct {
+		label    string
+		num, den int64
+	}{{"0", 0, 1}, {"1/2", 1, 2}, {"1", 1, 1}, {"2", 2, 1}}
+	var out []Figure5Point
+	for _, prot := range []ProtocolKind{HLRC, SC} {
+		for _, param := range Figure5Params {
+			for _, f := range factors {
+				spec := DefaultSpec(app, prot)
+				spec.Scale = scale
+				spec.Procs = procs
+				spec.Comm = vary(comm.Achievable(), param, f.num, f.den)
+				res, err := Run(spec)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Figure5Point{
+					Param: param, Factor: f.label, Proto: prot,
+					Speedup: float64(seq) / float64(res.Cycles),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatFigure5 renders sweep results grouped by parameter.
+func FormatFigure5(points []Figure5Point) string {
+	var sb strings.Builder
+	byKey := map[string][]Figure5Point{}
+	var keys []string
+	for _, p := range points {
+		k := p.Param + "/" + string(p.Proto)
+		if _, ok := byKey[k]; !ok {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], p)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "  %-20s", k)
+		for _, p := range byKey[k] {
+			fmt.Fprintf(&sb, "  x%s=%5.2f", p.Factor, p.Speedup)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// OriginalApps lists the original (non-restructured) applications in
+// Table 1 order.
+func OriginalApps() []string {
+	var out []string
+	for _, name := range apps.Names() {
+		info, _ := apps.Lookup(name)
+		if info.RestructuredOf == "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// RestructuredPairs maps original -> restructured app names.
+func RestructuredPairs() map[string]string {
+	out := map[string]string{}
+	for _, name := range apps.Names() {
+		info, _ := apps.Lookup(name)
+		if info.RestructuredOf != "" {
+			out[info.RestructuredOf] = name
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"swsm/internal/stats"
+)
+
+// CSV exporters so the regenerated figures can be re-plotted with any
+// external tool.
+
+// WriteFigure3CSV emits one row per (protocol, configuration) bar:
+// app,protocol,config,speedup.
+func WriteFigure3CSV(w io.Writer, bars []*AppBar, configs []LayerConfig) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "protocol", "config", "speedup"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for _, b := range bars {
+		if err := cw.Write([]string{b.App, "ideal", "ideal", f(b.Ideal)}); err != nil {
+			return err
+		}
+		for _, lc := range configs {
+			if err := cw.Write([]string{b.App, "hlrc", lc.Label(), f(b.HLRC[lc.Label()])}); err != nil {
+				return err
+			}
+			if err := cw.Write([]string{b.App, "sc", lc.Label(), f(b.SC[lc.Label()])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure4CSV emits one row per breakdown bar with a column per
+// category (average cycles per processor).
+func WriteFigure4CSV(w io.Writer, rows []Figure4Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"app", "protocol", "config", "cycles"}
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		header = append(header, c.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.App, string(r.Proto), r.Config, strconv.FormatInt(r.Cycles, 10)}
+		for c := stats.Category(0); c < stats.NumCategories; c++ {
+			rec = append(rec, strconv.FormatFloat(r.Breakdown[c], 'f', 0, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure5CSV emits one row per sweep point:
+// app,protocol,parameter,factor,speedup.
+func WriteFigure5CSV(w io.Writer, app string, points []Figure5Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "protocol", "parameter", "factor", "speedup"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{app, string(p.Proto), p.Param, p.Factor,
+			strconv.FormatFloat(p.Speedup, 'f', 4, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable4CSV emits the protocol-activity split.
+func WriteTable4CSV(w io.Writer, rows []Table4Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "total_pct", "handler_pct", "diff_pct"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.App,
+			fmt.Sprintf("%.2f", r.TotalPct),
+			fmt.Sprintf("%.2f", r.HandlerPct),
+			fmt.Sprintf("%.2f", r.DiffPct),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"swsm/internal/stats"
+)
+
+// ASCII renderings of the figures, so `svmbench` output reads like the
+// paper's bar charts.
+
+const chartWidth = 48
+
+// bar renders a horizontal bar of value v against a full-scale max.
+func bar(v, max float64) string {
+	if max <= 0 {
+		max = 1
+	}
+	n := int(v / max * chartWidth)
+	if n < 0 {
+		n = 0
+	}
+	if n > chartWidth {
+		n = chartWidth
+	}
+	return strings.Repeat("#", n)
+}
+
+// RenderFigure3 draws one application's speedup bars (both protocols,
+// all configurations) against the ideal machine's bar, mirroring the
+// paper's Figure 3 layout.
+func RenderFigure3(b *AppBar, configs []LayerConfig) string {
+	var sb strings.Builder
+	max := b.Ideal
+	for _, lc := range configs {
+		if v := b.HLRC[lc.Label()]; v > max {
+			max = v
+		}
+		if v := b.SC[lc.Label()]; v > max {
+			max = v
+		}
+	}
+	fmt.Fprintf(&sb, "%s\n", b.App)
+	fmt.Fprintf(&sb, "  %-5s %-6s %6.2f |%s\n", "ideal", "", b.Ideal, bar(b.Ideal, max))
+	for _, proto := range []struct {
+		name string
+		vals map[string]float64
+	}{{"hlrc", b.HLRC}, {"sc", b.SC}} {
+		for _, lc := range configs {
+			v := proto.vals[lc.Label()]
+			mark := ""
+			if lc.Label() == "AO" {
+				mark = "<- base"
+			}
+			fmt.Fprintf(&sb, "  %-5s %-6s %6.2f |%-*s %s\n",
+				proto.name, lc.Label(), v, chartWidth, bar(v, max), mark)
+		}
+	}
+	return sb.String()
+}
+
+// RenderFigure4 draws stacked-percentage breakdown bars, one per
+// configuration, like the paper's normalized execution-time breakdowns.
+func RenderFigure4(rows []Figure4Row) string {
+	var sb strings.Builder
+	glyphs := [stats.NumCategories]byte{'B', 'c', 'D', 'L', 'R', 'P', 'H'}
+	fmt.Fprintf(&sb, "  key: B=busy c=cache D=data L=lock R=barrier P=protocol H=handler\n")
+	for _, r := range rows {
+		var total float64
+		for _, v := range r.Breakdown {
+			total += v
+		}
+		if total == 0 {
+			continue
+		}
+		var barBuf []byte
+		for c := stats.Category(0); c < stats.NumCategories; c++ {
+			n := int(r.Breakdown[c] / total * chartWidth)
+			for i := 0; i < n; i++ {
+				barBuf = append(barBuf, glyphs[c])
+			}
+		}
+		for len(barBuf) < chartWidth {
+			barBuf = append(barBuf, ' ')
+		}
+		fmt.Fprintf(&sb, "  %-5s %-5s |%s| %d cycles\n", r.Proto, r.Config, barBuf[:chartWidth], r.Cycles)
+	}
+	return sb.String()
+}

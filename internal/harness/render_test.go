@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"swsm/internal/stats"
+)
+
+func TestRenderFigure3(t *testing.T) {
+	b := &AppBar{
+		App:   "toy",
+		Ideal: 16,
+		HLRC:  map[string]float64{"AO": 4, "BB": 8},
+		SC:    map[string]float64{"AO": 2, "BB": 12},
+	}
+	cfgs := []LayerConfig{{"B", "B"}, {"A", "O"}}
+	out := RenderFigure3(b, cfgs)
+	if !strings.Contains(out, "<- base") {
+		t.Fatal("base marker missing")
+	}
+	if !strings.Contains(out, "ideal") {
+		t.Fatal("ideal bar missing")
+	}
+	// The 16x ideal bar must be the longest.
+	lines := strings.Split(out, "\n")
+	maxHashes, idealHashes := 0, 0
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if n > maxHashes {
+			maxHashes = n
+		}
+		if strings.Contains(l, "ideal") {
+			idealHashes = n
+		}
+	}
+	if idealHashes != maxHashes {
+		t.Fatalf("ideal bar (%d) not the longest (%d)", idealHashes, maxHashes)
+	}
+}
+
+func TestRenderFigure4StacksTo100(t *testing.T) {
+	row := Figure4Row{App: "toy", Proto: HLRC, Config: "AO", Cycles: 100}
+	row.Breakdown[stats.Busy] = 50
+	row.Breakdown[stats.DataWait] = 25
+	row.Breakdown[stats.LockWait] = 25
+	out := RenderFigure4([]Figure4Row{row})
+	if !strings.Contains(out, "B") || !strings.Contains(out, "D") || !strings.Contains(out, "L") {
+		t.Fatalf("missing category glyphs:\n%s", out)
+	}
+	// Busy occupies half the bar.
+	line := strings.Split(out, "\n")[1]
+	if got := strings.Count(line, "B"); got < 22 || got > 26 {
+		t.Fatalf("busy glyph count %d, want ~24 of 48", got)
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	if len(bar(100, 10)) != chartWidth {
+		t.Fatal("overlong bar not clamped")
+	}
+	if len(bar(-5, 10)) != 0 {
+		t.Fatal("negative bar not clamped")
+	}
+	if len(bar(5, 0)) == 0 {
+		t.Fatal("zero max should not blank the bar")
+	}
+}

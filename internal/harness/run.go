@@ -1,0 +1,166 @@
+// Package harness assembles machines, protocols and applications into
+// the paper's experiments: the layer-cost configuration grid (A/H/B/W/B+
+// communication x O/H/B protocol), the speedup and breakdown figures,
+// and the tables.
+package harness
+
+import (
+	"fmt"
+
+	"swsm/internal/apps"
+	"swsm/internal/comm"
+	"swsm/internal/core"
+	"swsm/internal/proto"
+	"swsm/internal/proto/hlrc"
+	"swsm/internal/proto/ideal"
+	"swsm/internal/proto/lrc"
+	"swsm/internal/proto/scfg"
+	"swsm/internal/stats"
+)
+
+// ProtocolKind names a protocol family.
+type ProtocolKind string
+
+// The protocol families of the study, plus the classic-LRC baseline
+// extension (distributed diffs fetched on fault, TreadMarks style).
+const (
+	HLRC  ProtocolKind = "hlrc"
+	SC    ProtocolKind = "sc"
+	LRC   ProtocolKind = "lrc"
+	Ideal ProtocolKind = "ideal"
+)
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	App      string
+	Scale    apps.Scale
+	Protocol ProtocolKind
+	Procs    int
+	Comm     comm.Params
+	Costs    proto.Costs
+	// SCBlockOverride, if nonzero, replaces the application's preferred
+	// SC granularity (used by the granularity ablation).
+	SCBlockOverride int
+	// CacheEnabled toggles the node memory hierarchy (on by default via
+	// DefaultSpec).
+	CacheEnabled bool
+	// PollQuantum overrides the back-edge polling granularity (0 =
+	// default).
+	PollQuantum int64
+	// DisablePlacement leaves every page/block home round-robin instead
+	// of honoring application data placement (ablation).
+	DisablePlacement bool
+	// NoProtocolPollution removes protocol-induced cache pollution
+	// (ablation).
+	NoProtocolPollution bool
+	// SoftwareAccessControl charges Shasta-style instrumentation on every
+	// shared access (the paper's Table-1 costs, which it reports but does
+	// not simulate) — used to explore the all-software SC comparison the
+	// paper leaves to "further research".
+	SoftwareAccessControl bool
+	// HLRCUnitShift overrides HLRC's coherence unit to 2^shift bytes
+	// (0 = the 4 KB page).  Sub-page units give the fine-grained
+	// delayed-consistency multiple-writer protocol of the paper's
+	// referee note.
+	HLRCUnitShift uint
+}
+
+// DefaultSpec is the paper's base system (AO) for an application.
+func DefaultSpec(app string, prot ProtocolKind) RunSpec {
+	return RunSpec{
+		App: app, Scale: apps.Base, Protocol: prot, Procs: 16,
+		Comm: comm.Achievable(), Costs: proto.OriginalCosts(),
+		CacheEnabled: true,
+	}
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Spec    RunSpec
+	Cycles  int64
+	Stats   *stats.Machine
+	Machine *core.Machine
+}
+
+// Run executes a spec: build machine + protocol, set up the app, run all
+// threads, verify the result.
+func Run(spec RunSpec) (*Result, error) {
+	inst, err := apps.New(spec.App, spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Procs = spec.Procs
+	cfg.Comm = spec.Comm
+	cfg.Costs = spec.Costs
+	cfg.CacheEnabled = spec.CacheEnabled
+	cfg.MemLimit = inst.MemBytes()
+	if spec.PollQuantum > 0 {
+		cfg.PollQuantum = spec.PollQuantum
+	}
+	cfg.DisablePlacement = spec.DisablePlacement
+	cfg.NoProtocolPollution = spec.NoProtocolPollution
+	if spec.SoftwareAccessControl {
+		// ~2 extra instructions per shared reference approximates the
+		// Table-1 instrumentation percentages at the 1-IPC model.
+		cfg.AccessInstrCycles = 2
+	}
+
+	var p proto.Protocol
+	switch spec.Protocol {
+	case HLRC:
+		p = hlrc.New(hlrc.Config{Costs: spec.Costs, UnitShift: spec.HLRCUnitShift})
+	case LRC:
+		p = lrc.New(lrc.Config{Costs: spec.Costs})
+	case SC:
+		bs := inst.SCBlock()
+		if spec.SCBlockOverride > 0 {
+			bs = spec.SCBlockOverride
+		}
+		p = scfg.New(scfg.Config{Costs: spec.Costs, BlockSize: bs})
+	case Ideal:
+		p = ideal.New()
+		cfg.SharedMem = true
+	default:
+		return nil, fmt.Errorf("harness: unknown protocol %q", spec.Protocol)
+	}
+
+	m := core.NewMachine(cfg, p)
+	inst.Setup(m)
+	cycles, err := m.Run(inst.Run)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", spec.App, spec.Protocol, err)
+	}
+	if err := inst.Verify(m); err != nil {
+		return nil, fmt.Errorf("harness: %s on %s failed verification: %w", spec.App, spec.Protocol, err)
+	}
+	return &Result{Spec: spec, Cycles: cycles, Stats: m.Stats, Machine: m}, nil
+}
+
+// SequentialBaseline runs the app single-threaded on the ideal machine,
+// the denominator of every speedup in the paper ("the same best
+// sequential version").
+func SequentialBaseline(app string, scale apps.Scale, cacheEnabled bool) (int64, error) {
+	spec := RunSpec{
+		App: app, Scale: scale, Protocol: Ideal, Procs: 1,
+		Comm: comm.Best(), Costs: proto.BestCosts(), CacheEnabled: cacheEnabled,
+	}
+	res, err := Run(spec)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// Speedup runs spec and reports cycles(seq)/cycles(parallel).
+func Speedup(spec RunSpec) (float64, *Result, error) {
+	seq, err := SequentialBaseline(spec.App, spec.Scale, spec.CacheEnabled)
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := Run(spec)
+	if err != nil {
+		return 0, nil, err
+	}
+	return float64(seq) / float64(res.Cycles), res, nil
+}

@@ -1,0 +1,23 @@
+package harness_test
+
+import (
+	"testing"
+	"time"
+
+	"swsm/internal/apps"
+	"swsm/internal/harness"
+)
+
+func TestTimingBaseScale(t *testing.T) {
+	for _, app := range apps.Names() {
+		for _, prot := range []harness.ProtocolKind{harness.HLRC, harness.SC} {
+			spec := harness.DefaultSpec(app, prot)
+			start := time.Now()
+			res, err := harness.Run(spec)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app, prot, err)
+			}
+			t.Logf("%-16s %-5s wall=%8v simCycles=%12d", app, prot, time.Since(start).Round(time.Millisecond), res.Cycles)
+		}
+	}
+}

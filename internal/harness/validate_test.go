@@ -1,0 +1,142 @@
+package harness_test
+
+import (
+	"testing"
+
+	"swsm/internal/comm"
+	"swsm/internal/harness"
+)
+
+// The simulator-validation suite (the paper's Appendix analogue): each
+// primitive's simulated cost must match the analytic expectation from
+// the parameter sets within tight bounds.
+
+func TestPageFetchCostMatchesModel(t *testing.T) {
+	p := comm.Achievable()
+	got, err := harness.MeasurePageFetch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request: host overhead + one-way(16B); home: handling cost (zeroed
+	// protocol handler); reply: one-way(4 KB page, two packets at most).
+	min := p.HostOverhead + harness.ExpectedOneWay(p, 16) + p.MsgHandling +
+		harness.ExpectedOneWay(p, 4096+16)
+	max := min + 3000 // pipelining slack, wake scheduling, second packet
+	if got < min || got > max {
+		t.Fatalf("page fetch = %d cycles, want in [%d, %d]", got, min, max)
+	}
+}
+
+func TestBlockFetchCostMatchesModel(t *testing.T) {
+	p := comm.Achievable()
+	got, err := harness.MeasureBlockFetch(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := p.HostOverhead + harness.ExpectedOneWay(p, 16) + p.MsgHandling +
+		harness.ExpectedOneWay(p, 64+16)
+	max := min + 1000
+	if got < min || got > max {
+		t.Fatalf("block fetch = %d cycles, want in [%d, %d]", got, min, max)
+	}
+}
+
+func TestBlockFetchScalesWithGranularity(t *testing.T) {
+	p := comm.Achievable()
+	small, err := harness.MeasureBlockFetch(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := harness.MeasureBlockFetch(p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4 KB block moves 4032 more bytes over two bus crossings at 0.67
+	// B/cy: about 12k cycles more.
+	if large-small < 8000 || large-small > 16000 {
+		t.Fatalf("64B=%d 4KB=%d: delta %d out of expected band", small, large, large-small)
+	}
+}
+
+func TestLockRoundTrip(t *testing.T) {
+	p := comm.Achievable()
+	got, err := harness.MeasureLockRoundTrip(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acquire: overhead + one-way + handling + grant one-way.  Release is
+	// asynchronous (fire and forget) but charges the host overhead.
+	min := 2*p.HostOverhead + 2*harness.ExpectedOneWay(p, 20) + p.MsgHandling
+	max := min + 2000
+	if got < min || got > max {
+		t.Fatalf("lock round trip = %d, want in [%d, %d]", got, min, max)
+	}
+}
+
+func TestBarrierGrowsWithProcs(t *testing.T) {
+	p := comm.Achievable()
+	var prev int64
+	for _, procs := range []int{2, 4, 8, 16} {
+		got, err := harness.MeasureBarrier(p, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= 0 {
+			t.Fatalf("barrier-%d nonpositive", procs)
+		}
+		if got < prev {
+			t.Fatalf("barrier cost decreased with procs: %d procs -> %d cycles (prev %d)", procs, got, prev)
+		}
+		prev = got
+	}
+	// Centralized barrier with serialized handlers: 16 procs must pay
+	// several times the 2-proc cost.
+	two, _ := harness.MeasureBarrier(p, 2)
+	sixteen, _ := harness.MeasureBarrier(p, 16)
+	if sixteen < 2*two {
+		t.Fatalf("16-proc barrier (%d) suspiciously close to 2-proc (%d)", sixteen, two)
+	}
+}
+
+func TestValidateAllRuns(t *testing.T) {
+	res, err := harness.ValidateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 6 {
+		t.Fatalf("validation suite produced %d results", len(res))
+	}
+	for _, r := range res {
+		if r.Cycles <= 0 {
+			t.Fatalf("%s: nonpositive cost", r.Name)
+		}
+	}
+}
+
+// Zeroing a single communication parameter must never slow a primitive
+// down (monotonicity of the cost model).
+func TestCostModelMonotonicity(t *testing.T) {
+	base := comm.Achievable()
+	fetchBase, err := harness.MeasurePageFetch(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := []struct {
+		name string
+		p    comm.Params
+	}{
+		{"no-overhead", func() comm.Params { p := base; p.HostOverhead = 0; return p }()},
+		{"no-occupancy", func() comm.Params { p := base; p.NIOccupancy = 0; return p }()},
+		{"no-handling", func() comm.Params { p := base; p.MsgHandling = 0; return p }()},
+		{"infinite-bus", func() comm.Params { p := base; p.IOBusBytesNum = 0; return p }()},
+	}
+	for _, m := range mods {
+		got, err := harness.MeasurePageFetch(m.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > fetchBase {
+			t.Fatalf("%s: page fetch rose from %d to %d", m.name, fetchBase, got)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package hlrc
+
+import (
+	"encoding/binary"
+
+	"swsm/internal/mem"
+)
+
+// wordDiff is one modified word in a diff: the word index within the
+// page and its new value.
+type wordDiff struct {
+	off uint16
+	val uint32
+}
+
+// diffPage compares a coherence unit against its twin word by word and
+// returns the modified words.
+func diffPage(twin, cur []byte) []wordDiff {
+	var out []wordDiff
+	n := len(twin) / mem.WordSize
+	for w := 0; w < n; w++ {
+		o := w * mem.WordSize
+		a := binary.LittleEndian.Uint32(twin[o : o+4])
+		b := binary.LittleEndian.Uint32(cur[o : o+4])
+		if a != b {
+			out = append(out, wordDiff{off: uint16(w), val: b})
+		}
+	}
+	return out
+}
+
+// applyDiff merges a diff into a coherence unit's bytes.
+func applyDiff(unit []byte, words []wordDiff) {
+	for _, wd := range words {
+		o := int(wd.off) * mem.WordSize
+		binary.LittleEndian.PutUint32(unit[o:o+4], wd.val)
+	}
+}
+
+// Message payloads.
+
+type pageReq struct {
+	page      int64
+	requester int
+}
+
+type diffMsg struct {
+	page  int64
+	from  int
+	words []wordDiff
+}
+
+type acqReq struct {
+	lock int
+	proc int
+	vc   []int32
+}
+
+type relMsg struct {
+	lock int
+	proc int
+	vc   []int32
+}
+
+type barArrive struct {
+	bar  int
+	proc int
+	vc   []int32
+}
+
+// grantPayload is delivered (as data) on lock grants and barrier
+// releases: the grantor's vector clock plus the write notices the
+// receiver has not yet seen.
+type grantPayload struct {
+	vc      []int32
+	notices []interval
+}
+
+// grantSize computes the wire size of a grant message.
+func grantSize(nprocs int, notices []interval) int64 {
+	sz := int64(16 + 4*nprocs)
+	for _, iv := range notices {
+		sz += 12 + 4*int64(len(iv.pages))
+	}
+	return sz
+}

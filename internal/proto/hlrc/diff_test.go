@@ -1,0 +1,150 @@
+package hlrc
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swsm/internal/mem"
+)
+
+func TestDiffEmpty(t *testing.T) {
+	twin := make([]byte, mem.PageSize)
+	cur := make([]byte, mem.PageSize)
+	if d := diffPage(twin, cur); len(d) != 0 {
+		t.Fatalf("identical pages produced %d diff words", len(d))
+	}
+}
+
+func TestDiffSingleWord(t *testing.T) {
+	twin := make([]byte, mem.PageSize)
+	cur := make([]byte, mem.PageSize)
+	binary.LittleEndian.PutUint32(cur[100*4:], 0xdeadbeef)
+	d := diffPage(twin, cur)
+	if len(d) != 1 || d[0].off != 100 || d[0].val != 0xdeadbeef {
+		t.Fatalf("diff = %+v", d)
+	}
+}
+
+// Property: applying diff(twin, cur) to a copy of twin reconstructs cur.
+const wordsPerPage = mem.PageSize / mem.WordSize
+
+func TestDiffApplyIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(seed int64, nWrites uint8) bool {
+		r.Seed(seed)
+		twin := make([]byte, mem.PageSize)
+		r.Read(twin)
+		cur := make([]byte, mem.PageSize)
+		copy(cur, twin)
+		for i := 0; i < int(nWrites); i++ {
+			w := r.Intn(wordsPerPage)
+			binary.LittleEndian.PutUint32(cur[w*4:], r.Uint32())
+		}
+		d := diffPage(twin, cur)
+		frame := make([]byte, mem.PageSize)
+		copy(frame, twin)
+		applyDiff(frame, d)
+		for i := range cur {
+			if frame[i] != cur[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent diffs touching disjoint words commute (the
+// multiple-writer guarantee for data-race-free programs).
+func TestDisjointDiffsCommute(t *testing.T) {
+	base := make([]byte, mem.PageSize)
+	curA := make([]byte, mem.PageSize)
+	curB := make([]byte, mem.PageSize)
+	for w := 0; w < wordsPerPage; w++ {
+		v := uint32(w * 3)
+		binary.LittleEndian.PutUint32(base[w*4:], v)
+		binary.LittleEndian.PutUint32(curA[w*4:], v)
+		binary.LittleEndian.PutUint32(curB[w*4:], v)
+	}
+	// A writes even words, B writes odd words.
+	for w := 0; w < wordsPerPage; w++ {
+		if w%2 == 0 {
+			binary.LittleEndian.PutUint32(curA[w*4:], uint32(1000+w))
+		} else {
+			binary.LittleEndian.PutUint32(curB[w*4:], uint32(2000+w))
+		}
+	}
+	dA := diffPage(base, curA)
+	dB := diffPage(base, curB)
+
+	ab := make([]byte, mem.PageSize)
+	ba := make([]byte, mem.PageSize)
+	copy(ab, base)
+	copy(ba, base)
+	applyDiff(ab, dA)
+	applyDiff(ab, dB)
+	applyDiff(ba, dB)
+	applyDiff(ba, dA)
+	for i := range ab {
+		if ab[i] != ba[i] {
+			t.Fatalf("diff application order matters at byte %d", i)
+		}
+	}
+	// And both writers' updates survive.
+	for w := 0; w < wordsPerPage; w++ {
+		got := binary.LittleEndian.Uint32(ab[w*4:])
+		want := uint32(1000 + w)
+		if w%2 == 1 {
+			want = uint32(2000 + w)
+		}
+		if got != want {
+			t.Fatalf("word %d = %d, want %d", w, got, want)
+		}
+	}
+}
+
+// Property: vector clock merge is a lattice join (idempotent,
+// commutative, monotone).
+func TestVCMergeLattice(t *testing.T) {
+	f := func(a, b [4]int32) bool {
+		av, bv := a[:], b[:]
+		m1 := cloneVC(av)
+		maxVC(m1, bv)
+		m2 := cloneVC(bv)
+		maxVC(m2, av)
+		for i := range m1 {
+			if m1[i] != m2[i] { // commutative
+				return false
+			}
+			if m1[i] < av[i] || m1[i] < bv[i] { // upper bound
+				return false
+			}
+		}
+		m3 := cloneVC(m1)
+		maxVC(m3, bv) // idempotent
+		for i := range m3 {
+			if m3[i] != m1[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrantSize(t *testing.T) {
+	n := []interval{
+		{owner: 1, seq: 1, pages: []int64{1, 2, 3}},
+		{owner: 2, seq: 1, pages: []int64{9}},
+	}
+	// 16 + 4*4 (vc) + (12+12) + (12+4) = 72
+	if got := grantSize(4, n); got != 72 {
+		t.Fatalf("grantSize = %d, want 72", got)
+	}
+}

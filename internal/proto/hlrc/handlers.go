@@ -1,0 +1,195 @@
+package hlrc
+
+import (
+	"fmt"
+
+	"swsm/internal/comm"
+	"swsm/internal/proto"
+	"swsm/internal/sim"
+	"swsm/internal/stats"
+)
+
+// Handle processes protocol request messages on their destination node,
+// returning the handler body cost (the core adds the message-handling
+// dispatch cost and per-send host overheads).
+func (p *Protocol) Handle(h proto.HandlerCtx, m *comm.Message) int64 {
+	switch m.Kind {
+	case msgPageReq:
+		return p.handlePageReq(h, m.Payload.(pageReq))
+	case msgDiff:
+		return p.handleDiff(h, m.Payload.(diffMsg))
+	case msgAcqReq:
+		return p.handleAcqReq(h, m.Payload.(acqReq))
+	case msgRelease:
+		return p.handleRelease(h, m.Payload.(relMsg))
+	case msgBarArrive:
+		return p.handleBarArrive(h, m.Payload.(barArrive))
+	}
+	panic(fmt.Sprintf("hlrc: unknown message kind %d", m.Kind))
+}
+
+// handlePageReq serves a whole-page fetch from the home copy.
+func (p *Protocol) handlePageReq(h proto.HandlerCtx, req pageReq) int64 {
+	homeNode := h.Node()
+	if p.home(req.page) != homeNode {
+		panic("hlrc: page request arrived at non-home")
+	}
+	data := p.copyUnit(homeNode, req.page)
+	pg := req.page
+	dst := req.requester
+	h.Send(&comm.Message{
+		Src: homeNode, Dst: dst, Size: p.unitBytes + 16,
+		OnDeliver: func(now sim.Time) {
+			// The NI deposits the unit directly into the requester's
+			// memory; the faulting thread finishes the mapping when it
+			// wakes.
+			p.env.NodeMem(dst).CopyIn(p.unitBase(pg), data)
+			p.env.WakeThread(dst)
+		},
+	})
+	return p.cfg.Costs.HandlerBase
+}
+
+// handleDiff applies an incoming diff to the home copy and acks the
+// writer.
+func (p *Protocol) handleDiff(h proto.HandlerCtx, d diffMsg) int64 {
+	homeNode := h.Node()
+	if p.home(d.page) != homeNode {
+		panic("hlrc: diff arrived at non-home")
+	}
+	unit := p.copyUnit(homeNode, d.page)
+	applyDiff(unit, d.words)
+	p.env.NodeMem(homeNode).CopyIn(p.unitBase(d.page), unit)
+	st := p.env.Metrics()
+	st.Inc(homeNode, stats.DiffsApplied, 1)
+	body := p.cfg.Costs.HandlerBase +
+		proto.WordCost(p.cfg.Costs.DiffApplyQ4, int64(len(d.words)))
+	body += p.env.CacheTouch(homeNode, p.unitBase(d.page), int(p.unitBytes), true)
+	st.AddDiff(homeNode, body-p.cfg.Costs.HandlerBase)
+	from := d.from
+	fromNS := p.nodes[from]
+	h.Send(&comm.Message{
+		Src: homeNode, Dst: from, Size: 8,
+		OnDeliver: func(now sim.Time) {
+			fromNS.pendingAcks--
+			if fromNS.pendingAcks < 0 {
+				panic("hlrc: ack underflow")
+			}
+			if fromNS.waitingAcks && fromNS.pendingAcks == 0 {
+				p.env.WakeThread(from)
+			}
+		},
+	})
+	return body
+}
+
+// handleAcqReq runs at the lock manager: grant immediately if free, else
+// queue the acquirer.
+func (p *Protocol) handleAcqReq(h proto.HandlerCtx, req acqReq) int64 {
+	ls := p.lockState(req.lock)
+	if ls.held {
+		ls.queue = append(ls.queue, acqWaiter{proc: req.proc, vc: req.vc})
+		return p.cfg.Costs.HandlerBase
+	}
+	ls.held = true
+	ls.holder = req.proc
+	n := p.sendGrant(h, req.proc, req.vc, ls.releaseVC)
+	return p.cfg.Costs.HandlerBase + p.cfg.Costs.HandlerPerItem*int64(n)
+}
+
+// handleRelease runs at the lock manager: record the release timestamp
+// and pass the lock to the next waiter if any.
+func (p *Protocol) handleRelease(h proto.HandlerCtx, rel relMsg) int64 {
+	ls := p.lockState(rel.lock)
+	if !ls.held || ls.holder != rel.proc {
+		panic(fmt.Sprintf("hlrc: release of lock %d by non-holder %d", rel.lock, rel.proc))
+	}
+	ls.releaseVC = cloneVC(rel.vc)
+	if len(ls.queue) == 0 {
+		ls.held = false
+		return p.cfg.Costs.HandlerBase
+	}
+	next := ls.queue[0]
+	ls.queue = ls.queue[1:]
+	ls.holder = next.proc
+	n := p.sendGrant(h, next.proc, next.vc, ls.releaseVC)
+	return p.cfg.Costs.HandlerBase + p.cfg.Costs.HandlerPerItem*int64(n)
+}
+
+// sendGrant ships a lock grant carrying unseen write notices; returns
+// the notice count (for handler cost accounting).
+func (p *Protocol) sendGrant(h proto.HandlerCtx, to int, acqVC, relVC []int32) int {
+	notices := p.noticesSince(acqVC, relVC)
+	g := &grantPayload{vc: cloneVC(relVC), notices: notices}
+	toNS := p.nodes[to]
+	h.Send(&comm.Message{
+		Src: h.Node(), Dst: to, Size: grantSize(p.nprocs, notices),
+		OnDeliver: func(now sim.Time) {
+			toNS.grant = g
+			p.env.WakeThread(to)
+		},
+	})
+	return len(notices)
+}
+
+// handleBarArrive runs at the barrier manager: collect arrivals; when
+// the last one lands, merge the clocks and release everyone with their
+// missing notices.
+func (p *Protocol) handleBarArrive(h proto.HandlerCtx, ba barArrive) int64 {
+	bs := p.barriers[ba.bar]
+	if bs == nil {
+		bs = &barrierState{}
+		p.barriers[ba.bar] = bs
+	}
+	bs.arrived++
+	bs.procs = append(bs.procs, ba.proc)
+	bs.vcs = append(bs.vcs, ba.vc)
+	if bs.arrived < p.nprocs {
+		return p.cfg.Costs.HandlerBase
+	}
+	// Last arrival: release all participants.
+	merged := make([]int32, p.nprocs)
+	for _, vc := range bs.vcs {
+		maxVC(merged, vc)
+	}
+	items := 0
+	for i, proc := range bs.procs {
+		notices := p.noticesSince(bs.vcs[i], merged)
+		items += len(notices)
+		g := &grantPayload{vc: cloneVC(merged), notices: notices}
+		to := proc
+		toNS := p.nodes[to]
+		h.Send(&comm.Message{
+			Src: h.Node(), Dst: to, Size: grantSize(p.nprocs, notices),
+			OnDeliver: func(now sim.Time) {
+				toNS.grant = g
+				p.env.WakeThread(to)
+			},
+		})
+	}
+	bs.arrived = 0
+	bs.procs = bs.procs[:0]
+	bs.vcs = bs.vcs[:0]
+	return p.cfg.Costs.HandlerBase + p.cfg.Costs.HandlerPerItem*int64(items)
+}
+
+func (p *Protocol) lockState(lock int) *lockState {
+	ls := p.locks[lock]
+	if ls == nil {
+		ls = &lockState{releaseVC: make([]int32, p.nprocs)}
+		p.locks[lock] = ls
+	}
+	return ls
+}
+
+// ReadCoherent reads the home copy (valid after Finalize on all nodes).
+func (p *Protocol) ReadCoherent(addr int64) uint32 {
+	return p.env.NodeMem(p.home(p.unitOf(addr))).ReadWord(addr)
+}
+
+// InitWrite initializes the home copy before the parallel phase.
+func (p *Protocol) InitWrite(addr int64, v uint32) {
+	p.env.NodeMem(p.home(p.unitOf(addr))).WriteWord(addr, v)
+}
+
+var _ proto.Protocol = (*Protocol)(nil)

@@ -1,0 +1,384 @@
+// Package hlrc implements Home-based Lazy Release Consistency, the
+// page-grained shared virtual memory protocol the paper studies (Zhou,
+// Iftode & Li's HLRC, built on Keleher's LRC model).
+//
+// Protocol structure, as in the paper:
+//
+//   - Virtual-memory page granularity (4 KB) with mprotect-style access
+//     control, whose cost is a Table-3 parameter.
+//   - Multiple-writer support through twinning and word-grain diffing.
+//   - Eager diff propagation: at every release point a writer closes its
+//     interval, diffs its dirty pages against their twins, and sends the
+//     diffs to each page's designated home, which applies them so the
+//     home copy is always up to date according to the consistency model.
+//   - On a page fault the whole page is fetched from the home (no diff
+//     collection from previous writers, unlike classic LRC).
+//   - Lazy invalidation through write notices carried by vector-clock
+//     timestamps on lock grants and barrier releases.
+//
+// A releaser waits for its diffs to be acknowledged by the homes before
+// the release becomes visible, which orders diff application before any
+// causally later page fetch — the property that makes application
+// results correct.
+package hlrc
+
+import (
+	"fmt"
+	"sort"
+
+	"swsm/internal/comm"
+	"swsm/internal/mem"
+	"swsm/internal/proto"
+	"swsm/internal/stats"
+)
+
+// Page access modes.
+type pageMode uint8
+
+const (
+	modeInvalid pageMode = iota
+	modeReadOnly
+	modeReadWrite
+)
+
+// Message kinds.
+const (
+	msgPageReq = iota + 1
+	msgDiff
+	msgAcqReq
+	msgRelease
+	msgBarArrive
+)
+
+// DefaultUnitShift is the classic SVM coherence unit: the 4 KB page.
+const DefaultUnitShift = mem.PageShift
+
+// Config holds HLRC-specific options.
+type Config struct {
+	Costs proto.Costs
+	// UnitShift sets the coherence unit to 2^UnitShift bytes (default:
+	// the 4 KB page).  Sub-page units turn HLRC into the fine-grained
+	// delayed-consistency multiple-writer protocol the paper mentions as
+	// "a little better than SC for most granularities smaller than a
+	// page" — access control is then assumed to be hardware (free), as
+	// for SC.
+	UnitShift uint
+}
+
+// nodeState is one node's view of the shared address space.
+type nodeState struct {
+	mode  []pageMode
+	twin  map[int64][]byte
+	dirty []int64 // pages written in the open interval, in fault order
+	vc    []int32 // highest interval seen, per owner
+
+	pendingAcks int
+	waitingAcks bool
+
+	// grant is the mailbox for lock grants and barrier releases.
+	grant *grantPayload
+}
+
+// interval records one closed writer interval for write-notice delivery.
+type interval struct {
+	owner int
+	seq   int32
+	pages []int64
+}
+
+// lockState lives at the lock's manager node.
+type lockState struct {
+	held      bool
+	holder    int
+	releaseVC []int32 // vector clock of the last release
+	queue     []acqWaiter
+}
+
+type acqWaiter struct {
+	proc int
+	vc   []int32
+}
+
+// barrierState lives at the barrier's manager node.
+type barrierState struct {
+	arrived int
+	vcs     [][]int32
+	procs   []int
+}
+
+// Protocol is the HLRC protocol instance for one machine.
+type Protocol struct {
+	cfg       Config
+	env       proto.Env
+	nprocs    int
+	npages    int64
+	unitShift uint
+	unitBytes int64
+	unitWords int64
+
+	homes     []int32
+	nodes     []*nodeState
+	intervals [][]interval // indexed by owner, then seq-1
+	locks     map[int]*lockState
+	barriers  map[int]*barrierState
+}
+
+// New creates an HLRC protocol with the given cost set and defaults.
+func New(cfg Config) *Protocol {
+	if cfg.UnitShift == 0 {
+		cfg.UnitShift = DefaultUnitShift
+	}
+	if cfg.UnitShift > mem.PageShift+4 {
+		panic("hlrc: coherence unit too large")
+	}
+	return &Protocol{cfg: cfg,
+		unitShift: cfg.UnitShift, unitBytes: 1 << cfg.UnitShift,
+		unitWords: (1 << cfg.UnitShift) / mem.WordSize,
+		locks:     make(map[int]*lockState), barriers: make(map[int]*barrierState)}
+}
+
+// Name identifies the protocol.
+func (p *Protocol) Name() string {
+	if p.unitShift != DefaultUnitShift {
+		return fmt.Sprintf("hlrc-%d", p.unitBytes)
+	}
+	return "hlrc"
+}
+
+// unitOf maps an address to its coherence-unit number.
+func (p *Protocol) unitOf(a int64) int64 { return a >> p.unitShift }
+
+// unitBase is the first address of unit u.
+func (p *Protocol) unitBase(u int64) int64 { return u << p.unitShift }
+
+// copyUnit extracts unit u from a node's memory.
+func (p *Protocol) copyUnit(node int, u int64) []byte {
+	buf := make([]byte, p.unitBytes)
+	p.env.NodeMem(node).CopyOut(p.unitBase(u), buf)
+	return buf
+}
+
+// Attach wires the environment and sizes the per-node state.
+func (p *Protocol) Attach(env proto.Env) {
+	p.env = env
+	p.nprocs = env.NumProcs()
+	p.npages = (env.NodeMem(0).Limit() + p.unitBytes - 1) >> p.unitShift
+	p.homes = make([]int32, p.npages)
+	for i := int64(0); i < p.npages; i++ {
+		p.homes[i] = int32(i % int64(p.nprocs))
+	}
+	p.nodes = make([]*nodeState, p.nprocs)
+	p.intervals = make([][]interval, p.nprocs)
+	for i := range p.nodes {
+		ns := &nodeState{
+			mode: make([]pageMode, p.npages),
+			twin: make(map[int64][]byte),
+			vc:   make([]int32, p.nprocs),
+		}
+		p.nodes[i] = ns
+	}
+	// Home nodes start with their pages mapped read-only (current copy).
+	for pg := int64(0); pg < p.npages; pg++ {
+		p.nodes[p.homes[pg]].mode[pg] = modeReadOnly
+	}
+}
+
+// AssignHome overrides the home of every page overlapping [addr,
+// addr+size) — the way applications model first-touch/decomposed
+// placement.  Must be called before the parallel phase.
+func (p *Protocol) AssignHome(addr, size int64, node int) {
+	if p.env == nil {
+		panic("hlrc: AssignHome before Attach")
+	}
+	first, last := p.unitOf(addr), p.unitOf(addr+size-1)
+	buf := make([]byte, p.unitBytes)
+	for pg := first; pg <= last; pg++ {
+		old := int(p.homes[pg])
+		if old == node {
+			continue
+		}
+		// Migrate already-initialized contents to the new home.
+		p.env.NodeMem(old).CopyOut(p.unitBase(pg), buf)
+		p.env.NodeMem(node).CopyIn(p.unitBase(pg), buf)
+		p.nodes[old].mode[pg] = modeInvalid
+		p.homes[pg] = int32(node)
+		p.nodes[node].mode[pg] = modeReadOnly
+	}
+}
+
+// home reports the home node of page pg.
+func (p *Protocol) home(pg int64) int { return int(p.homes[pg]) }
+
+// --- access-fault side (thread context) ---
+
+// Access implements the page access check and fault path.
+func (p *Protocol) Access(th proto.Thread, addr int64, size int, write bool) {
+	first := p.unitOf(addr)
+	last := p.unitOf(addr + int64(size) - 1)
+	for pg := first; pg <= last; pg++ {
+		p.ensure(th, pg, write)
+	}
+}
+
+func (p *Protocol) ensure(th proto.Thread, pg int64, write bool) {
+	ns := p.nodes[th.Proc()]
+	m := ns.mode[pg]
+	if write {
+		if m == modeReadWrite {
+			return
+		}
+	} else if m != modeInvalid {
+		return
+	}
+	st := p.env.Metrics()
+	me := th.Proc()
+
+	if m == modeInvalid {
+		// Read or write fault on an invalid page: fetch from home.
+		th.Charge(stats.Protocol, p.cfg.Costs.FaultBase)
+		st.Inc(me, stats.PageFetches, 1)
+		req := &comm.Message{
+			Src: me, Dst: p.home(pg), Kind: msgPageReq, Size: 16,
+			Payload: pageReq{page: pg, requester: me}, NeedsHandler: true,
+		}
+		th.Send(stats.DataWait, req)
+		th.BlockFor(stats.DataWait)
+		// The reply's OnDeliver copied the page into our frame and woke us.
+		ns.mode[pg] = modeReadOnly
+		th.Charge(stats.Protocol, p.cfg.Costs.MprotectCost(1))
+		st.Inc(me, stats.PageProtects, 1)
+	}
+
+	if write {
+		// Write fault on a read-only page: twin (unless we are home) and
+		// upgrade protection.
+		if p.home(pg) != me {
+			p.makeTwin(th, pg)
+		}
+		ns.dirty = append(ns.dirty, pg)
+		ns.mode[pg] = modeReadWrite
+		th.Charge(stats.Protocol, p.cfg.Costs.MprotectCost(1))
+		st.Inc(me, stats.PageProtects, 1)
+	}
+}
+
+// makeTwin snapshots the unit before the first write of an interval.
+func (p *Protocol) makeTwin(th proto.Thread, pg int64) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	if _, ok := ns.twin[pg]; ok {
+		return
+	}
+	ns.twin[pg] = p.copyUnit(me, pg)
+	cost := proto.WordCost(p.cfg.Costs.TwinQ4, p.unitWords)
+	cost += p.env.CacheTouch(me, p.unitBase(pg), int(p.unitBytes), false)
+	th.Charge(stats.Protocol, cost)
+	st := p.env.Metrics()
+	st.Inc(me, stats.TwinsCreated, 1)
+	st.AddDiff(me, cost)
+}
+
+// --- flush (interval close) ---
+
+// flush closes the current interval: creates and sends diffs for all
+// dirty pages, downgrades them to read-only, and waits for home acks.
+// waitCat attributes the ack wait (LockWait at releases, BarrierWait at
+// barriers).
+func (p *Protocol) flush(th proto.Thread, waitCat stats.Category) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	if len(ns.dirty) > 0 {
+		// Deterministic page order.
+		pages := append([]int64(nil), ns.dirty...)
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		// Dedup (a page can fault read-only->write twice across nested
+		// invalidation flushes).
+		uniq := pages[:0]
+		for i, pg := range pages {
+			if i == 0 || pg != pages[i-1] {
+				uniq = append(uniq, pg)
+			}
+		}
+		pages = uniq
+
+		for _, pg := range pages {
+			p.flushPage(th, pg, stats.Protocol)
+		}
+		// Close the interval and record the write notices.
+		seq := ns.vc[me] + 1
+		ns.vc[me] = seq
+		p.intervals[me] = append(p.intervals[me], interval{owner: me, seq: seq, pages: pages})
+		p.env.Metrics().Inc(me, stats.WriteNotices, int64(len(pages)))
+		// One mprotect call downgrades the written pages.
+		th.Charge(stats.Protocol, p.cfg.Costs.MprotectCost(len(pages)))
+		p.env.Metrics().Inc(me, stats.PageProtects, int64(len(pages)))
+		ns.dirty = ns.dirty[:0]
+	}
+	// Wait for all outstanding diff acks before the release is visible.
+	ns.waitingAcks = true
+	for ns.pendingAcks > 0 {
+		th.BlockFor(waitCat)
+	}
+	ns.waitingAcks = false
+}
+
+// flushPage diffs one dirty page against its twin and sends the diff to
+// the home (or just downgrades, if this node is the home).
+func (p *Protocol) flushPage(th proto.Thread, pg int64, cat stats.Category) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	if ns.mode[pg] == modeReadWrite {
+		ns.mode[pg] = modeReadOnly
+	}
+	if p.home(pg) == me {
+		// Home writes update the home copy in place; no diff needed.
+		return
+	}
+	twin, ok := ns.twin[pg]
+	if !ok {
+		panic(fmt.Sprintf("hlrc: dirty unit %d has no twin on node %d", pg, me))
+	}
+	cur := p.copyUnit(me, pg)
+	d := diffPage(twin, cur)
+	delete(ns.twin, pg)
+
+	st := p.env.Metrics()
+	cost := proto.WordCost(p.cfg.Costs.DiffCompareQ4, p.unitWords) +
+		proto.WordCost(p.cfg.Costs.DiffWriteQ4, int64(len(d)))
+	cost += p.env.CacheTouch(me, p.unitBase(pg), int(p.unitBytes), false)
+	st.AddDiff(me, cost)
+	th.Charge(cat, cost)
+	st.Inc(me, stats.DiffsCreated, 1)
+	st.Inc(me, stats.DiffWordsCompared, p.unitWords)
+	st.Inc(me, stats.DiffWordsWritten, int64(len(d)))
+
+	ns.pendingAcks++
+	msg := &comm.Message{
+		Src: me, Dst: p.home(pg), Kind: msgDiff,
+		Size:    16 + int64(len(d))*8,
+		Payload: diffMsg{page: pg, from: me, words: d}, NeedsHandler: true,
+	}
+	th.Send(cat, msg)
+}
+
+// flushPageFromInvalidation flushes a dirty page that is being
+// invalidated by an incoming write notice (concurrent writers).  Runs in
+// thread context during notice application.
+func (p *Protocol) flushPageFromInvalidation(th proto.Thread, pg int64) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	// Remove from the dirty list; its notice joins the next interval —
+	// conservatively we issue it as a singleton interval now so other
+	// nodes learn of the write.
+	kept := ns.dirty[:0]
+	for _, d := range ns.dirty {
+		if d != pg {
+			kept = append(kept, d)
+		}
+	}
+	ns.dirty = kept
+	p.flushPage(th, pg, stats.Protocol)
+	seq := ns.vc[me] + 1
+	ns.vc[me] = seq
+	p.intervals[me] = append(p.intervals[me], interval{owner: me, seq: seq, pages: []int64{pg}})
+}

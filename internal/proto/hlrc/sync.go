@@ -1,0 +1,157 @@
+package hlrc
+
+import (
+	"swsm/internal/comm"
+	"swsm/internal/proto"
+	"swsm/internal/stats"
+)
+
+// Per-node grant mailbox: the OnDeliver of a lock grant or barrier
+// release stores the payload here and wakes the thread, which applies
+// the notices in its own context (so invalidation costs are charged to
+// the right processor).
+func (ns *nodeState) takeGrant() *grantPayload {
+	g := ns.grant
+	ns.grant = nil
+	return g
+}
+
+// Acquire implements lock acquisition with lazy-release-consistency
+// semantics: the grant carries the write notices this node has not seen,
+// and the node invalidates the named pages before entering the critical
+// section.
+func (p *Protocol) Acquire(th proto.Thread, lock int) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	mgr := p.lockManager(lock)
+	req := &comm.Message{
+		Src: me, Dst: mgr, Kind: msgAcqReq,
+		Size:    int64(16 + 4*p.nprocs),
+		Payload: acqReq{lock: lock, proc: me, vc: cloneVC(ns.vc)}, NeedsHandler: true,
+	}
+	th.Send(stats.LockWait, req)
+	th.BlockFor(stats.LockWait)
+	g := ns.takeGrant()
+	if g == nil {
+		panic("hlrc: woke from acquire without grant")
+	}
+	p.applyNotices(th, g)
+}
+
+// Release implements release: close the interval (flush diffs to homes
+// and wait for acks), then notify the lock manager, which passes the
+// lock to the next waiter.
+func (p *Protocol) Release(th proto.Thread, lock int) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	p.flush(th, stats.LockWait)
+	msg := &comm.Message{
+		Src: me, Dst: p.lockManager(lock), Kind: msgRelease,
+		Size:    int64(16 + 4*p.nprocs),
+		Payload: relMsg{lock: lock, proc: me, vc: cloneVC(ns.vc)}, NeedsHandler: true,
+	}
+	th.Send(stats.LockWait, msg)
+}
+
+// Barrier implements the all-to-all consistency point: flush, notify the
+// barrier manager, and on release apply the write notices of every other
+// node's intervals.
+func (p *Protocol) Barrier(th proto.Thread, bar int, total int) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	p.flush(th, stats.BarrierWait)
+	msg := &comm.Message{
+		Src: me, Dst: p.barrierManager(bar), Kind: msgBarArrive,
+		Size:    int64(16 + 4*p.nprocs),
+		Payload: barArrive{bar: bar, proc: me, vc: cloneVC(ns.vc)}, NeedsHandler: true,
+	}
+	th.Send(stats.BarrierWait, msg)
+	th.BlockFor(stats.BarrierWait)
+	g := ns.takeGrant()
+	if g == nil {
+		panic("hlrc: woke from barrier without release payload")
+	}
+	p.applyNotices(th, g)
+}
+
+// Finalize flushes the node's last interval so home copies are final.
+func (p *Protocol) Finalize(th proto.Thread) {
+	p.flush(th, stats.BarrierWait)
+}
+
+func (p *Protocol) lockManager(lock int) int   { return lock % p.nprocs }
+func (p *Protocol) barrierManager(bar int) int { return bar % p.nprocs }
+
+// applyNotices processes a grant: merges the vector clock and
+// invalidates pages named by unseen write notices (one mprotect batch).
+func (p *Protocol) applyNotices(th proto.Thread, g *grantPayload) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	invalidated := 0
+	for _, iv := range g.notices {
+		if iv.seq <= ns.vc[iv.owner] {
+			continue // already seen
+		}
+		if iv.owner != me {
+			for _, pg := range iv.pages {
+				if p.home(pg) == me {
+					continue // the home copy is always current
+				}
+				if ns.mode[pg] == modeInvalid {
+					continue
+				}
+				if ns.mode[pg] == modeReadWrite {
+					// Concurrent writers: save our modifications first.
+					p.flushPageFromInvalidation(th, pg)
+				}
+				ns.mode[pg] = modeInvalid
+				delete(ns.twin, pg)
+				p.env.CacheInvalidate(me, p.unitBase(pg), int(p.unitBytes))
+				invalidated++
+			}
+		}
+		if iv.seq > ns.vc[iv.owner] {
+			ns.vc[iv.owner] = iv.seq
+		}
+	}
+	if g.vc != nil {
+		for i, v := range g.vc {
+			if v > ns.vc[i] {
+				ns.vc[i] = v
+			}
+		}
+	}
+	if invalidated > 0 {
+		th.Charge(stats.Protocol, p.cfg.Costs.MprotectCost(invalidated))
+		st := p.env.Metrics()
+		st.Inc(me, stats.Invalidations, int64(invalidated))
+		st.Inc(me, stats.PageProtects, int64(invalidated))
+	}
+}
+
+// noticesSince collects all intervals with owner-sequence numbers in
+// (fromVC, toVC], the write notices a grant must carry.
+func (p *Protocol) noticesSince(fromVC, toVC []int32) []interval {
+	var out []interval
+	for o := 0; o < p.nprocs; o++ {
+		lo, hi := fromVC[o], toVC[o]
+		for s := lo + 1; s <= hi; s++ {
+			out = append(out, p.intervals[o][s-1])
+		}
+	}
+	return out
+}
+
+func cloneVC(vc []int32) []int32 {
+	out := make([]int32, len(vc))
+	copy(out, vc)
+	return out
+}
+
+func maxVC(dst, src []int32) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}

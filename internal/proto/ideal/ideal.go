@@ -1,0 +1,123 @@
+// Package ideal implements the zero-cost coherence "protocol" of the
+// paper's ideal machine: the configuration whose speedup bars represent
+// the algorithmic speedup of each application.  All processors address
+// one shared memory (the machine is configured with SharedMem), access
+// checks are free, and synchronization costs nothing beyond the waiting
+// that the algorithm itself requires.  Per-node caches remain simulated,
+// so superlinear cache effects (Ocean, Volrend) appear just as in the
+// paper.
+package ideal
+
+import (
+	"swsm/internal/comm"
+	"swsm/internal/proto"
+	"swsm/internal/stats"
+)
+
+// Protocol is the ideal-machine coherence stub.
+type Protocol struct {
+	env proto.Env
+
+	locks    map[int]*lockState
+	barriers map[int]*barrierState
+}
+
+type lockState struct {
+	held  bool
+	queue []proto.Thread
+}
+
+type barrierState struct {
+	arrived int
+	waiting []proto.Thread
+	epoch   int
+}
+
+// New creates the ideal protocol.
+func New() *Protocol {
+	return &Protocol{
+		locks:    make(map[int]*lockState),
+		barriers: make(map[int]*barrierState),
+	}
+}
+
+// Name identifies the protocol.
+func (p *Protocol) Name() string { return "ideal" }
+
+// Attach wires the environment.
+func (p *Protocol) Attach(env proto.Env) { p.env = env }
+
+// Access is free on the ideal machine.
+func (p *Protocol) Access(th proto.Thread, addr int64, size int, write bool) {}
+
+// Acquire takes the lock, waiting (at zero protocol cost) if held.
+func (p *Protocol) Acquire(th proto.Thread, lock int) {
+	l := p.locks[lock]
+	if l == nil {
+		l = &lockState{}
+		p.locks[lock] = l
+	}
+	if !l.held {
+		l.held = true
+		return
+	}
+	l.queue = append(l.queue, th)
+	th.BlockFor(stats.LockWait)
+}
+
+// Release hands the lock to the next waiter, if any.
+func (p *Protocol) Release(th proto.Thread, lock int) {
+	l := p.locks[lock]
+	if l == nil || !l.held {
+		panic("ideal: release of unheld lock")
+	}
+	if len(l.queue) == 0 {
+		l.held = false
+		return
+	}
+	next := l.queue[0]
+	l.queue = l.queue[1:]
+	p.env.WakeThread(next.Proc())
+}
+
+// Barrier blocks until all total threads arrive.
+func (p *Protocol) Barrier(th proto.Thread, bar int, total int) {
+	b := p.barriers[bar]
+	if b == nil {
+		b = &barrierState{}
+		p.barriers[bar] = b
+	}
+	b.arrived++
+	if b.arrived == total {
+		b.arrived = 0
+		b.epoch++
+		waiting := b.waiting
+		b.waiting = nil
+		for _, w := range waiting {
+			p.env.WakeThread(w.Proc())
+		}
+		return
+	}
+	b.waiting = append(b.waiting, th)
+	th.BlockFor(stats.BarrierWait)
+}
+
+// Handle never fires: the ideal machine sends no protocol messages.
+func (p *Protocol) Handle(h proto.HandlerCtx, m *comm.Message) int64 {
+	panic("ideal: unexpected protocol message")
+}
+
+// Finalize has nothing to flush.
+func (p *Protocol) Finalize(th proto.Thread) {}
+
+// ReadCoherent reads the single shared memory.
+func (p *Protocol) ReadCoherent(addr int64) uint32 {
+	return p.env.NodeMem(0).ReadWord(addr)
+}
+
+// InitWrite initializes the single shared memory.
+func (p *Protocol) InitWrite(addr int64, v uint32) {
+	p.env.NodeMem(0).WriteWord(addr, v)
+}
+
+var _ proto.Protocol = (*Protocol)(nil)

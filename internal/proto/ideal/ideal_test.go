@@ -1,0 +1,87 @@
+package ideal_test
+
+import (
+	"testing"
+
+	"swsm/internal/comm"
+	"swsm/internal/core"
+	"swsm/internal/proto"
+	"swsm/internal/proto/ideal"
+)
+
+func machine(procs int) *core.Machine {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.MemLimit = 2 << 20
+	cfg.Comm = comm.Best()
+	cfg.Costs = proto.BestCosts()
+	cfg.SharedMem = true
+	cfg.CacheEnabled = false
+	return core.NewMachine(cfg, ideal.New())
+}
+
+func TestLockFIFOOrder(t *testing.T) {
+	// Waiters are granted in arrival order.
+	const procs = 4
+	m := machine(procs)
+	a := m.AllocPage(4096)
+	_, err := m.Run(func(th *core.Thread) {
+		th.Compute(int64(th.Proc()*10 + 1)) // staggered arrival
+		th.Acquire(0)
+		pos := th.Load32(a)
+		th.Store32(a+4+int64(4*pos), uint32(th.Proc()))
+		th.Store32(a, pos+1)
+		th.Compute(1000) // hold the lock so everyone queues
+		th.Release(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < procs; i++ {
+		if got := m.ReadResultWord(a + 4 + int64(4*i)); got != uint32(i) {
+			t.Fatalf("grant order[%d] = %d, want %d (FIFO)", i, got, i)
+		}
+	}
+}
+
+func TestReleaseUnheldFailsRun(t *testing.T) {
+	m := machine(1)
+	if _, err := m.Run(func(th *core.Thread) { th.Release(9) }); err == nil {
+		t.Fatal("expected run error on unheld release")
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	m := machine(3)
+	ctr := m.AllocPage(4096)
+	_, err := m.Run(func(th *core.Thread) {
+		for e := 0; e < 5; e++ {
+			if th.Proc() == e%3 {
+				th.Store32(ctr, uint32(e+1))
+			}
+			th.Barrier(0) // same barrier id reused every epoch
+			if got := th.Load32(ctr); got != uint32(e+1) {
+				t.Errorf("epoch %d: read %d", e, got)
+			}
+			th.Barrier(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroProtocolTraffic(t *testing.T) {
+	m := machine(4)
+	a := m.AllocPage(4096)
+	_, err := m.Run(func(th *core.Thread) {
+		th.Store32(a+int64(4*th.Proc()), 1)
+		th.Barrier(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Net.MsgCount != 0 {
+		t.Fatalf("ideal machine sent %d network messages", m.Net.MsgCount)
+	}
+}

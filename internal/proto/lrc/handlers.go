@@ -1,0 +1,218 @@
+package lrc
+
+import (
+	"fmt"
+
+	"swsm/internal/comm"
+	"swsm/internal/mem"
+	"swsm/internal/proto"
+	"swsm/internal/sim"
+)
+
+// Handle processes protocol requests at their destination.
+func (p *Protocol) Handle(h proto.HandlerCtx, m *comm.Message) int64 {
+	switch m.Kind {
+	case msgBaseReq:
+		return p.handleBaseReq(h, m.Payload.(baseReq))
+	case msgDiffReq:
+		return p.handleDiffReq(h, m.Payload.(diffReq))
+	case msgAcqReq:
+		return p.handleAcqReq(h, m.Payload.(acqMsg))
+	case msgRelease:
+		return p.handleRelease(h, m.Payload.(acqMsg))
+	case msgBarArrive:
+		return p.handleBarArrive(h, m.Payload.(barMsg))
+	}
+	panic(fmt.Sprintf("lrc: unknown message kind %d", m.Kind))
+}
+
+// handleBaseReq serves a full base copy of the page from the manager.
+func (p *Protocol) handleBaseReq(h proto.HandlerCtx, req baseReq) int64 {
+	me := h.Node()
+	frame := p.env.NodeMem(me).Frame(req.page)
+	data := make([]byte, mem.PageSize)
+	copy(data, frame[:])
+	pg, dst := req.page, req.requester
+	toNS := p.nodes[dst]
+	h.Send(&comm.Message{
+		Src: me, Dst: dst, Size: mem.PageSize + 16,
+		OnDeliver: func(now sim.Time) {
+			tf := p.env.NodeMem(dst).Frame(pg)
+			copy(tf[:], data)
+			toNS.faultWait--
+			if toNS.faultWait == 0 {
+				p.env.WakeThread(dst)
+			}
+		},
+	})
+	return p.cfg.Costs.HandlerBase
+}
+
+// handleDiffReq serves the retained diffs of intervals [from, to] of
+// this writer that cover the page.
+func (p *Protocol) handleDiffReq(h proto.HandlerCtx, req diffReq) int64 {
+	me := h.Node()
+	var ivs []*interval
+	var bytes int64 = 16
+	items := int64(0)
+	for s := req.from; s <= req.to; s++ {
+		iv := p.intervals[me][s-1]
+		if d, ok := iv.diffs[req.page]; ok {
+			ivs = append(ivs, iv)
+			bytes += 16 + int64(len(d))*8
+			items++
+		}
+	}
+	dst := req.requester
+	toNS := p.nodes[dst]
+	deliver := req.deliver
+	h.Send(&comm.Message{
+		Src: me, Dst: dst, Size: bytes,
+		OnDeliver: func(now sim.Time) {
+			deliver(ivs)
+			toNS.faultWait--
+			if toNS.faultWait == 0 {
+				p.env.WakeThread(dst)
+			}
+		},
+	})
+	return p.cfg.Costs.HandlerBase + p.cfg.Costs.HandlerPerItem*items
+}
+
+// handleAcqReq grants or queues a lock request at its manager.
+func (p *Protocol) handleAcqReq(h proto.HandlerCtx, req acqMsg) int64 {
+	ls := p.lockState(req.lock)
+	if ls.held {
+		ls.queue = append(ls.queue, acqWaiter{proc: req.proc, vc: req.vc})
+		return p.cfg.Costs.HandlerBase
+	}
+	ls.held = true
+	ls.holder = req.proc
+	n := p.sendGrant(h, req.proc, req.vc, ls.releaseVC)
+	return p.cfg.Costs.HandlerBase + p.cfg.Costs.HandlerPerItem*int64(n)
+}
+
+// handleRelease records the release clock and passes the lock on.
+func (p *Protocol) handleRelease(h proto.HandlerCtx, rel acqMsg) int64 {
+	ls := p.lockState(rel.lock)
+	if !ls.held || ls.holder != rel.proc {
+		panic(fmt.Sprintf("lrc: release of lock %d by non-holder %d", rel.lock, rel.proc))
+	}
+	ls.releaseVC = cloneVC(rel.vc)
+	if len(ls.queue) == 0 {
+		ls.held = false
+		return p.cfg.Costs.HandlerBase
+	}
+	next := ls.queue[0]
+	ls.queue = ls.queue[1:]
+	ls.holder = next.proc
+	n := p.sendGrant(h, next.proc, next.vc, ls.releaseVC)
+	return p.cfg.Costs.HandlerBase + p.cfg.Costs.HandlerPerItem*int64(n)
+}
+
+// sendGrant ships a lock grant with unseen write notices.
+func (p *Protocol) sendGrant(h proto.HandlerCtx, to int, acqVC, relVC []int32) int {
+	notices := p.noticesSince(acqVC, relVC)
+	g := &grantPayload{vc: cloneVC(relVC), notices: notices}
+	sz := int64(16 + 4*p.nprocs)
+	for _, n := range notices {
+		sz += 12 + 4*int64(len(n.pages))
+	}
+	toNS := p.nodes[to]
+	h.Send(&comm.Message{
+		Src: h.Node(), Dst: to, Size: sz,
+		OnDeliver: func(now sim.Time) {
+			toNS.grant = g
+			p.env.WakeThread(to)
+		},
+	})
+	return len(notices)
+}
+
+// handleBarArrive gathers barrier arrivals; the last releases everyone.
+func (p *Protocol) handleBarArrive(h proto.HandlerCtx, ba barMsg) int64 {
+	bs := p.barriers[ba.bar]
+	if bs == nil {
+		bs = &barrierState{}
+		p.barriers[ba.bar] = bs
+	}
+	bs.arrived++
+	bs.procs = append(bs.procs, ba.proc)
+	bs.vcs = append(bs.vcs, ba.vc)
+	if bs.arrived < p.nprocs {
+		return p.cfg.Costs.HandlerBase
+	}
+	merged := make([]int32, p.nprocs)
+	for _, vc := range bs.vcs {
+		maxVC(merged, vc)
+	}
+	items := 0
+	for i, proc := range bs.procs {
+		notices := p.noticesSince(bs.vcs[i], merged)
+		items += len(notices)
+		g := &grantPayload{vc: cloneVC(merged), notices: notices}
+		sz := int64(16 + 4*p.nprocs)
+		for _, n := range notices {
+			sz += 12 + 4*int64(len(n.pages))
+		}
+		to := proc
+		toNS := p.nodes[to]
+		h.Send(&comm.Message{
+			Src: h.Node(), Dst: to, Size: sz,
+			OnDeliver: func(now sim.Time) {
+				toNS.grant = g
+				p.env.WakeThread(to)
+			},
+		})
+	}
+	bs.arrived = 0
+	bs.procs = bs.procs[:0]
+	bs.vcs = bs.vcs[:0]
+	return p.cfg.Costs.HandlerBase + p.cfg.Costs.HandlerPerItem*int64(items)
+}
+
+func (p *Protocol) lockState(lock int) *lockState {
+	ls := p.locks[lock]
+	if ls == nil {
+		ls = &lockState{releaseVC: make([]int32, p.nprocs)}
+		p.locks[lock] = ls
+	}
+	return ls
+}
+
+// ReadCoherent reconstructs the authoritative value: the manager's base
+// copy with every interval's diffs applied in happened-before order.
+func (p *Protocol) ReadCoherent(addr int64) uint32 {
+	pg := mem.PageOf(addr)
+	frame := p.env.NodeMem(p.manager(pg)).Frame(pg)
+	var page [mem.PageSize]byte
+	copy(page[:], frame[:])
+	var ivs []*interval
+	for o := 0; o < p.nprocs; o++ {
+		for _, iv := range p.intervals[o] {
+			if _, ok := iv.diffs[pg]; ok {
+				ivs = append(ivs, iv)
+			}
+		}
+	}
+	sortIntervals(ivs)
+	for _, iv := range ivs {
+		for _, wd := range iv.diffs[pg] {
+			o := int(wd.off) * mem.WordSize
+			page[o] = byte(wd.val)
+			page[o+1] = byte(wd.val >> 8)
+			page[o+2] = byte(wd.val >> 16)
+			page[o+3] = byte(wd.val >> 24)
+		}
+	}
+	off := addr & (mem.PageSize - 1)
+	return uint32(page[off]) | uint32(page[off+1])<<8 |
+		uint32(page[off+2])<<16 | uint32(page[off+3])<<24
+}
+
+// InitWrite seeds the manager's base copy.
+func (p *Protocol) InitWrite(addr int64, v uint32) {
+	p.env.NodeMem(p.manager(mem.PageOf(addr))).WriteWord(addr, v)
+}
+
+var _ proto.Protocol = (*Protocol)(nil)

@@ -1,0 +1,408 @@
+// Package lrc implements classic (TreadMarks-style) lazy release
+// consistency — the "traditional LRC" the paper contrasts HLRC with:
+// writers keep their diffs DISTRIBUTED at the writing node, and a
+// faulting processor must collect the diffs it has not seen from every
+// relevant writer and merge them itself, instead of fetching one
+// up-to-date page from a home.
+//
+// The protocol shares HLRC's machinery (twins, word-grain diffs, vector
+// timestamps, write notices on lock grants and barrier releases) but
+// differs in data movement:
+//
+//   - Release: diffs are created and RETAINED locally (no eager
+//     propagation, no home, no acks to wait for — releases are cheap).
+//   - Page fault: the faulting node fetches a base copy from the page's
+//     manager if it has none, then requests, from every writer with
+//     unseen intervals covering the page, the diffs of those intervals,
+//     and applies them in a happened-before-compatible order.
+//
+// Diffs are created eagerly at release (original Munin/LRC style) rather
+// than lazily on first request as TreadMarks optimizes; the distributed
+// placement — the property under study — is identical.  Diff storage is
+// never garbage collected (TreadMarks GCs at barriers), which is fine
+// for the simulated runs and documented in DESIGN.md.
+package lrc
+
+import (
+	"sort"
+
+	"swsm/internal/comm"
+	"swsm/internal/mem"
+	"swsm/internal/proto"
+	"swsm/internal/stats"
+)
+
+type pageMode uint8
+
+const (
+	modeInvalid pageMode = iota
+	modeReadOnly
+	modeReadWrite
+)
+
+// Message kinds.
+const (
+	msgBaseReq = iota + 1
+	msgDiffReq
+	msgAcqReq
+	msgRelease
+	msgBarArrive
+)
+
+const wordsPerPage = mem.PageSize / mem.WordSize
+
+// wordDiff is one modified word.
+type wordDiff struct {
+	off uint16
+	val uint32
+}
+
+// interval is one closed writer interval, carrying its vector timestamp
+// and the retained diffs of every page it wrote.
+type interval struct {
+	owner int
+	seq   int32
+	vc    []int32
+	pages []int64
+	diffs map[int64][]wordDiff
+	// vcSum orders concurrent-safe application (any linear extension of
+	// happened-before; componentwise-less implies strictly smaller sum).
+	vcSum int64
+}
+
+// nodeState is one node's view.
+type nodeState struct {
+	mode  []pageMode
+	twin  map[int64][]byte
+	dirty []int64
+	vc    []int32
+	// applied[pg][w] is the highest interval of writer w merged into
+	// this node's copy of pg.
+	applied map[int64][]int32
+
+	grant *grantPayload
+	// held marks pages this node has ever had a copy of (cleared on
+	// invalidation; absence forces a base-copy fetch at the next fault).
+	held map[int64]struct{}
+	// fault rendezvous: replies outstanding for the current page fault.
+	faultWait int
+}
+
+type grantPayload struct {
+	vc      []int32
+	notices []noticeRec
+}
+
+// noticeRec is the wire form of a write notice (no diffs attached).
+type noticeRec struct {
+	owner int
+	seq   int32
+	pages []int64
+}
+
+type lockState struct {
+	held      bool
+	holder    int
+	releaseVC []int32
+	queue     []acqWaiter
+}
+
+type acqWaiter struct {
+	proc int
+	vc   []int32
+}
+
+type barrierState struct {
+	arrived int
+	vcs     [][]int32
+	procs   []int
+}
+
+// Config holds LRC options.
+type Config struct {
+	Costs proto.Costs
+}
+
+// Protocol is the classic-LRC instance.
+type Protocol struct {
+	cfg    Config
+	env    proto.Env
+	nprocs int
+	npages int64
+
+	managers  []int32 // page -> manager (serves base copies)
+	nodes     []*nodeState
+	intervals [][]*interval // per owner, indexed seq-1
+	locks     map[int]*lockState
+	barriers  map[int]*barrierState
+}
+
+// New creates a classic-LRC protocol.
+func New(cfg Config) *Protocol {
+	return &Protocol{cfg: cfg,
+		locks: make(map[int]*lockState), barriers: make(map[int]*barrierState)}
+}
+
+// Name identifies the protocol.
+func (p *Protocol) Name() string { return "lrc" }
+
+// Attach wires the environment and sizes per-node state.
+func (p *Protocol) Attach(env proto.Env) {
+	p.env = env
+	p.nprocs = env.NumProcs()
+	p.npages = (env.NodeMem(0).Limit() + mem.PageSize - 1) >> mem.PageShift
+	p.managers = make([]int32, p.npages)
+	for i := int64(0); i < p.npages; i++ {
+		p.managers[i] = int32(i % int64(p.nprocs))
+	}
+	p.nodes = make([]*nodeState, p.nprocs)
+	p.intervals = make([][]*interval, p.nprocs)
+	for i := range p.nodes {
+		p.nodes[i] = &nodeState{
+			mode:    make([]pageMode, p.npages),
+			twin:    make(map[int64][]byte),
+			vc:      make([]int32, p.nprocs),
+			applied: make(map[int64][]int32),
+		}
+	}
+	for pg := int64(0); pg < p.npages; pg++ {
+		p.nodes[p.manager(pg)].mode[pg] = modeReadOnly
+	}
+}
+
+// AssignHome moves the manager (base-copy server) of a range, migrating
+// contents, so applications' Place calls work as with the other
+// protocols.
+func (p *Protocol) AssignHome(addr, size int64, node int) {
+	first, last := mem.PageOf(addr), mem.PageOf(addr+size-1)
+	for pg := first; pg <= last; pg++ {
+		old := int(p.managers[pg])
+		if old == node {
+			continue
+		}
+		src := p.env.NodeMem(old).Frame(pg)
+		dst := p.env.NodeMem(node).Frame(pg)
+		copy(dst[:], src[:])
+		p.nodes[old].mode[pg] = modeInvalid
+		p.managers[pg] = int32(node)
+		p.nodes[node].mode[pg] = modeReadOnly
+	}
+}
+
+func (p *Protocol) manager(pg int64) int { return int(p.managers[pg]) }
+
+// appliedFor returns (allocating) the applied-interval vector of pg.
+func (ns *nodeState) appliedFor(pg int64, nprocs int) []int32 {
+	a := ns.applied[pg]
+	if a == nil {
+		a = make([]int32, nprocs)
+		ns.applied[pg] = a
+	}
+	return a
+}
+
+// --- access-fault side ---
+
+// Access implements the page access check and the distributed-diff
+// fault path.
+func (p *Protocol) Access(th proto.Thread, addr int64, size int, write bool) {
+	first := mem.PageOf(addr)
+	last := mem.PageOf(addr + int64(size) - 1)
+	for pg := first; pg <= last; pg++ {
+		p.ensure(th, pg, write)
+	}
+}
+
+func (p *Protocol) ensure(th proto.Thread, pg int64, write bool) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	m := ns.mode[pg]
+	if write {
+		if m == modeReadWrite {
+			return
+		}
+	} else if m != modeInvalid {
+		return
+	}
+	st := p.env.Metrics()
+
+	if m == modeInvalid {
+		th.Charge(stats.Protocol, p.cfg.Costs.FaultBase)
+		st.Inc(me, stats.PageFetches, 1)
+		p.fault(th, pg)
+		ns.mode[pg] = modeReadOnly
+		th.Charge(stats.Protocol, p.cfg.Costs.MprotectCost(1))
+		st.Inc(me, stats.PageProtects, 1)
+	}
+	if write {
+		p.makeTwin(th, pg)
+		ns.dirty = append(ns.dirty, pg)
+		ns.mode[pg] = modeReadWrite
+		th.Charge(stats.Protocol, p.cfg.Costs.MprotectCost(1))
+		st.Inc(me, stats.PageProtects, 1)
+	}
+}
+
+// fault collects the base copy (if needed) and all unseen diffs for pg,
+// in parallel, then applies them in happened-before order.
+func (p *Protocol) fault(th proto.Thread, pg int64) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	applied := ns.appliedFor(pg, p.nprocs)
+
+	// Which writers have intervals covering pg that we have seen notices
+	// for (vc) but not yet merged (applied)?
+	type want struct {
+		writer   int
+		from, to int32
+	}
+	var wants []want
+	var ownIvs []*interval
+	for w := 0; w < p.nprocs; w++ {
+		var lo, hi int32 = 0, 0
+		for s := applied[w] + 1; s <= ns.vc[w]; s++ {
+			iv := p.intervals[w][s-1]
+			if _, ok := iv.diffs[pg]; ok {
+				if lo == 0 {
+					lo = s
+				}
+				hi = s
+				if w == me {
+					// Our own retained diffs reapply locally for free.
+					ownIvs = append(ownIvs, iv)
+				}
+			}
+		}
+		if hi > 0 && w != me {
+			wants = append(wants, want{writer: w, from: lo, to: hi})
+		}
+	}
+
+	base := !ns.everHeld(pg) && p.manager(pg) != me
+
+	ns.faultWait = 0
+	if base {
+		ns.faultWait++
+		req := &comm.Message{
+			Src: me, Dst: p.manager(pg), Kind: msgBaseReq, Size: 16,
+			Payload: baseReq{page: pg, requester: me}, NeedsHandler: true,
+		}
+		th.Send(stats.DataWait, req)
+	}
+
+	// Collected diff replies, merged after all arrive.
+	replies := make([][]*interval, 0, len(wants))
+	for _, wn := range wants {
+		ns.faultWait++
+		wn := wn
+		slot := len(replies)
+		replies = append(replies, nil)
+		req := &comm.Message{
+			Src: me, Dst: wn.writer, Kind: msgDiffReq, Size: 24,
+			Payload: diffReq{page: pg, requester: me, from: wn.from, to: wn.to,
+				deliver: func(ivs []*interval) { replies[slot] = ivs }},
+			NeedsHandler: true,
+		}
+		th.Send(stats.DataWait, req)
+	}
+
+	for ns.faultWait > 0 {
+		th.BlockFor(stats.DataWait)
+	}
+	ns.markHeld(pg)
+
+	// Merge in a linear extension of happened-before (vc-sum order).
+	ivs := ownIvs
+	for _, r := range replies {
+		ivs = append(ivs, r...)
+	}
+	sortIntervals(ivs)
+	frame := p.env.NodeMem(me).Frame(pg)
+	st := p.env.Metrics()
+	var applyCost int64
+	for _, iv := range ivs {
+		d := iv.diffs[pg]
+		for _, wd := range d {
+			o := int(wd.off) * mem.WordSize
+			frame[o] = byte(wd.val)
+			frame[o+1] = byte(wd.val >> 8)
+			frame[o+2] = byte(wd.val >> 16)
+			frame[o+3] = byte(wd.val >> 24)
+		}
+		applyCost += proto.WordCost(p.cfg.Costs.DiffApplyQ4, int64(len(d)))
+		if iv.seq > applied[iv.owner] {
+			applied[iv.owner] = iv.seq
+		}
+		st.Inc(me, stats.DiffsApplied, 1)
+	}
+	applyCost += p.env.CacheTouch(me, mem.PageBase(pg), mem.PageSize, true)
+	if applyCost > 0 {
+		st.AddDiff(me, applyCost)
+		th.Charge(stats.Protocol, applyCost)
+	}
+}
+
+// everHeld / markHeld track whether this node ever had a copy of pg
+// (whether a base fetch is needed).  Implemented with a sentinel entry
+// in the applied map plus a held set.
+func (ns *nodeState) everHeld(pg int64) bool {
+	_, ok := ns.held[pg]
+	return ok
+}
+
+func (ns *nodeState) markHeld(pg int64) {
+	if ns.held == nil {
+		ns.held = make(map[int64]struct{})
+	}
+	ns.held[pg] = struct{}{}
+}
+
+// makeTwin snapshots a page before its first write in an interval.
+func (p *Protocol) makeTwin(th proto.Thread, pg int64) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	if _, ok := ns.twin[pg]; ok {
+		return
+	}
+	frame := p.env.NodeMem(me).Frame(pg)
+	twin := make([]byte, mem.PageSize)
+	copy(twin, frame[:])
+	ns.twin[pg] = twin
+	cost := proto.WordCost(p.cfg.Costs.TwinQ4, wordsPerPage)
+	cost += p.env.CacheTouch(me, mem.PageBase(pg), mem.PageSize, false)
+	th.Charge(stats.Protocol, cost)
+	st := p.env.Metrics()
+	st.Inc(me, stats.TwinsCreated, 1)
+	st.AddDiff(me, cost)
+}
+
+// payloads
+
+type baseReq struct {
+	page      int64
+	requester int
+}
+
+type diffReq struct {
+	page      int64
+	requester int
+	from, to  int32
+	deliver   func([]*interval)
+}
+
+// sortIntervals orders intervals in a linear extension of
+// happened-before: componentwise-smaller vector clocks have strictly
+// smaller sums, so vc-sum order respects causality; ties (concurrent
+// intervals, which data-race-free programs keep word-disjoint) break
+// deterministically by owner and sequence.
+func sortIntervals(ivs []*interval) {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].vcSum != ivs[j].vcSum {
+			return ivs[i].vcSum < ivs[j].vcSum
+		}
+		if ivs[i].owner != ivs[j].owner {
+			return ivs[i].owner < ivs[j].owner
+		}
+		return ivs[i].seq < ivs[j].seq
+	})
+}

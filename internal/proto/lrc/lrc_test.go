@@ -1,0 +1,126 @@
+package lrc_test
+
+import (
+	"testing"
+
+	"swsm/internal/core"
+	"swsm/internal/mem"
+	"swsm/internal/proto"
+	"swsm/internal/proto/lrc"
+	"swsm/internal/stats"
+)
+
+func machine(procs int) *core.Machine {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.MemLimit = 4 << 20
+	return core.NewMachine(cfg, lrc.New(lrc.Config{Costs: proto.OriginalCosts()}))
+}
+
+func TestDistributedDiffMerge(t *testing.T) {
+	// Two concurrent writers touch disjoint words of one page; a third
+	// node faulting after the barrier must merge diffs from BOTH writers
+	// (there is no home that does it).
+	m := machine(4)
+	a := m.AllocPage(mem.PageSize)
+	_, err := m.Run(func(th *core.Thread) {
+		switch th.Proc() {
+		case 1:
+			th.Store32(a, 111)
+		case 2:
+			th.Store32(a+4, 222)
+		}
+		th.Barrier(0)
+		if got := th.Load32(a); got != 111 {
+			t.Errorf("proc %d word0 = %d", th.Proc(), got)
+		}
+		if got := th.Load32(a + 4); got != 222 {
+			t.Errorf("proc %d word1 = %d", th.Proc(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats.TotalCount(stats.DiffsCreated); got != 2 {
+		t.Fatalf("diffs created = %d, want 2", got)
+	}
+	// Diffs are applied at the faulting nodes, not at a home.
+	if m.Stats.TotalCount(stats.DiffsApplied) == 0 {
+		t.Fatal("no distributed diff application happened")
+	}
+}
+
+func TestOrderedIntervalsLastWriteWins(t *testing.T) {
+	// A migratory counter ordered by a lock: faulting nodes must apply
+	// the chain of intervals in happened-before order or the counter
+	// regresses.
+	const procs = 8
+	const iters = 6
+	m := machine(procs)
+	a := m.AllocPage(mem.PageSize)
+	_, err := m.Run(func(th *core.Thread) {
+		for i := 0; i < iters; i++ {
+			th.Acquire(3)
+			v := th.Load32(a)
+			th.Store32(a, v+1)
+			th.Release(3)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadResultWord(a); got != procs*iters {
+		t.Fatalf("counter = %d, want %d (interval ordering broken)", got, procs*iters)
+	}
+}
+
+func TestCheapRelease(t *testing.T) {
+	// Classic LRC releases send no diffs; HLRC's eager flush does.  A
+	// writer that releases but is never read from should produce no diff
+	// traffic at all beyond notices.
+	m := machine(2)
+	a := m.AllocPage(mem.PageSize)
+	_, err := m.Run(func(th *core.Thread) {
+		if th.Proc() == 1 {
+			th.Acquire(0)
+			th.Store32(a, 5)
+			th.Release(0)
+		}
+		th.Barrier(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The diff exists (created at release) but was never transferred.
+	if got := m.Stats.TotalCount(stats.DiffsCreated); got != 1 {
+		t.Fatalf("diffs created = %d, want 1", got)
+	}
+	if got := m.Stats.TotalCount(stats.DiffsApplied); got != 0 {
+		t.Fatalf("diffs applied = %d, want 0 (nobody read the page)", got)
+	}
+	if got := m.ReadResultWord(a); got != 5 {
+		t.Fatalf("coherent read = %d, want 5", got)
+	}
+}
+
+func TestRefetchAfterInvalidationKeepsOwnWrites(t *testing.T) {
+	// A writer whose page is invalidated by a concurrent writer's notice
+	// must recover its own committed writes from its retained diffs.
+	m := machine(2)
+	a := m.AllocPage(mem.PageSize)
+	_, err := m.Run(func(th *core.Thread) {
+		me := th.Proc()
+		th.Acquire(0)
+		th.Store32(a+int64(4*me), uint32(me+10))
+		th.Release(0)
+		th.Barrier(0)
+		for i := 0; i < 2; i++ {
+			if got := th.Load32(a + int64(4*i)); got != uint32(i+10) {
+				t.Errorf("proc %d: word %d = %d, want %d", me, i, got, i+10)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

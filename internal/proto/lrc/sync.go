@@ -1,0 +1,249 @@
+package lrc
+
+import (
+	"sort"
+
+	"swsm/internal/comm"
+	"swsm/internal/mem"
+	"swsm/internal/proto"
+	"swsm/internal/stats"
+)
+
+// flush closes the open interval: create (and retain) diffs of the
+// dirty pages and downgrade them.  Unlike HLRC there is nothing to send
+// and nothing to wait for — the cheap release is classic LRC's selling
+// point, paid back later at faults.
+func (p *Protocol) flush(th proto.Thread) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	if len(ns.dirty) == 0 {
+		return
+	}
+	pages := append([]int64(nil), ns.dirty...)
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	uniq := pages[:0]
+	for i, pg := range pages {
+		if i == 0 || pg != pages[i-1] {
+			uniq = append(uniq, pg)
+		}
+	}
+	pages = uniq
+
+	seq := ns.vc[me] + 1
+	ns.vc[me] = seq
+	iv := &interval{owner: me, seq: seq, pages: pages, diffs: make(map[int64][]wordDiff)}
+	st := p.env.Metrics()
+
+	for _, pg := range pages {
+		if ns.mode[pg] == modeReadWrite {
+			ns.mode[pg] = modeReadOnly
+		}
+		frame := p.env.NodeMem(me).Frame(pg)
+		twin, ok := ns.twin[pg]
+		if !ok {
+			// The manager wrote its own never-twinned page: diff against
+			// a zero snapshot is wrong, so manager pages are twinned too
+			// in ensure(); reaching here is a protocol bug.
+			panic("lrc: dirty page without twin")
+		}
+		var d []wordDiff
+		for w := 0; w < wordsPerPage; w++ {
+			o := w * mem.WordSize
+			a := uint32(twin[o]) | uint32(twin[o+1])<<8 | uint32(twin[o+2])<<16 | uint32(twin[o+3])<<24
+			b := uint32(frame[o]) | uint32(frame[o+1])<<8 | uint32(frame[o+2])<<16 | uint32(frame[o+3])<<24
+			if a != b {
+				d = append(d, wordDiff{off: uint16(w), val: b})
+			}
+		}
+		iv.diffs[pg] = d
+		delete(ns.twin, pg)
+		cost := proto.WordCost(p.cfg.Costs.DiffCompareQ4, wordsPerPage) +
+			proto.WordCost(p.cfg.Costs.DiffWriteQ4, int64(len(d)))
+		cost += p.env.CacheTouch(me, mem.PageBase(pg), mem.PageSize, false)
+		st.AddDiff(me, cost)
+		th.Charge(stats.Protocol, cost)
+		st.Inc(me, stats.DiffsCreated, 1)
+		st.Inc(me, stats.DiffWordsCompared, wordsPerPage)
+		st.Inc(me, stats.DiffWordsWritten, int64(len(d)))
+		// Our own copy reflects our interval.
+		ns.appliedFor(pg, p.nprocs)[me] = seq
+		ns.markHeld(pg)
+	}
+	iv.vc = cloneVC(ns.vc)
+	for _, v := range iv.vc {
+		iv.vcSum += int64(v)
+	}
+	p.intervals[me] = append(p.intervals[me], iv)
+	st.Inc(me, stats.WriteNotices, int64(len(pages)))
+	th.Charge(stats.Protocol, p.cfg.Costs.MprotectCost(len(pages)))
+	st.Inc(me, stats.PageProtects, int64(len(pages)))
+	ns.dirty = ns.dirty[:0]
+}
+
+// Acquire requests the lock; the grant carries unseen write notices.
+func (p *Protocol) Acquire(th proto.Thread, lock int) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	req := &comm.Message{
+		Src: me, Dst: p.lockManager(lock), Kind: msgAcqReq,
+		Size:    int64(16 + 4*p.nprocs),
+		Payload: acqWaiter{proc: me, vc: cloneVC(ns.vc)}, NeedsHandler: true,
+	}
+	req.Kind = msgAcqReq
+	req.Payload = acqMsg{lock: lock, proc: me, vc: cloneVC(ns.vc)}
+	th.Send(stats.LockWait, req)
+	th.BlockFor(stats.LockWait)
+	g := ns.grant
+	ns.grant = nil
+	if g == nil {
+		panic("lrc: woke from acquire without grant")
+	}
+	p.applyNotices(th, g)
+}
+
+// Release closes the interval locally and notifies the lock manager.
+func (p *Protocol) Release(th proto.Thread, lock int) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	p.flush(th)
+	msg := &comm.Message{
+		Src: me, Dst: p.lockManager(lock), Kind: msgRelease,
+		Size:    int64(16 + 4*p.nprocs),
+		Payload: acqMsg{lock: lock, proc: me, vc: cloneVC(ns.vc)}, NeedsHandler: true,
+	}
+	th.Send(stats.LockWait, msg)
+}
+
+// Barrier flushes, gathers at the manager, and applies the notices of
+// every other node on release.
+func (p *Protocol) Barrier(th proto.Thread, bar int, total int) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	p.flush(th)
+	msg := &comm.Message{
+		Src: me, Dst: p.barrierManager(bar), Kind: msgBarArrive,
+		Size:    int64(16 + 4*p.nprocs),
+		Payload: barMsg{bar: bar, proc: me, vc: cloneVC(ns.vc)}, NeedsHandler: true,
+	}
+	th.Send(stats.BarrierWait, msg)
+	th.BlockFor(stats.BarrierWait)
+	g := ns.grant
+	ns.grant = nil
+	if g == nil {
+		panic("lrc: woke from barrier without release payload")
+	}
+	p.applyNotices(th, g)
+}
+
+// Finalize closes the last interval.
+func (p *Protocol) Finalize(th proto.Thread) { p.flush(th) }
+
+func (p *Protocol) lockManager(lock int) int   { return lock % p.nprocs }
+func (p *Protocol) barrierManager(bar int) int { return bar % p.nprocs }
+
+type acqMsg struct {
+	lock int
+	proc int
+	vc   []int32
+}
+
+type barMsg struct {
+	bar  int
+	proc int
+	vc   []int32
+}
+
+// applyNotices merges the grant clock and invalidates pages with unseen
+// write notices.  Invalidation also clears the page's applied vector and
+// held marker, so the next fault rebuilds the copy from the base plus
+// the full diff history (classic LRC without GC).
+func (p *Protocol) applyNotices(th proto.Thread, g *grantPayload) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	invalidated := 0
+	for _, n := range g.notices {
+		if n.seq <= ns.vc[n.owner] || n.owner == me {
+			if n.seq > ns.vc[n.owner] {
+				ns.vc[n.owner] = n.seq
+			}
+			continue
+		}
+		for _, pg := range n.pages {
+			if ns.mode[pg] == modeInvalid {
+				continue
+			}
+			if ns.mode[pg] == modeReadWrite {
+				// Concurrent writer: commit our modifications as a
+				// singleton interval before dropping the copy.
+				p.flushSinglePage(th, pg)
+			}
+			ns.mode[pg] = modeInvalid
+			delete(ns.twin, pg)
+			delete(ns.applied, pg)
+			if ns.held != nil {
+				delete(ns.held, pg)
+			}
+			p.env.CacheInvalidate(me, mem.PageBase(pg), mem.PageSize)
+			invalidated++
+		}
+		if n.seq > ns.vc[n.owner] {
+			ns.vc[n.owner] = n.seq
+		}
+	}
+	if g.vc != nil {
+		for i, v := range g.vc {
+			if v > ns.vc[i] {
+				ns.vc[i] = v
+			}
+		}
+	}
+	if invalidated > 0 {
+		th.Charge(stats.Protocol, p.cfg.Costs.MprotectCost(invalidated))
+		st := p.env.Metrics()
+		st.Inc(me, stats.Invalidations, int64(invalidated))
+		st.Inc(me, stats.PageProtects, int64(invalidated))
+	}
+}
+
+// flushSinglePage commits one dirty page as its own interval (used when
+// an invalidation hits a page with local modifications).
+func (p *Protocol) flushSinglePage(th proto.Thread, pg int64) {
+	me := th.Proc()
+	ns := p.nodes[me]
+	kept := ns.dirty[:0]
+	for _, d := range ns.dirty {
+		if d != pg {
+			kept = append(kept, d)
+		}
+	}
+	saved := append([]int64(nil), kept...)
+	ns.dirty = []int64{pg}
+	p.flush(th)
+	ns.dirty = saved
+}
+
+// noticesSince lists the write notices (without diffs) in (fromVC, toVC].
+func (p *Protocol) noticesSince(fromVC, toVC []int32) []noticeRec {
+	var out []noticeRec
+	for o := 0; o < p.nprocs; o++ {
+		for s := fromVC[o] + 1; s <= toVC[o]; s++ {
+			iv := p.intervals[o][s-1]
+			out = append(out, noticeRec{owner: o, seq: s, pages: iv.pages})
+		}
+	}
+	return out
+}
+
+func cloneVC(vc []int32) []int32 {
+	out := make([]int32, len(vc))
+	copy(out, vc)
+	return out
+}
+
+func maxVC(dst, src []int32) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCostSets(t *testing.T) {
+	o, h, b := OriginalCosts(), HalfwayCosts(), BestCosts()
+	if b != (Costs{}) {
+		t.Fatal("best costs must be all zero")
+	}
+	if h.PageProtect*2 != o.PageProtect || h.HandlerBase*2 != o.HandlerBase {
+		t.Fatalf("halfway not half: %+v", h)
+	}
+	if h.DiffCompareQ4*2 != o.DiffCompareQ4 {
+		t.Fatal("Q4 fixed point must halve exactly")
+	}
+	for _, name := range []string{"O", "H", "B"} {
+		if _, ok := CostsByName(name); !ok {
+			t.Fatalf("CostsByName(%s) failed", name)
+		}
+	}
+	if _, ok := CostsByName("X"); ok {
+		t.Fatal("unknown cost set accepted")
+	}
+}
+
+func TestWordCost(t *testing.T) {
+	// 4 Q4 = 1 cycle/word.
+	if WordCost(4, 1024) != 1024 {
+		t.Fatalf("WordCost(4,1024) = %d", WordCost(4, 1024))
+	}
+	// 2 Q4 = 0.5 cycles/word, rounds up.
+	if WordCost(2, 3) != 2 {
+		t.Fatalf("WordCost(2,3) = %d", WordCost(2, 3))
+	}
+	if WordCost(0, 100) != 0 || WordCost(4, 0) != 0 {
+		t.Fatal("zero cases wrong")
+	}
+}
+
+// Property: WordCost is monotone in both arguments and exact for whole
+// cycles.
+func TestWordCostMonotone(t *testing.T) {
+	f := func(q8, w8 uint8) bool {
+		q, w := int64(q8%16), int64(w8)
+		if WordCost(q, w) > WordCost(q+1, w) {
+			return false
+		}
+		if WordCost(q, w) > WordCost(q, w+1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMprotectCost(t *testing.T) {
+	c := OriginalCosts()
+	if got := c.MprotectCost(0); got != 0 {
+		t.Fatalf("zero pages cost %d", got)
+	}
+	if got := c.MprotectCost(1); got != c.PageProtectStartup+c.PageProtect {
+		t.Fatalf("one page cost %d", got)
+	}
+	// Batching: one startup amortized over the range.
+	if got := c.MprotectCost(10); got != c.PageProtectStartup+10*c.PageProtect {
+		t.Fatalf("ten pages cost %d", got)
+	}
+}

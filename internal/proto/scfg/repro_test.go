@@ -1,0 +1,36 @@
+package scfg_test
+
+import (
+	"testing"
+
+	"swsm/internal/core"
+	"swsm/internal/proto"
+	"swsm/internal/proto/scfg"
+)
+
+func TestConcurrentWritersSameBlock(t *testing.T) {
+	const procs = 4
+	const iters = 25
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.MemLimit = 4 << 20
+	p := scfg.New(scfg.Config{Costs: proto.OriginalCosts(), BlockSize: 4096})
+	m := core.NewMachine(cfg, p)
+	a := m.AllocPage(4096)
+	_, err := m.Run(func(th *core.Thread) {
+		addr := a + int64(4*th.Proc())
+		for i := 0; i < iters; i++ {
+			v := th.Load32(addr)
+			th.Store32(addr, v+1)
+		}
+		th.Barrier(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < procs; i++ {
+		if got := m.ReadResultWord(a + int64(4*i)); got != iters {
+			t.Fatalf("word %d = %d, want %d", i, got, iters)
+		}
+	}
+}

@@ -1,0 +1,486 @@
+// Package scfg implements the paper's fine-grained (variable-grained)
+// software shared-memory protocol: a sequentially consistent,
+// directory-based invalidation protocol in the style of Stache and the
+// Typhoon-zero prototype.  Access control is assumed to be provided by
+// hardware at a per-application power-of-two block granularity at zero
+// cost (the paper's optimistic assumption, §2); all protocol processing
+// runs in software handlers on the main processor, so the protocol's
+// performance is dominated by the communication layer — the paper's key
+// finding for SC.
+//
+// The directory at each block's home serializes transactions.  Dirty
+// remote blocks are recalled through the home (4-hop), sharers are
+// invalidated with explicit acks, and requests arriving while a block is
+// busy queue at the directory.  Node memory acts as a cache for remote
+// data with no capacity limit (as in Stache, which uses main memory for
+// this purpose).
+package scfg
+
+import (
+	"fmt"
+
+	"swsm/internal/comm"
+	"swsm/internal/proto"
+	"swsm/internal/sim"
+	"swsm/internal/stats"
+)
+
+// Block states at each node.
+type blockState uint8
+
+const (
+	stInvalid blockState = iota
+	stShared
+	stExclusive
+)
+
+// Message kinds.
+const (
+	msgGetS = iota + 1
+	msgGetX
+	msgRecall  // home -> owner: give up exclusive copy
+	msgInv     // home -> sharer: invalidate
+	msgWBData  // owner -> home: recalled block contents
+	msgInvAck  // sharer -> home
+	msgLockReq // lock acquire request at manager
+	msgLockRel // lock release at manager
+	msgBarArr  // barrier arrival at manager
+)
+
+// Config holds SC-specific options.
+type Config struct {
+	Costs proto.Costs
+	// BlockSize is the coherence granularity in bytes (a power of two).
+	// The paper uses 64 B except for the regular applications: FFT 4 KB,
+	// LU 2 KB (or 4 KB), Ocean 1 KB.
+	BlockSize int
+}
+
+// dirEntry is the home directory state for one block.
+type dirEntry struct {
+	owner   int8   // exclusive holder, -1 if none
+	sharers uint32 // bitmap (procs <= 32)
+	busy    bool
+	pending []request
+	acksDue int
+	// current is the transaction being serviced while busy.
+	current request
+}
+
+type request struct {
+	proc  int
+	write bool
+	block int64
+}
+
+// Protocol is the fine-grained SC protocol instance.
+type Protocol struct {
+	cfg       Config
+	env       proto.Env
+	nprocs    int
+	nblocks   int64
+	blockBits uint
+
+	state [][]blockState // [node][block]
+	homes []int8
+	dir   map[int64]*dirEntry
+
+	locks    map[int]*scLock
+	barriers map[int]*scBarrier
+}
+
+type scLock struct {
+	held   bool
+	holder int
+	queue  []int
+}
+
+type scBarrier struct {
+	arrived int
+	procs   []int
+}
+
+// New creates an SC protocol with the given costs and granularity.
+func New(cfg Config) *Protocol {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 64
+	}
+	if cfg.BlockSize&(cfg.BlockSize-1) != 0 {
+		panic(fmt.Sprintf("scfg: block size %d not a power of two", cfg.BlockSize))
+	}
+	return &Protocol{cfg: cfg, dir: make(map[int64]*dirEntry),
+		locks: make(map[int]*scLock), barriers: make(map[int]*scBarrier)}
+}
+
+// Name identifies the protocol.
+func (p *Protocol) Name() string { return fmt.Sprintf("sc-%d", p.cfg.BlockSize) }
+
+// BlockSize reports the coherence granularity.
+func (p *Protocol) BlockSize() int { return p.cfg.BlockSize }
+
+// Attach wires the environment and sizes per-node state.
+func (p *Protocol) Attach(env proto.Env) {
+	p.env = env
+	p.nprocs = env.NumProcs()
+	if p.nprocs > 32 {
+		panic("scfg: sharer bitmap supports at most 32 processors")
+	}
+	for 1<<p.blockBits < p.cfg.BlockSize {
+		p.blockBits++
+	}
+	limit := env.NodeMem(0).Limit()
+	p.nblocks = (limit + int64(p.cfg.BlockSize) - 1) >> p.blockBits
+	p.state = make([][]blockState, p.nprocs)
+	for i := range p.state {
+		p.state[i] = make([]blockState, p.nblocks)
+	}
+	p.homes = make([]int8, p.nblocks)
+	for b := int64(0); b < p.nblocks; b++ {
+		p.homes[b] = int8(b % int64(p.nprocs))
+	}
+	// Home nodes start with a shared copy of their own blocks.
+	for b := int64(0); b < p.nblocks; b++ {
+		p.state[p.home(b)][b] = stShared
+	}
+}
+
+// AssignHome moves the directory home (and initial copy) of every block
+// overlapping [addr, addr+size) to node — how applications model
+// SPLASH-2 data placement.  Must be called before the parallel phase.
+func (p *Protocol) AssignHome(addr, size int64, node int) {
+	if p.env == nil {
+		panic("scfg: AssignHome before Attach")
+	}
+	first := p.blockOf(addr)
+	last := p.blockOf(addr + size - 1)
+	buf := make([]byte, p.cfg.BlockSize)
+	for b := first; b <= last; b++ {
+		old := int(p.homes[b])
+		if old == node {
+			continue
+		}
+		// Migrate already-initialized contents to the new home.
+		p.env.NodeMem(old).CopyOut(p.blockBase(b), buf)
+		p.env.NodeMem(node).CopyIn(p.blockBase(b), buf)
+		p.state[old][b] = stInvalid
+		p.homes[b] = int8(node)
+		p.state[node][b] = stShared
+	}
+}
+
+// home maps a block to its directory node.
+func (p *Protocol) home(b int64) int { return int(p.homes[b]) }
+
+func (p *Protocol) blockOf(addr int64) int64 { return addr >> p.blockBits }
+
+func (p *Protocol) blockBase(b int64) int64 { return b << p.blockBits }
+
+func (p *Protocol) dirFor(b int64) *dirEntry {
+	d := p.dir[b]
+	if d == nil {
+		d = &dirEntry{owner: -1, sharers: 1 << uint(p.home(b))}
+		p.dir[b] = d
+	}
+	return d
+}
+
+// --- access side (thread context) ---
+
+// Access implements the fine-grained access check; hardware access
+// control is free, so only actual misses cost anything.
+func (p *Protocol) Access(th proto.Thread, addr int64, size int, write bool) {
+	first := p.blockOf(addr)
+	last := p.blockOf(addr + int64(size) - 1)
+	for b := first; b <= last; b++ {
+		p.ensure(th, b, write)
+	}
+}
+
+func (p *Protocol) ensure(th proto.Thread, b int64, write bool) {
+	me := th.Proc()
+	for {
+		st := p.state[me][b]
+		if write {
+			if st == stExclusive {
+				return
+			}
+		} else if st != stInvalid {
+			return
+		}
+		kind := msgGetS
+		if write {
+			kind = msgGetX
+		}
+		p.env.Metrics().Inc(me, stats.BlockFetches, 1)
+		req := &comm.Message{
+			Src: me, Dst: p.home(b), Kind: kind, Size: 16,
+			Payload: request{proc: me, write: write, block: b}, NeedsHandler: true,
+		}
+		th.Send(stats.DataWait, req)
+		// The grant installs both the data and the new state at delivery
+		// time (before any same-cycle recall can run) and wakes us; a
+		// recall or invalidation drained on the way out of BlockFor may
+		// already have revoked the grant, so re-check and retry.
+		th.BlockFor(stats.DataWait)
+	}
+}
+
+// --- directory side (handler context) ---
+
+// Handle dispatches protocol messages.
+func (p *Protocol) Handle(h proto.HandlerCtx, m *comm.Message) int64 {
+	switch m.Kind {
+	case msgGetS, msgGetX:
+		return p.handleGet(h, m.Payload.(request))
+	case msgRecall:
+		return p.handleRecall(h, m.Payload.(request))
+	case msgInv:
+		return p.handleInv(h, m.Payload.(request))
+	case msgWBData:
+		return p.handleWB(h, m.Payload.(wbData))
+	case msgInvAck:
+		return p.handleInvAck(h, m.Payload.(request))
+	case msgLockReq:
+		return p.handleLockReq(h, m.Payload.(lockMsg))
+	case msgLockRel:
+		return p.handleLockRel(h, m.Payload.(lockMsg))
+	case msgBarArr:
+		return p.handleBarArr(h, m.Payload.(barMsg))
+	}
+	panic(fmt.Sprintf("scfg: unknown message kind %d", m.Kind))
+}
+
+type wbData struct {
+	block int64
+	from  int
+	data  []byte
+}
+
+type lockMsg struct {
+	lock int
+	proc int
+}
+
+type barMsg struct {
+	bar  int
+	proc int
+}
+
+// handleGet starts or queues a read/write transaction at the directory.
+func (p *Protocol) handleGet(h proto.HandlerCtx, r request) int64 {
+	d := p.dirFor(r.block)
+	if d.busy {
+		d.pending = append(d.pending, r)
+		return p.cfg.Costs.HandlerBase
+	}
+	return p.cfg.Costs.HandlerBase + p.service(h, d, r)
+}
+
+// service runs one transaction as far as it can; returns extra handler
+// item cost.  Called with d not busy.
+func (p *Protocol) service(h proto.HandlerCtx, d *dirEntry, r request) int64 {
+	homeNode := p.home(r.block)
+	if d.owner >= 0 && int(d.owner) != r.proc {
+		// Recall the dirty copy through the home.
+		d.busy = true
+		d.current = r
+		h.Send(&comm.Message{
+			Src: homeNode, Dst: int(d.owner), Kind: msgRecall, Size: 16,
+			Payload:      request{proc: r.proc, write: r.write, block: r.block},
+			NeedsHandler: true,
+		})
+		return p.cfg.Costs.HandlerPerItem
+	}
+	if r.write {
+		// Invalidate all other sharers, then grant exclusive.  The home's
+		// own copy is dropped inline (the handler is already running
+		// there); remote sharers get invalidation messages and must ack.
+		items := int64(0)
+		d.acksDue = 0
+		for s := 0; s < p.nprocs; s++ {
+			if s == r.proc || d.sharers&(1<<uint(s)) == 0 {
+				continue
+			}
+			if s == homeNode {
+				p.state[homeNode][r.block] = stInvalid
+				p.env.CacheInvalidate(homeNode, p.blockBase(r.block), p.cfg.BlockSize)
+				d.sharers &^= 1 << uint(s)
+				continue
+			}
+			d.acksDue++
+			items++
+			h.Send(&comm.Message{
+				Src: homeNode, Dst: s, Kind: msgInv, Size: 16,
+				Payload: request{proc: s, block: r.block}, NeedsHandler: true,
+			})
+		}
+		if d.acksDue > 0 {
+			d.busy = true
+			d.current = r
+			return p.cfg.Costs.HandlerPerItem * items
+		}
+		p.grant(h, d, r)
+		return 0
+	}
+	// Read: serve from the home copy.
+	p.grant(h, d, r)
+	return 0
+}
+
+// grant ships the block to the requester and finalizes directory state.
+func (p *Protocol) grant(h proto.HandlerCtx, d *dirEntry, r request) {
+	homeNode := p.home(r.block)
+	base := p.blockBase(r.block)
+	data := make([]byte, p.cfg.BlockSize)
+	p.env.NodeMem(homeNode).CopyOut(base, data)
+	write := r.write
+	if write {
+		d.owner = int8(r.proc)
+		d.sharers = 1 << uint(r.proc)
+		// The home's own copy is stale once someone else owns the block.
+		if r.proc != homeNode {
+			p.state[homeNode][r.block] = stInvalid
+			p.env.CacheInvalidate(homeNode, base, p.cfg.BlockSize)
+		}
+	} else {
+		d.sharers |= 1 << uint(r.proc)
+	}
+	to := r.proc
+	blk := r.block
+	h.Send(&comm.Message{
+		Src: homeNode, Dst: to, Size: int64(p.cfg.BlockSize) + 16,
+		OnDeliver: func(now sim.Time) {
+			tf := p.env.NodeMem(to)
+			tf.CopyIn(p.blockBase(blk), data)
+			if write {
+				p.state[to][blk] = stExclusive
+			} else {
+				p.state[to][blk] = stShared
+			}
+			p.env.WakeThread(to)
+		},
+	})
+}
+
+// handleRecall runs at the exclusive owner: downgrade and write back
+// through the home.
+func (p *Protocol) handleRecall(h proto.HandlerCtx, r request) int64 {
+	me := h.Node()
+	base := p.blockBase(r.block)
+	data := make([]byte, p.cfg.BlockSize)
+	p.env.NodeMem(me).CopyOut(base, data)
+	if r.write {
+		p.state[me][r.block] = stInvalid
+		p.env.CacheInvalidate(me, base, p.cfg.BlockSize)
+	} else {
+		p.state[me][r.block] = stShared
+	}
+	h.Send(&comm.Message{
+		Src: me, Dst: p.home(r.block), Kind: msgWBData,
+		Size:    int64(p.cfg.BlockSize) + 16,
+		Payload: wbData{block: r.block, from: me, data: data}, NeedsHandler: true,
+	})
+	return p.cfg.Costs.HandlerBase
+}
+
+// handleWB applies the recalled data at the home and resumes the stalled
+// transaction.
+func (p *Protocol) handleWB(h proto.HandlerCtx, wb wbData) int64 {
+	homeNode := h.Node()
+	d := p.dirFor(wb.block)
+	p.env.NodeMem(homeNode).CopyIn(p.blockBase(wb.block), wb.data)
+	if !d.busy {
+		panic("scfg: writeback with no pending transaction")
+	}
+	// Old owner keeps a shared copy on a read recall, loses it on write.
+	if d.current.write {
+		d.sharers &^= 1 << uint(wb.from)
+	}
+	d.owner = -1
+	// The home regains a valid copy.
+	p.state[homeNode][wb.block] = stShared
+	d.sharers |= 1 << uint(homeNode)
+	d.busy = false
+	extra := p.service(h, d, d.current)
+	p.drainPending(h, d)
+	return p.cfg.Costs.HandlerBase + extra +
+		p.env.CacheTouch(homeNode, p.blockBase(wb.block), p.cfg.BlockSize, true)
+}
+
+// handleInv runs at a sharer: drop the copy and ack the home.
+func (p *Protocol) handleInv(h proto.HandlerCtx, r request) int64 {
+	me := h.Node()
+	base := p.blockBase(r.block)
+	p.state[me][r.block] = stInvalid
+	p.env.CacheInvalidate(me, base, p.cfg.BlockSize)
+	p.env.Metrics().Inc(me, stats.Invalidations, 1)
+	h.Send(&comm.Message{
+		Src: me, Dst: p.home(r.block), Kind: msgInvAck, Size: 8,
+		Payload: request{proc: me, block: r.block}, NeedsHandler: true,
+	})
+	return p.cfg.Costs.HandlerBase
+}
+
+// handleInvAck counts acks at the home; when all land, the write
+// transaction completes.
+func (p *Protocol) handleInvAck(h proto.HandlerCtx, r request) int64 {
+	d := p.dirFor(r.block)
+	d.sharers &^= 1 << uint(r.proc)
+	d.acksDue--
+	if d.acksDue > 0 {
+		return p.cfg.Costs.HandlerBase
+	}
+	if !d.busy {
+		panic("scfg: stray invalidation ack")
+	}
+	d.busy = false
+	p.grant(h, d, d.current)
+	p.drainPending(h, d)
+	return p.cfg.Costs.HandlerBase
+}
+
+// drainPending services queued requests until one goes busy again.
+func (p *Protocol) drainPending(h proto.HandlerCtx, d *dirEntry) {
+	for !d.busy && len(d.pending) > 0 {
+		r := d.pending[0]
+		d.pending = d.pending[1:]
+		p.service(h, d, r)
+	}
+}
+
+// CheckInvariants validates the directory's structural invariants after
+// a run (test support): every busy transaction drained, at most one
+// exclusive owner per block, and an owner is its block's only sharer.
+// Returns a description of the first violation, or "".
+func (p *Protocol) CheckInvariants() string {
+	for b, d := range p.dir {
+		if d.busy || len(d.pending) != 0 {
+			return fmt.Sprintf("block %d: transaction still in flight", b)
+		}
+		if d.owner >= 0 {
+			if d.sharers != 1<<uint(d.owner) {
+				return fmt.Sprintf("block %d: owner %d but sharers %b", b, d.owner, d.sharers)
+			}
+			for n := 0; n < p.nprocs; n++ {
+				if n != int(d.owner) && p.state[n][b] != stInvalid {
+					return fmt.Sprintf("block %d: node %d holds state %d despite owner %d",
+						b, n, p.state[n][b], d.owner)
+				}
+			}
+			if p.state[d.owner][b] != stExclusive {
+				return fmt.Sprintf("block %d: owner %d not in Exclusive state", b, d.owner)
+			}
+			continue
+		}
+		for n := 0; n < p.nprocs; n++ {
+			st := p.state[n][b]
+			if st == stExclusive {
+				return fmt.Sprintf("block %d: node %d Exclusive but directory has no owner", b, n)
+			}
+			if st == stShared && d.sharers&(1<<uint(n)) == 0 {
+				return fmt.Sprintf("block %d: node %d Shared but not in sharer set", b, n)
+			}
+		}
+	}
+	return ""
+}

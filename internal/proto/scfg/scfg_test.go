@@ -1,0 +1,267 @@
+package scfg_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"swsm/internal/core"
+	"swsm/internal/proto"
+	"swsm/internal/proto/scfg"
+	"swsm/internal/stats"
+)
+
+func machine(procs, blockSize int) *core.Machine {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.MemLimit = 4 << 20
+	p := scfg.New(scfg.Config{Costs: proto.OriginalCosts(), BlockSize: blockSize})
+	return core.NewMachine(cfg, p)
+}
+
+func TestReadPropagation(t *testing.T) {
+	m := machine(4, 64)
+	a := m.AllocPage(4096)
+	m.InitWord(a, 11)
+	_, err := m.Run(func(th *core.Thread) {
+		if got := th.Load32(a); got != 11 {
+			t.Errorf("proc %d read %d, want 11", th.Proc(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteRecall(t *testing.T) {
+	// Writer takes the block exclusive; readers then recall it through
+	// the home.
+	m := machine(4, 64)
+	a := m.AllocPage(4096)
+	_, err := m.Run(func(th *core.Thread) {
+		if th.Proc() == 3 {
+			th.Store32(a, 1234)
+		}
+		th.Barrier(0)
+		if got := th.Load32(a); got != 1234 {
+			t.Errorf("proc %d read %d, want 1234", th.Proc(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadResultWord(a); got != 1234 {
+		t.Fatalf("coherent read = %d", got)
+	}
+}
+
+func TestCounterUnderLock(t *testing.T) {
+	const procs = 8
+	const iters = 10
+	m := machine(procs, 64)
+	ctr := m.AllocPage(4096)
+	_, err := m.Run(func(th *core.Thread) {
+		for i := 0; i < iters; i++ {
+			th.Acquire(0)
+			v := th.Load32(ctr)
+			th.Store32(ctr, v+1)
+			th.Release(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadResultWord(ctr); got != procs*iters {
+		t.Fatalf("counter = %d, want %d", got, procs*iters)
+	}
+}
+
+func TestSequentialConsistencyWithoutLocks(t *testing.T) {
+	// SC keeps even racy word updates coherent when they hit disjoint
+	// blocks: every processor writes its own block and everyone reads
+	// all of them after a barrier.
+	const procs = 8
+	m := machine(procs, 64)
+	a := m.AllocPage(64 * procs)
+	_, err := m.Run(func(th *core.Thread) {
+		th.Store32(a+int64(64*th.Proc()), uint32(th.Proc()+1))
+		th.Barrier(0)
+		var sum uint32
+		for i := 0; i < procs; i++ {
+			sum += th.Load32(a + int64(64*i))
+		}
+		if sum != procs*(procs+1)/2 {
+			t.Errorf("proc %d sum = %d", th.Proc(), sum)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalseSharingAtLargeGranularity(t *testing.T) {
+	// Two procs ping-pong writes to different words of the same 4 KB
+	// block; block fetches should far exceed the 64 B case.
+	run := func(bs int) int64 {
+		m := machine(2, bs)
+		a := m.AllocPage(4096)
+		_, err := m.Run(func(th *core.Thread) {
+			off := int64(1024 * th.Proc())
+			for i := 0; i < 20; i++ {
+				th.Store32(a+off, uint32(i))
+				th.Barrier(0)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats.TotalCount(stats.BlockFetches)
+	}
+	small, large := run(64), run(4096)
+	if large <= small {
+		t.Fatalf("false sharing not visible: fetches %d (4KB) <= %d (64B)", large, small)
+	}
+}
+
+func TestCoarseGrainAmortizesFetches(t *testing.T) {
+	// One proc streams over a large read-only array: with 4 KB blocks
+	// it needs 64x fewer fetches than with 64 B blocks.
+	run := func(bs int) int64 {
+		m := machine(2, bs)
+		n := int64(64 << 10)
+		a := m.AllocPage(n)
+		for off := int64(0); off < n; off += 4 {
+			m.InitWord(a+off, uint32(off))
+		}
+		_, err := m.Run(func(th *core.Thread) {
+			if th.Proc() == 1 {
+				for off := int64(0); off < n; off += 4 {
+					th.Load32(a + off)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats.TotalCount(stats.BlockFetches)
+	}
+	small, large := run(64), run(4096)
+	if small < 8*large {
+		t.Fatalf("fetches: 64B=%d should be >> 4KB=%d", small, large)
+	}
+}
+
+func TestRandomizedCoherence(t *testing.T) {
+	// Randomized DRF program: each proc does a random walk over its own
+	// exclusive slots plus reads of a shared read-mostly region guarded
+	// by a lock; final state must match a sequential model.
+	const procs = 4
+	const slots = 32
+	m := machine(procs, 64)
+	own := m.AllocPage(4 * slots * procs)
+	shared := m.AllocPage(4096)
+	expect := make([]uint32, slots*procs)
+	_, err := m.Run(func(th *core.Thread) {
+		me := th.Proc()
+		r := rand.New(rand.NewSource(int64(me) + 1))
+		for i := 0; i < 200; i++ {
+			s := r.Intn(slots)
+			idx := me*slots + s
+			addr := own + int64(4*idx)
+			v := th.Load32(addr)
+			th.Store32(addr, v+uint32(s)+1)
+			if i%17 == 0 {
+				th.Acquire(5)
+				g := th.Load32(shared)
+				th.Store32(shared, g+1)
+				th.Release(5)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential model of the per-proc updates.
+	for me := 0; me < procs; me++ {
+		r := rand.New(rand.NewSource(int64(me) + 1))
+		for i := 0; i < 200; i++ {
+			s := r.Intn(slots)
+			expect[me*slots+s] += uint32(s) + 1
+		}
+	}
+	for idx, want := range expect {
+		if got := m.ReadResultWord(own + int64(4*idx)); got != want {
+			t.Fatalf("slot %d = %d, want %d", idx, got, want)
+		}
+	}
+	wantShared := uint32(0)
+	for me := 0; me < procs; me++ {
+		for i := 0; i < 200; i++ {
+			if i%17 == 0 {
+				wantShared++
+			}
+		}
+	}
+	if got := m.ReadResultWord(shared); got != wantShared {
+		t.Fatalf("shared counter = %d, want %d", got, wantShared)
+	}
+}
+
+func TestHandlersDominateProtocolCost(t *testing.T) {
+	// SC protocol activity is handler execution (no diffs/twins exist).
+	m := machine(4, 64)
+	a := m.AllocPage(4096)
+	_, err := m.Run(func(th *core.Thread) {
+		for i := 0; i < 10; i++ {
+			th.Acquire(0)
+			v := th.Load32(a)
+			th.Store32(a, v+1)
+			th.Release(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.TotalCount(stats.DiffsCreated) != 0 || m.Stats.TotalCount(stats.TwinsCreated) != 0 {
+		t.Fatal("SC must not twin or diff")
+	}
+	_, diffPct, handlerPct := m.Stats.ProtocolPercent()
+	if diffPct != 0 {
+		t.Fatalf("diff%% = %f, want 0", diffPct)
+	}
+	if handlerPct <= 0 {
+		t.Fatal("handler%% should be positive")
+	}
+}
+
+// TestDirectoryInvariants drives a random DRF workload and verifies the
+// directory's structural invariants afterwards: at most one exclusive
+// owner per block, owner implies it is the sole sharer, and every
+// node-side Shared/Exclusive state is consistent with the home copy.
+func TestDirectoryInvariants(t *testing.T) {
+	const procs = 4
+	m := machine(procs, 64)
+	p := m.Prot.(*scfg.Protocol)
+	region := m.AllocPage(1 << 14)
+	_, err := m.Run(func(th *core.Thread) {
+		r := rand.New(rand.NewSource(int64(th.Proc()) * 77))
+		for i := 0; i < 300; i++ {
+			// Each proc owns a striped set of words (DRF by construction)
+			// plus shared read-only sweeps.
+			w := r.Intn(1 << 11)
+			addr := region + int64(4*w)
+			if w%procs == th.Proc() {
+				th.Store32(addr, uint32(w))
+			} else {
+				th.Load32(addr)
+			}
+		}
+		th.Barrier(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := p.CheckInvariants()
+	if bad != "" {
+		t.Fatal(bad)
+	}
+}

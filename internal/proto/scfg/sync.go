@@ -1,0 +1,132 @@
+package scfg
+
+import (
+	"fmt"
+
+	"swsm/internal/comm"
+	"swsm/internal/proto"
+	"swsm/internal/sim"
+	"swsm/internal/stats"
+)
+
+// Synchronization for the SC protocol: plain distributed queue locks and
+// a centralized barrier.  Unlike HLRC, no consistency actions attach to
+// synchronization — coherence is maintained eagerly per block — so locks
+// are cheap protocol-wise and the paper finds SC much less sensitive to
+// lock frequency.
+
+// Acquire requests the lock from its manager and waits for the grant.
+func (p *Protocol) Acquire(th proto.Thread, lock int) {
+	me := th.Proc()
+	msg := &comm.Message{
+		Src: me, Dst: p.lockManager(lock), Kind: msgLockReq, Size: 12,
+		Payload: lockMsg{lock: lock, proc: me}, NeedsHandler: true,
+	}
+	th.Send(stats.LockWait, msg)
+	th.BlockFor(stats.LockWait)
+}
+
+// Release passes the lock back to the manager.
+func (p *Protocol) Release(th proto.Thread, lock int) {
+	me := th.Proc()
+	msg := &comm.Message{
+		Src: me, Dst: p.lockManager(lock), Kind: msgLockRel, Size: 12,
+		Payload: lockMsg{lock: lock, proc: me}, NeedsHandler: true,
+	}
+	th.Send(stats.LockWait, msg)
+}
+
+// Barrier gathers arrivals at the manager and releases everyone.
+func (p *Protocol) Barrier(th proto.Thread, bar int, total int) {
+	me := th.Proc()
+	msg := &comm.Message{
+		Src: me, Dst: p.barrierManager(bar), Kind: msgBarArr, Size: 12,
+		Payload: barMsg{bar: bar, proc: me}, NeedsHandler: true,
+	}
+	th.Send(stats.BarrierWait, msg)
+	th.BlockFor(stats.BarrierWait)
+}
+
+// Finalize has nothing to flush: SC propagates writes eagerly.
+func (p *Protocol) Finalize(th proto.Thread) {}
+
+func (p *Protocol) lockManager(lock int) int   { return lock % p.nprocs }
+func (p *Protocol) barrierManager(bar int) int { return bar % p.nprocs }
+
+func (p *Protocol) handleLockReq(h proto.HandlerCtx, lm lockMsg) int64 {
+	ls := p.locks[lm.lock]
+	if ls == nil {
+		ls = &scLock{}
+		p.locks[lm.lock] = ls
+	}
+	if ls.held {
+		ls.queue = append(ls.queue, lm.proc)
+		return p.cfg.Costs.HandlerBase
+	}
+	ls.held = true
+	ls.holder = lm.proc
+	p.sendWake(h, lm.proc, 8)
+	return p.cfg.Costs.HandlerBase
+}
+
+func (p *Protocol) handleLockRel(h proto.HandlerCtx, lm lockMsg) int64 {
+	ls := p.locks[lm.lock]
+	if ls == nil || !ls.held || ls.holder != lm.proc {
+		panic(fmt.Sprintf("scfg: bad release of lock %d by %d", lm.lock, lm.proc))
+	}
+	if len(ls.queue) == 0 {
+		ls.held = false
+		return p.cfg.Costs.HandlerBase
+	}
+	next := ls.queue[0]
+	ls.queue = ls.queue[1:]
+	ls.holder = next
+	p.sendWake(h, next, 8)
+	return p.cfg.Costs.HandlerBase + p.cfg.Costs.HandlerPerItem
+}
+
+func (p *Protocol) handleBarArr(h proto.HandlerCtx, bm barMsg) int64 {
+	bs := p.barriers[bm.bar]
+	if bs == nil {
+		bs = &scBarrier{}
+		p.barriers[bm.bar] = bs
+	}
+	bs.arrived++
+	bs.procs = append(bs.procs, bm.proc)
+	if bs.arrived < p.nprocs {
+		return p.cfg.Costs.HandlerBase
+	}
+	procs := bs.procs
+	bs.arrived = 0
+	bs.procs = nil
+	for _, proc := range procs {
+		p.sendWake(h, proc, 8)
+	}
+	return p.cfg.Costs.HandlerBase + p.cfg.Costs.HandlerPerItem*int64(len(procs))
+}
+
+// sendWake ships a small data message that wakes the destination thread.
+func (p *Protocol) sendWake(h proto.HandlerCtx, to int, size int64) {
+	dst := to
+	h.Send(&comm.Message{
+		Src: h.Node(), Dst: dst, Size: size,
+		OnDeliver: func(now sim.Time) { p.env.WakeThread(dst) },
+	})
+}
+
+// ReadCoherent returns the current value of the word at addr: the
+// exclusive owner's copy if one exists, else the home copy.
+func (p *Protocol) ReadCoherent(addr int64) uint32 {
+	b := p.blockOf(addr)
+	if d := p.dir[b]; d != nil && d.owner >= 0 {
+		return p.env.NodeMem(int(d.owner)).ReadWord(addr)
+	}
+	return p.env.NodeMem(p.home(b)).ReadWord(addr)
+}
+
+// InitWrite initializes the home copy before the parallel phase.
+func (p *Protocol) InitWrite(addr int64, v uint32) {
+	p.env.NodeMem(p.home(p.blockOf(addr))).WriteWord(addr, v)
+}
+
+var _ proto.Protocol = (*Protocol)(nil)

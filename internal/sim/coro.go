@@ -1,0 +1,127 @@
+package sim
+
+import "fmt"
+
+// Coro is a simulated thread of control.  Its body runs on a real
+// goroutine, but exactly one coroutine (or the engine itself) executes at
+// any instant: the engine and the coroutine hand control back and forth
+// through a pair of unbuffered channels, so the simulation is sequential
+// and deterministic despite using goroutines for stack management.
+type Coro struct {
+	eng  *Engine
+	name string
+
+	resume chan struct{}
+	yield  chan struct{}
+
+	started bool
+	done    bool
+	blocked bool
+	// pendingWakes counts Wake calls that arrived while the coroutine was
+	// not blocked; Block consumes one instead of yielding, so wakeups are
+	// never lost.
+	pendingWakes int
+}
+
+// Spawn creates a coroutine and schedules its body to start at virtual
+// time `start`.  The body receives the coroutine for Sleep/Block calls.
+func (e *Engine) Spawn(name string, start Time, body func(*Coro)) *Coro {
+	c := &Coro{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.coros = append(e.coros, c)
+	e.At(start, func() {
+		c.started = true
+		go func() {
+			<-c.resume
+			defer func() {
+				// A panic in simulated code surfaces as an engine error
+				// instead of killing the host process.
+				if r := recover(); r != nil {
+					e.fail(fmt.Errorf("sim: coroutine %s panicked: %v", name, r))
+				}
+				c.done = true
+				c.yield <- struct{}{}
+			}()
+			body(c)
+		}()
+		c.step()
+	})
+	return c
+}
+
+// step transfers control to the coroutine and waits for it to yield or
+// finish.  Must only be called from engine (event) context.
+func (c *Coro) step() {
+	c.resume <- struct{}{}
+	<-c.yield
+}
+
+// yieldToEngine suspends the coroutine; control returns to the engine's
+// event loop.  The coroutine resumes when some event calls step.
+func (c *Coro) yieldToEngine() {
+	c.yield <- struct{}{}
+	<-c.resume
+}
+
+// Name reports the coroutine's name (used in deadlock reports).
+func (c *Coro) Name() string { return c.name }
+
+// Engine returns the owning engine.
+func (c *Coro) Engine() *Engine { return c.eng }
+
+// Now reports current virtual time.
+func (c *Coro) Now() Time { return c.eng.now }
+
+// Sleep advances virtual time by d cycles for this coroutine.  Other
+// events and coroutines run in the interim.
+func (c *Coro) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: coroutine %s sleeping negative %d", c.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	c.eng.After(d, c.step)
+	c.yieldToEngine()
+}
+
+// SleepUntil advances this coroutine's virtual time to absolute time t.
+// If t is in the past it is a no-op.
+func (c *Coro) SleepUntil(t Time) {
+	if t > c.eng.now {
+		c.Sleep(t - c.eng.now)
+	}
+}
+
+// Block suspends the coroutine until Wake is called.  If a Wake already
+// arrived since the last Block, it is consumed and Block returns
+// immediately (no time passes).
+func (c *Coro) Block() {
+	if c.pendingWakes > 0 {
+		c.pendingWakes--
+		return
+	}
+	c.blocked = true
+	c.yieldToEngine()
+	c.blocked = false
+}
+
+// Wake resumes a blocked coroutine at the current virtual time.  If the
+// coroutine is not currently blocked the wake is remembered and consumed
+// by its next Block.  Wake must be called from engine/event context or
+// from another (currently running) coroutine.
+func (c *Coro) Wake() {
+	if c.blocked {
+		c.blocked = false
+		c.eng.At(c.eng.now, c.step)
+		return
+	}
+	c.pendingWakes++
+}
+
+// Done reports whether the coroutine body has returned.
+func (c *Coro) Done() bool { return c.done }

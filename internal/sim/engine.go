@@ -1,0 +1,133 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with cooperatively scheduled coroutines, modeled on execution-driven
+// architecture simulators such as augmint: application code runs for real,
+// and the engine advances a virtual clock measured in processor cycles.
+//
+// The engine is strictly single-threaded from the simulation's point of
+// view.  Coroutines execute one at a time, handing control back to the
+// engine whenever they need virtual time to pass, so every run with the
+// same inputs produces bit-identical timing.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, measured in processor cycles.
+type Time = int64
+
+// event is a scheduled callback.  Events with equal timestamps fire in
+// scheduling order (seq), which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event core.  It owns the virtual clock and the
+// event queue, and it is the only entity that resumes coroutines.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	coros  []*Coro
+
+	// Stopped is set by Stop; Run drains no further events once set.
+	stopped bool
+	// failure records a coroutine panic; Run returns it.
+	failure error
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t.  Scheduling in the
+// past is an error in the simulation logic and panics.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop terminates Run after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// fail records a fatal simulation error and stops the engine.
+func (e *Engine) fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+	e.stopped = true
+}
+
+// Run processes events until the queue drains, Stop is called, or a
+// deadlock is detected (live coroutines but no scheduled events).  It
+// returns the final virtual time.
+func (e *Engine) Run() (Time, error) {
+	for !e.stopped && len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.failure != nil {
+		return e.now, e.failure
+	}
+	if !e.stopped {
+		if blocked := e.blockedCoros(); len(blocked) > 0 {
+			return e.now, fmt.Errorf("sim: deadlock at cycle %d; blocked coroutines: %v", e.now, blocked)
+		}
+	}
+	return e.now, nil
+}
+
+func (e *Engine) blockedCoros() []string {
+	var names []string
+	for _, c := range e.coros {
+		if !c.done && c.started {
+			names = append(names, c.name)
+		}
+	}
+	return names
+}
+
+// PendingEvents reports how many events are queued (for tests).
+func (e *Engine) PendingEvents() int { return len(e.events) }

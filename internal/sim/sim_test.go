@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(10, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 0) })
+	e.At(10, func() { got = append(got, 2) }) // same time: scheduling order
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 10 {
+		t.Fatalf("end time = %d, want 10", end)
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAfterAccumulates(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.After(3, func() {
+		times = append(times, e.Now())
+		e.After(4, func() { times = append(times, e.Now()) })
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != 3 || times[1] != 7 {
+		t.Fatalf("times = %v, want [3 7]", times)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+func TestCoroSleep(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.Spawn("a", 0, func(c *Coro) {
+		trace = append(trace, c.Now())
+		c.Sleep(10)
+		trace = append(trace, c.Now())
+		c.Sleep(0) // no-op
+		trace = append(trace, c.Now())
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if trace[0] != 0 || trace[1] != 10 || trace[2] != 10 {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestCoroInterleaving(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", 0, func(c *Coro) {
+		order = append(order, "a0")
+		c.Sleep(5)
+		order = append(order, "a5")
+		c.Sleep(10)
+		order = append(order, "a15")
+	})
+	e.Spawn("b", 0, func(c *Coro) {
+		order = append(order, "b0")
+		c.Sleep(7)
+		order = append(order, "b7")
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a0", "b0", "a5", "b7", "a15"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	e := NewEngine()
+	var a *Coro
+	var wokeAt Time
+	a = e.Spawn("blocked", 0, func(c *Coro) {
+		c.Block()
+		wokeAt = c.Now()
+	})
+	e.Spawn("waker", 0, func(c *Coro) {
+		c.Sleep(42)
+		a.Wake()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != 42 {
+		t.Fatalf("wokeAt = %d, want 42", wokeAt)
+	}
+}
+
+func TestWakeBeforeBlockIsNotLost(t *testing.T) {
+	e := NewEngine()
+	var a *Coro
+	finished := false
+	a = e.Spawn("late-blocker", 0, func(c *Coro) {
+		c.Sleep(100) // wake arrives during this sleep
+		c.Block()    // must consume the pending wake, not deadlock
+		finished = true
+	})
+	e.Spawn("early-waker", 0, func(c *Coro) {
+		c.Sleep(10)
+		a.Wake()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !finished {
+		t.Fatal("coroutine never finished")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("stuck", 0, func(c *Coro) { c.Block() })
+	if _, err := e.Run(); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestFIFOContention(t *testing.T) {
+	r := NewFIFO("bus")
+	s, f := r.Reserve(0, 10)
+	if s != 0 || f != 10 {
+		t.Fatalf("first = [%d,%d], want [0,10]", s, f)
+	}
+	s, f = r.Reserve(4, 5) // must queue behind the first
+	if s != 10 || f != 15 {
+		t.Fatalf("second = [%d,%d], want [10,15]", s, f)
+	}
+	s, f = r.Reserve(100, 1) // idle by then
+	if s != 100 || f != 101 {
+		t.Fatalf("third = [%d,%d], want [100,101]", s, f)
+	}
+	if r.BusyCycles() != 16 {
+		t.Fatalf("busy = %d, want 16", r.BusyCycles())
+	}
+	if r.WaitCycles() != 6 {
+		t.Fatalf("wait = %d, want 6", r.WaitCycles())
+	}
+	if r.Uses() != 3 {
+		t.Fatalf("uses = %d, want 3", r.Uses())
+	}
+}
+
+func TestBandwidthRates(t *testing.T) {
+	// 2 bytes per 3 cycles: 10 bytes -> ceil(30/2)=15 cycles.
+	b := NewBandwidth("io", 2, 3)
+	if got := b.TransferCycles(10); got != 15 {
+		t.Fatalf("10B = %d cycles, want 15", got)
+	}
+	// Infinite bandwidth.
+	inf := NewBandwidth("inf", 0, 1)
+	if got := inf.TransferCycles(1 << 20); got != 0 {
+		t.Fatalf("infinite pipe charged %d cycles", got)
+	}
+	// 4 bytes/cycle.
+	fast := NewBandwidth("fast", 4, 1)
+	if got := fast.TransferCycles(4096); got != 1024 {
+		t.Fatalf("4KB at 4B/cy = %d, want 1024", got)
+	}
+	if got := fast.TransferCycles(5); got != 2 { // rounds up
+		t.Fatalf("5B at 4B/cy = %d, want 2", got)
+	}
+}
+
+// Property: FIFO reservations never overlap and never start before request.
+func TestFIFOInvariants(t *testing.T) {
+	f := func(durs []uint16, gaps []uint16) bool {
+		r := NewFIFO("p")
+		now := Time(0)
+		prevEnd := Time(0)
+		n := len(durs)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		for i := 0; i < n; i++ {
+			now += Time(gaps[i] % 64)
+			s, e := r.Reserve(now, Time(durs[i]%128))
+			if s < now || s < prevEnd || e < s {
+				return false
+			}
+			prevEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bandwidth.TransferCycles is monotonic in byte count and exact
+// for multiples of the rate.
+func TestBandwidthMonotonic(t *testing.T) {
+	f := func(num, den uint8, a, b uint16) bool {
+		bw := NewBandwidth("p", int64(num%16)+1, int64(den%16)+1)
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return bw.TransferCycles(x) <= bw.TransferCycles(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		var log []Time
+		bus := NewFIFO("bus")
+		for i := 0; i < 8; i++ {
+			i := i
+			e.Spawn("w", Time(i), func(c *Coro) {
+				for j := 0; j < 4; j++ {
+					_, end := bus.Reserve(c.Now(), Time(3+i))
+					c.SleepUntil(end)
+					log = append(log, c.Now())
+				}
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("replay length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++; e.Stop() })
+	e.At(2, func() { ran++ })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (Stop should halt)", ran)
+	}
+}

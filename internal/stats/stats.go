@@ -1,0 +1,263 @@
+// Package stats accumulates per-processor execution-time breakdowns and
+// event counters, mirroring the categories the paper reports in its
+// Figure 4 breakdowns and Table 4 protocol-activity analysis.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category labels one component of a processor's execution time.
+type Category int
+
+// The breakdown categories, in presentation order.  They partition a
+// processor's wall-clock execution: every simulated cycle of a processor
+// is attributed to exactly one category.
+const (
+	Busy        Category = iota // application instructions (1 IPC)
+	CacheStall                  // local memory-hierarchy stalls
+	DataWait                    // waiting for remote data (page/block fetch)
+	LockWait                    // waiting to acquire locks
+	BarrierWait                 // waiting at barriers
+	Protocol                    // protocol actions on this processor: diffs, twins, mprotect, handler bodies
+	Handler                     // asynchronous message-handling dispatch cost
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"busy", "cache", "data", "lock", "barrier", "protocol", "handler",
+}
+
+// String returns the short category label.
+func (c Category) String() string {
+	if c < 0 || c >= NumCategories {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Counter labels an event counter.
+type Counter int
+
+// Event counters used for Table 4-style analysis and the validation of
+// communication behaviour.
+const (
+	MsgsSent Counter = iota
+	MsgsHandled
+	BytesSent
+	PageFetches
+	BlockFetches
+	DiffsCreated
+	DiffWordsCompared
+	DiffWordsWritten
+	DiffsApplied
+	TwinsCreated
+	WriteNotices
+	Invalidations
+	LockAcquires
+	BarriersCrossed
+	PageProtects
+	Loads
+	Stores
+	L1Misses
+	L2Misses
+	TaskSteals
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	"msgsSent", "msgsHandled", "bytesSent", "pageFetches", "blockFetches",
+	"diffsCreated", "diffWordsCompared", "diffWordsWritten", "diffsApplied",
+	"twinsCreated", "writeNotices", "invalidations", "lockAcquires",
+	"barriersCrossed", "pageProtects", "loads", "stores", "l1Misses",
+	"l2Misses", "taskSteals",
+}
+
+// String returns the counter label.
+func (c Counter) String() string {
+	if c < 0 || c >= NumCounters {
+		return fmt.Sprintf("Counter(%d)", int(c))
+	}
+	return counterNames[c]
+}
+
+// Proc accumulates one processor's breakdown.
+type Proc struct {
+	Time  [NumCategories]int64
+	Count [NumCounters]int64
+	// DiffCycles and HandlerCycles are the Table-4 split of Protocol time:
+	// diff-related computation vs. protocol handler execution.
+	DiffCycles    int64
+	HandlerCycles int64
+}
+
+// Total reports the sum of all time categories for this processor.
+func (p *Proc) Total() int64 {
+	var t int64
+	for _, v := range p.Time {
+		t += v
+	}
+	return t
+}
+
+// Machine aggregates the per-processor records for one run.
+type Machine struct {
+	Procs []Proc
+	// ExecCycles is the parallel execution time: the wall-clock cycle at
+	// which the last processor finished.
+	ExecCycles int64
+}
+
+// New creates a Machine record for n processors.
+func New(n int) *Machine {
+	return &Machine{Procs: make([]Proc, n)}
+}
+
+// Add charges cycles to a category on processor p.
+func (m *Machine) Add(p int, c Category, cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("stats: negative charge %d to %v", cycles, c))
+	}
+	m.Procs[p].Time[c] += cycles
+}
+
+// Inc bumps a counter on processor p.
+func (m *Machine) Inc(p int, c Counter, n int64) {
+	m.Procs[p].Count[c] += n
+}
+
+// AddDiff records diff-related protocol computation in the Table-4 book.
+// This book may overlap wait categories (a handler can run while the local
+// thread waits), so it is kept separate from the partitioned Time array;
+// callers charge Time explicitly when the work delays the thread.
+func (m *Machine) AddDiff(p int, cycles int64) {
+	m.Procs[p].DiffCycles += cycles
+}
+
+// AddHandlerBody records protocol-handler execution in the Table-4 book
+// (see AddDiff for the accounting discipline).
+func (m *Machine) AddHandlerBody(p int, cycles int64) {
+	m.Procs[p].HandlerCycles += cycles
+}
+
+// TotalTime sums a category across processors.
+func (m *Machine) TotalTime(c Category) int64 {
+	var t int64
+	for i := range m.Procs {
+		t += m.Procs[i].Time[c]
+	}
+	return t
+}
+
+// TotalCount sums a counter across processors.
+func (m *Machine) TotalCount(c Counter) int64 {
+	var t int64
+	for i := range m.Procs {
+		t += m.Procs[i].Count[c]
+	}
+	return t
+}
+
+// GrandTotal sums every category on every processor.
+func (m *Machine) GrandTotal() int64 {
+	var t int64
+	for c := Category(0); c < NumCategories; c++ {
+		t += m.TotalTime(c)
+	}
+	return t
+}
+
+// ProtocolPercent reports the Table-4 numbers: the percentage of total
+// processor time (ExecCycles x P) spent in protocol activity, and its
+// split into diff computation and handler execution.  The diff/handler
+// books include handlers that overlapped waits, as the paper's
+// instrumentation does.
+func (m *Machine) ProtocolPercent() (total, diff, handler float64) {
+	denom := float64(m.ExecCycles) * float64(len(m.Procs))
+	if denom == 0 {
+		return 0, 0, 0
+	}
+	var d, h, other int64
+	for i := range m.Procs {
+		d += m.Procs[i].DiffCycles
+		h += m.Procs[i].HandlerCycles
+		other += m.Procs[i].Time[Protocol]
+	}
+	// Protocol category time counts thread-context protocol work that the
+	// diff book does not already cover (mprotect, fault plumbing); the
+	// diff book covers the dominant share of it, so avoid double counting
+	// by taking the max of the two views of thread-side protocol work.
+	threadSide := d
+	if other > threadSide {
+		threadSide = other
+	}
+	return float64(threadSide+h) / denom * 100, float64(d) / denom * 100, float64(h) / denom * 100
+}
+
+// AverageBreakdown reports each category's mean cycles per processor.
+func (m *Machine) AverageBreakdown() [NumCategories]float64 {
+	var out [NumCategories]float64
+	n := float64(len(m.Procs))
+	if n == 0 {
+		return out
+	}
+	for c := Category(0); c < NumCategories; c++ {
+		out[c] = float64(m.TotalTime(c)) / n
+	}
+	return out
+}
+
+// Imbalance reports max/mean of a category across processors; 1.0 means
+// perfectly balanced.  Used for the paper's per-processor imbalance
+// observations (e.g. Radix data-wait imbalance under contention).
+func (m *Machine) Imbalance(c Category) float64 {
+	if len(m.Procs) == 0 {
+		return 1
+	}
+	var max, sum int64
+	for i := range m.Procs {
+		v := m.Procs[i].Time[c]
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(m.Procs))
+	return float64(max) / mean
+}
+
+// BreakdownString formats the average per-processor breakdown as a
+// single-line report, categories ordered as in the paper's Figure 4.
+func (m *Machine) BreakdownString() string {
+	avg := m.AverageBreakdown()
+	parts := make([]string, 0, NumCategories)
+	for c := Category(0); c < NumCategories; c++ {
+		parts = append(parts, fmt.Sprintf("%s=%.0f", c, avg[c]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// CounterString formats the non-zero machine-wide counters sorted by name.
+func (m *Machine) CounterString() string {
+	type kv struct {
+		name string
+		v    int64
+	}
+	var items []kv
+	for c := Counter(0); c < NumCounters; c++ {
+		if v := m.TotalCount(c); v != 0 {
+			items = append(items, kv{c.String(), v})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].name < items[j].name })
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = fmt.Sprintf("%s=%d", it.name, it.v)
+	}
+	return strings.Join(parts, " ")
+}

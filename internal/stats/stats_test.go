@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndTotals(t *testing.T) {
+	m := New(4)
+	m.Add(0, Busy, 100)
+	m.Add(1, Busy, 50)
+	m.Add(0, LockWait, 25)
+	if got := m.TotalTime(Busy); got != 150 {
+		t.Fatalf("busy total = %d", got)
+	}
+	if got := m.GrandTotal(); got != 175 {
+		t.Fatalf("grand total = %d", got)
+	}
+	if got := m.Procs[0].Total(); got != 125 {
+		t.Fatalf("proc 0 total = %d", got)
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Add(0, Busy, -1)
+}
+
+func TestCounters(t *testing.T) {
+	m := New(2)
+	m.Inc(0, DiffsCreated, 3)
+	m.Inc(1, DiffsCreated, 4)
+	if got := m.TotalCount(DiffsCreated); got != 7 {
+		t.Fatalf("counter total = %d", got)
+	}
+	s := m.CounterString()
+	if !strings.Contains(s, "diffsCreated=7") {
+		t.Fatalf("counter string %q", s)
+	}
+}
+
+func TestProtocolPercent(t *testing.T) {
+	m := New(2)
+	m.ExecCycles = 1000
+	m.AddDiff(0, 100)
+	m.AddHandlerBody(1, 300)
+	total, diff, handler := m.ProtocolPercent()
+	// Denominator 2*1000; diff 100 -> 5%, handler 300 -> 15%, total 20%.
+	if diff != 5 || handler != 15 || total != 20 {
+		t.Fatalf("percent = %.1f/%.1f/%.1f", total, diff, handler)
+	}
+}
+
+func TestProtocolPercentZeroExec(t *testing.T) {
+	m := New(2)
+	if a, b, c := m.ProtocolPercent(); a != 0 || b != 0 || c != 0 {
+		t.Fatal("zero exec should report zeros")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	m := New(4)
+	m.Add(0, DataWait, 400)
+	for i := 1; i < 4; i++ {
+		m.Add(i, DataWait, 200)
+	}
+	// mean 250, max 400 -> 1.6
+	if got := m.Imbalance(DataWait); got != 1.6 {
+		t.Fatalf("imbalance = %f", got)
+	}
+	if got := m.Imbalance(LockWait); got != 1 {
+		t.Fatalf("empty category imbalance = %f, want 1", got)
+	}
+}
+
+func TestAverageBreakdown(t *testing.T) {
+	m := New(2)
+	m.Add(0, Busy, 100)
+	m.Add(1, Busy, 300)
+	avg := m.AverageBreakdown()
+	if avg[Busy] != 200 {
+		t.Fatalf("avg busy = %f", avg[Busy])
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Category(0); c < NumCategories; c++ {
+		name := c.String()
+		if name == "" || seen[name] {
+			t.Fatalf("bad/duplicate category name %q", name)
+		}
+		seen[name] = true
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		if c.String() == "" {
+			t.Fatalf("empty counter name for %d", c)
+		}
+	}
+}
+
+// Property: Add is associative with totals (sum of parts == total).
+func TestAddAccumulates(t *testing.T) {
+	f := func(parts []uint16) bool {
+		m := New(1)
+		var want int64
+		for _, p := range parts {
+			m.Add(0, Protocol, int64(p))
+			want += int64(p)
+		}
+		return m.TotalTime(Protocol) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	m := New(1)
+	m.Add(0, Busy, 42)
+	if s := m.BreakdownString(); !strings.Contains(s, "busy=42") {
+		t.Fatalf("breakdown string %q", s)
+	}
+}

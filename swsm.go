@@ -1,0 +1,215 @@
+// Package swsm is the public API of the layered software-shared-memory
+// study: a faithful reproduction, in pure Go, of "Limits to the
+// Performance of Software Shared Memory: A Layered Approach" (HPCA
+// 1999).
+//
+// The library contains a deterministic execution-driven cluster
+// simulator, two software shared-memory protocols — page-grained
+// home-based lazy release consistency (HLRC) and fine/variable-grained
+// sequentially consistent directory coherence (SC) — a parameterized
+// communication layer, the nine SPLASH-2-style applications of the
+// paper's Table 1 plus their restructured-for-SVM variants, and the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// # Quick start
+//
+// Run one application under one configuration:
+//
+//	spec := swsm.DefaultSpec("fft", swsm.HLRC)
+//	res, err := swsm.Run(spec)
+//	// res.Cycles, res.Stats: breakdowns, counters ...
+//
+// Compare against the sequential baseline:
+//
+//	speedup, res, err := swsm.Speedup(spec)
+//
+// Or write a program of your own against the shared-address-space model:
+//
+//	m := swsm.NewHLRCMachine(swsm.MachineDefaults())
+//	addr := m.AllocPage(4096)
+//	cycles, err := m.Run(func(t *swsm.Thread) {
+//	    t.Acquire(0)
+//	    t.Store32(addr, t.Load32(addr)+1)
+//	    t.Release(0)
+//	    t.Barrier(0)
+//	})
+//
+// The three layers the paper varies are the knobs of RunSpec: the
+// communication parameter sets (CommAchievable … CommBetterThanBest),
+// the protocol cost sets (CostsOriginal/Halfway/Best), and the choice of
+// original vs restructured application.
+package swsm
+
+import (
+	"swsm/internal/apps"
+	"swsm/internal/comm"
+	"swsm/internal/core"
+	"swsm/internal/harness"
+	"swsm/internal/proto"
+	"swsm/internal/proto/hlrc"
+	"swsm/internal/proto/ideal"
+	"swsm/internal/proto/scfg"
+	"swsm/internal/stats"
+
+	// Register the full application suite.
+	_ "swsm/internal/apps/barnes"
+	_ "swsm/internal/apps/fft"
+	_ "swsm/internal/apps/lu"
+	_ "swsm/internal/apps/ocean"
+	_ "swsm/internal/apps/radix"
+	_ "swsm/internal/apps/raytrace"
+	_ "swsm/internal/apps/volrend"
+	_ "swsm/internal/apps/water"
+)
+
+// Core machine types.
+type (
+	// Machine is a simulated cluster (see internal/core).
+	Machine = core.Machine
+	// MachineConfig configures a Machine.
+	MachineConfig = core.Config
+	// Thread is the shared-address-space programming interface handed to
+	// every simulated processor.
+	Thread = core.Thread
+	// CommParams are the communication-layer cost parameters (Table 2).
+	CommParams = comm.Params
+	// ProtocolCosts are the protocol-layer cost parameters (Table 3).
+	ProtocolCosts = proto.Costs
+	// Metrics is a run's statistics record (breakdowns and counters).
+	Metrics = stats.Machine
+)
+
+// Experiment harness types.
+type (
+	// RunSpec describes one simulation run.
+	RunSpec = harness.RunSpec
+	// Result is one run's outcome.
+	Result = harness.Result
+	// ProtocolKind selects HLRC, SC or the ideal machine.
+	ProtocolKind = harness.ProtocolKind
+	// LayerConfig pairs a communication set with a protocol cost set
+	// ("AO" is the base system, "BB" both idealized...).
+	LayerConfig = harness.LayerConfig
+	// Scale selects a problem size (Tiny, Base, Large).
+	Scale = apps.Scale
+	// AppInfo describes a registered application.
+	AppInfo = apps.Info
+)
+
+// Protocol kinds.
+const (
+	HLRC  = harness.HLRC
+	SC    = harness.SC
+	LRC   = harness.LRC
+	Ideal = harness.Ideal
+)
+
+// Problem scales.
+const (
+	Tiny  = apps.Tiny
+	Base  = apps.Base
+	Large = apps.Large
+)
+
+// Communication parameter sets (the paper's A, B, H, W, B+).
+var (
+	CommAchievable     = comm.Achievable
+	CommBest           = comm.Best
+	CommHalfway        = comm.Halfway
+	CommWorse          = comm.Worse
+	CommBetterThanBest = comm.BetterThanBest
+)
+
+// Protocol cost sets (the paper's O, H, B).
+var (
+	CostsOriginal = proto.OriginalCosts
+	CostsHalfway  = proto.HalfwayCosts
+	CostsBest     = proto.BestCosts
+)
+
+// MachineDefaults returns the paper's base machine configuration: 16
+// uniprocessor nodes, achievable communication parameters, original
+// protocol costs, P6-like caches.
+func MachineDefaults() MachineConfig { return core.DefaultConfig() }
+
+// NewHLRCMachine builds a cluster running home-based lazy release
+// consistency with the configured protocol costs.
+func NewHLRCMachine(cfg MachineConfig) *Machine {
+	return core.NewMachine(cfg, hlrc.New(hlrc.Config{Costs: cfg.Costs}))
+}
+
+// NewSCMachine builds a cluster running the fine-grained sequentially
+// consistent protocol at the given block granularity (bytes, a power of
+// two; 64 if zero).
+func NewSCMachine(cfg MachineConfig, blockSize int) *Machine {
+	return core.NewMachine(cfg, scfg.New(scfg.Config{Costs: cfg.Costs, BlockSize: blockSize}))
+}
+
+// NewIdealMachine builds the zero-cost-coherence machine used for
+// algorithmic speedups and sequential baselines.
+func NewIdealMachine(cfg MachineConfig) *Machine {
+	cfg.SharedMem = true
+	return core.NewMachine(cfg, ideal.New())
+}
+
+// Apps lists the registered applications (originals and restructured).
+func Apps() []string { return apps.Names() }
+
+// AppLookup returns metadata for a registered application.
+func AppLookup(name string) (AppInfo, error) { return apps.Lookup(name) }
+
+// DefaultSpec is the paper's base (AO) configuration for an application.
+func DefaultSpec(app string, prot ProtocolKind) RunSpec {
+	return harness.DefaultSpec(app, prot)
+}
+
+// Run executes a spec end to end (setup, simulate, verify).
+func Run(spec RunSpec) (*Result, error) { return harness.Run(spec) }
+
+// Speedup runs spec and reports speedup over the sequential baseline.
+func Speedup(spec RunSpec) (float64, *Result, error) { return harness.Speedup(spec) }
+
+// SequentialBaseline reports the one-processor ideal-machine cycle count
+// used as every speedup's denominator.
+func SequentialBaseline(app string, scale Scale) (int64, error) {
+	return harness.SequentialBaseline(app, scale, true)
+}
+
+// Figure3 reproduces the paper's Figure 3 speedup ladder for one app.
+func Figure3(app string, scale Scale, procs int) (*harness.AppBar, error) {
+	return harness.Figure3(app, scale, procs, harness.Figure3Configs)
+}
+
+// Figure4 reproduces the paper's Figure 4 execution-time breakdowns.
+func Figure4(app string, scale Scale, procs int) ([]harness.Figure4Row, error) {
+	return harness.Figure4(app, scale, procs, harness.Figure3Configs)
+}
+
+// Figure5 reproduces the paper's Figure 5 single-communication-parameter
+// sweeps.
+func Figure5(app string, scale Scale, procs int) ([]harness.Figure5Point, error) {
+	return harness.Figure5(app, scale, procs)
+}
+
+// Tables 1-3 render the static configuration tables; Table4 and Table5
+// run the measurements behind the paper's Tables 4 and 5.
+var (
+	Table1       = harness.Table1
+	Table2       = harness.Table2
+	Table3       = harness.Table3
+	Table4       = harness.Table4
+	Table5       = harness.Table5
+	FormatTable4 = harness.FormatTable4
+	FormatTable5 = harness.FormatTable5
+)
+
+// Formatting helpers for the figure reproductions.
+var (
+	FormatFigure3 = harness.FormatFigure3
+	FormatFigure4 = harness.FormatFigure4
+	FormatFigure5 = harness.FormatFigure5
+)
+
+// Figure3Configs is the paper's bar ladder (B+B, BB, AB, BO, AO, WO).
+var Figure3Configs = harness.Figure3Configs

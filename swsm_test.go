@@ -1,0 +1,116 @@
+package swsm_test
+
+import (
+	"strings"
+	"testing"
+
+	"swsm"
+)
+
+// TestPublicMachines drives the facade constructors end to end: the same
+// race-free program must produce identical results on all four machines.
+func TestPublicMachines(t *testing.T) {
+	build := []struct {
+		name string
+		mk   func(swsm.MachineConfig) *swsm.Machine
+	}{
+		{"ideal", swsm.NewIdealMachine},
+		{"hlrc", swsm.NewHLRCMachine},
+		{"sc", func(c swsm.MachineConfig) *swsm.Machine { return swsm.NewSCMachine(c, 64) }},
+	}
+	var want uint32
+	for i, b := range build {
+		cfg := swsm.MachineDefaults()
+		cfg.Procs = 4
+		cfg.MemLimit = 4 << 20
+		m := b.mk(cfg)
+		ctr := m.AllocPage(4096)
+		cycles, err := m.Run(func(th *swsm.Thread) {
+			for k := 0; k < 5; k++ {
+				th.Acquire(0)
+				th.Store32(ctr, th.Load32(ctr)+1)
+				th.Release(0)
+			}
+			th.Barrier(0)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		if cycles <= 0 {
+			t.Fatalf("%s: nonpositive cycles", b.name)
+		}
+		got := m.ReadResultWord(ctr)
+		if i == 0 {
+			want = got
+		}
+		if got != want || got != 20 {
+			t.Fatalf("%s: counter = %d, want 20", b.name, got)
+		}
+	}
+}
+
+func TestAppsRegistered(t *testing.T) {
+	names := swsm.Apps()
+	wantApps := []string{
+		"barnes", "barnes-spatial", "fft", "lu", "ocean", "ocean-rowwise",
+		"radix", "radix-local", "raytrace", "volrend", "volrend-rest",
+		"water-nsquared", "water-spatial",
+	}
+	if len(names) != len(wantApps) {
+		t.Fatalf("registered %v", names)
+	}
+	for i, w := range wantApps {
+		if names[i] != w {
+			t.Fatalf("apps[%d] = %s, want %s", i, names[i], w)
+		}
+	}
+}
+
+func TestRunSpecEndToEnd(t *testing.T) {
+	spec := swsm.DefaultSpec("lu", swsm.HLRC)
+	spec.Scale = swsm.Tiny
+	spec.Procs = 4
+	sp, res, err := swsm.Speedup(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 0 || res.Cycles <= 0 {
+		t.Fatalf("speedup %f cycles %d", sp, res.Cycles)
+	}
+}
+
+func TestStaticTablesRender(t *testing.T) {
+	if !strings.Contains(swsm.Table1(), "water-nsquared") {
+		t.Fatal("table 1 missing applications")
+	}
+	if !strings.Contains(swsm.Table2(), "Host overhead") {
+		t.Fatal("table 2 missing parameters")
+	}
+	if !strings.Contains(swsm.Table3(), "Diff creation") {
+		t.Fatal("table 3 missing costs")
+	}
+}
+
+func TestLayerConfigLabels(t *testing.T) {
+	labels := map[string]bool{}
+	for _, lc := range swsm.Figure3Configs {
+		labels[lc.Label()] = true
+	}
+	for _, want := range []string{"AO", "BB", "B+B", "WO"} {
+		if !labels[want] {
+			t.Fatalf("figure 3 ladder missing %s (have %v)", want, labels)
+		}
+	}
+}
+
+func TestParamSetAccessors(t *testing.T) {
+	if swsm.CommAchievable().HostOverhead == 0 {
+		t.Fatal("achievable overhead zero")
+	}
+	if swsm.CommBest().HostOverhead != 0 {
+		t.Fatal("best overhead nonzero")
+	}
+	if swsm.CostsBest() != (swsm.ProtocolCosts{}) {
+		t.Fatal("best costs not all-zero")
+	}
+}
