@@ -1,10 +1,17 @@
 // Command svmbench regenerates the paper's evaluation: every table
 // (1-5) and figure (3-5).
 //
+// All measurement sweeps run through one shared session: independent
+// runs fan out over -parallel workers, and every run is memoized by its
+// spec, so configurations shared between figures/tables (sequential
+// baselines, the AO base system...) execute exactly once.  Output is
+// deterministic regardless of -parallel: results are collected by
+// index, never by completion order.
+//
 // Examples:
 //
 //	svmbench -table 4
-//	svmbench -figure 3 -apps fft,lu
+//	svmbench -figure 3 -apps fft,lu -parallel 8
 //	svmbench -all > results.txt
 package main
 
@@ -13,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"swsm"
 	"swsm/internal/harness"
@@ -28,6 +36,7 @@ func main() {
 		procs    = flag.Int("procs", 16, "processor count")
 		scale    = flag.String("scale", "base", "problem scale: tiny, base, large")
 		csvPath  = flag.String("csv", "", "also write figure data as CSV to this file")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -50,22 +59,26 @@ func main() {
 		sel = strings.Split(*appsCS, ",")
 	}
 
+	ses := swsm.NewSession(*parallel)
+
 	if *all {
 		for t := 1; t <= 5; t++ {
-			runTable(t, sc, *procs)
+			runTable(ses, t, sc, *procs)
 		}
 		for f := 3; f <= 5; f++ {
-			runFigure(f, sel, sc, *procs)
+			runFigure(ses, f, sel, sc, *procs)
 		}
 		return
 	}
 	if *table != 0 {
-		runTable(*table, sc, *procs)
+		runTable(ses, *table, sc, *procs)
 	}
 	if *figure != 0 {
-		runFigure(*figure, sel, sc, *procs)
+		runFigure(ses, *figure, sel, sc, *procs)
 		if *csvPath != "" {
-			if err := writeCSV(*figure, sel, sc, *procs, *csvPath); err != nil {
+			// The shared session already cached every run of the figure,
+			// so the CSV export re-assembles it entirely from cache.
+			if err := writeCSV(ses, *figure, sel, sc, *procs, *csvPath); err != nil {
 				fatalf("csv: %v", err)
 			}
 			fmt.Println("wrote", *csvPath)
@@ -87,78 +100,101 @@ func main() {
 	}
 }
 
-func runTable(n int, scale swsm.Scale, procs int) {
-	switch n {
-	case 1:
-		fmt.Println("Table 1: applications and problem sizes")
-		fmt.Print(swsm.Table1())
-	case 2:
-		fmt.Println("Table 2: communication parameter sets")
-		fmt.Print(swsm.Table2())
-	case 3:
-		fmt.Println("Table 3: protocol cost sets")
-		fmt.Print(swsm.Table3())
-	case 4:
-		fmt.Println("Table 4: % time in protocol activity (HLRC, base config)")
-		rows, err := swsm.Table4(scale, procs)
-		if err != nil {
-			fatalf("table 4: %v", err)
-		}
-		fmt.Print(swsm.FormatTable4(rows))
-	case 5:
-		fmt.Println("Table 5: per-application layer-importance summary (HLRC)")
-		rows, err := swsm.Table5(scale, procs)
-		if err != nil {
-			fatalf("table 5: %v", err)
-		}
-		fmt.Print(swsm.FormatTable5(rows))
-	default:
-		fatalf("no table %d (have 1-5)", n)
+// sweep times f and prints the one-line wall-clock + cache summary the
+// session accumulated during it (skipped for static tables that run
+// nothing).
+func sweep(ses *swsm.Session, label string, f func()) {
+	before := ses.Stats()
+	start := time.Now()
+	f()
+	elapsed := time.Since(start)
+	st := ses.Stats()
+	runs := st.Runs - before.Runs
+	hits := (st.Hits + st.Waits) - (before.Hits + before.Waits)
+	if runs+hits == 0 {
+		return
 	}
+	fmt.Printf("[%s: %.2fs wall, parallel=%d, %d runs, %d cache hits]\n",
+		label, elapsed.Seconds(), ses.Parallelism(), runs, hits)
+}
+
+func runTable(ses *swsm.Session, n int, scale swsm.Scale, procs int) {
+	sweep(ses, fmt.Sprintf("table %d", n), func() {
+		switch n {
+		case 1:
+			fmt.Println("Table 1: applications and problem sizes")
+			fmt.Print(swsm.Table1())
+		case 2:
+			fmt.Println("Table 2: communication parameter sets")
+			fmt.Print(swsm.Table2())
+		case 3:
+			fmt.Println("Table 3: protocol cost sets")
+			fmt.Print(swsm.Table3())
+		case 4:
+			fmt.Println("Table 4: % time in protocol activity (HLRC, base config)")
+			rows, err := ses.Table4(scale, procs)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Print(swsm.FormatTable4(rows))
+		case 5:
+			fmt.Println("Table 5: per-application layer-importance summary (HLRC)")
+			rows, err := ses.Table5(scale, procs)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Print(swsm.FormatTable5(rows))
+		default:
+			fatalf("no table %d (have 1-5)", n)
+		}
+	})
 	fmt.Println()
 }
 
-func runFigure(n int, sel []string, scale swsm.Scale, procs int) {
-	switch n {
-	case 3:
-		fmt.Println("Figure 3: speedups across layer configurations")
-		for _, app := range sel {
-			bar, err := swsm.Figure3(app, scale, procs)
-			if err != nil {
-				fatalf("figure 3 (%s): %v", app, err)
+func runFigure(ses *swsm.Session, n int, sel []string, scale swsm.Scale, procs int) {
+	sweep(ses, fmt.Sprintf("figure %d", n), func() {
+		switch n {
+		case 3:
+			fmt.Println("Figure 3: speedups across layer configurations")
+			for _, app := range sel {
+				bar, err := ses.Figure3(app, scale, procs, harness.Figure3Configs)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				fmt.Print(swsm.FormatFigure3(bar, swsm.Figure3Configs))
+				fmt.Print(harness.RenderFigure3(bar, swsm.Figure3Configs))
 			}
-			fmt.Print(swsm.FormatFigure3(bar, swsm.Figure3Configs))
-			fmt.Print(harness.RenderFigure3(bar, swsm.Figure3Configs))
-		}
-	case 4:
-		fmt.Println("Figure 4: execution time breakdowns (avg cycles/proc)")
-		for _, app := range sel {
-			rows, err := swsm.Figure4(app, scale, procs)
-			if err != nil {
-				fatalf("figure 4 (%s): %v", app, err)
+		case 4:
+			fmt.Println("Figure 4: execution time breakdowns (avg cycles/proc)")
+			for _, app := range sel {
+				rows, err := ses.Figure4(app, scale, procs, harness.Figure3Configs)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				fmt.Println(app)
+				fmt.Print(swsm.FormatFigure4(rows))
+				fmt.Print(harness.RenderFigure4(rows))
 			}
-			fmt.Println(app)
-			fmt.Print(swsm.FormatFigure4(rows))
-			fmt.Print(harness.RenderFigure4(rows))
-		}
-	case 5:
-		fmt.Println("Figure 5: one communication parameter varied at a time (speedups)")
-		for _, app := range sel {
-			pts, err := swsm.Figure5(app, scale, procs)
-			if err != nil {
-				fatalf("figure 5 (%s): %v", app, err)
+		case 5:
+			fmt.Println("Figure 5: one communication parameter varied at a time (speedups)")
+			for _, app := range sel {
+				pts, err := ses.Figure5(app, scale, procs)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				fmt.Println(app)
+				fmt.Print(swsm.FormatFigure5(pts))
 			}
-			fmt.Println(app)
-			fmt.Print(swsm.FormatFigure5(pts))
+		default:
+			fatalf("no figure %d (have 3-5)", n)
 		}
-	default:
-		fatalf("no figure %d (have 3-5)", n)
-	}
+	})
 	fmt.Println()
 }
 
-// writeCSV re-runs the figure and saves its data points as CSV.
-func writeCSV(figure int, sel []string, scale swsm.Scale, procs int, path string) error {
+// writeCSV re-assembles the figure (from the session cache when it just
+// ran) and saves its data points as CSV.
+func writeCSV(ses *swsm.Session, figure int, sel []string, scale swsm.Scale, procs int, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -168,7 +204,7 @@ func writeCSV(figure int, sel []string, scale swsm.Scale, procs int, path string
 	case 3:
 		var bars []*harness.AppBar
 		for _, app := range sel {
-			b, err := swsm.Figure3(app, scale, procs)
+			b, err := ses.Figure3(app, scale, procs, harness.Figure3Configs)
 			if err != nil {
 				return err
 			}
@@ -178,7 +214,7 @@ func writeCSV(figure int, sel []string, scale swsm.Scale, procs int, path string
 	case 4:
 		var all []harness.Figure4Row
 		for _, app := range sel {
-			rows, err := swsm.Figure4(app, scale, procs)
+			rows, err := ses.Figure4(app, scale, procs, harness.Figure3Configs)
 			if err != nil {
 				return err
 			}
@@ -187,7 +223,7 @@ func writeCSV(figure int, sel []string, scale swsm.Scale, procs int, path string
 		return harness.WriteFigure4CSV(f, all)
 	case 5:
 		for _, app := range sel {
-			pts, err := swsm.Figure5(app, scale, procs)
+			pts, err := ses.Figure5(app, scale, procs)
 			if err != nil {
 				return err
 			}

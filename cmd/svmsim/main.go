@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"swsm"
 	"swsm/internal/harness"
@@ -31,6 +32,7 @@ func main() {
 		scBlock  = flag.Int("scblock", 0, "override SC block granularity (bytes)")
 		list     = flag.Bool("list", false, "list applications and exit")
 		perProc  = flag.Bool("perproc", false, "print the per-processor breakdown table")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -64,19 +66,24 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	seq, err := swsm.SequentialBaseline(*app, spec.Scale)
-	if err != nil {
-		fatalf("sequential baseline: %v", err)
-	}
-	res, err := swsm.Run(spec)
+	// The session runs the spec and its sequential baseline concurrently
+	// (two independent simulations) and memoizes both.
+	ses := swsm.NewSession(*parallel)
+	start := time.Now()
+	speedup, res, err := ses.Speedup(spec)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	elapsed := time.Since(start)
+	seq, err := ses.SequentialBaseline(*app, spec.Scale, spec.CacheEnabled)
+	if err != nil {
+		fatalf("sequential baseline: %v", err)
 	}
 
 	fmt.Printf("%s on %s, %d procs, config %s (scale %s)\n",
 		*app, *protocol, *procs, lc.Label(), *scale)
 	fmt.Printf("  cycles:   %d (sequential %d)\n", res.Cycles, seq)
-	fmt.Printf("  speedup:  %.2f\n", float64(seq)/float64(res.Cycles))
+	fmt.Printf("  speedup:  %.2f\n", speedup)
 	fmt.Printf("  breakdown (avg cycles/proc): %s\n", res.Stats.BreakdownString())
 	total, diffPct, handlerPct := res.Stats.ProtocolPercent()
 	fmt.Printf("  protocol activity: %.1f%% of time (diff %.1f%%, handler %.1f%%)\n",
@@ -90,6 +97,9 @@ func main() {
 		fmt.Println("  per-processor breakdown:")
 		fmt.Print(harness.PerProcBreakdown(res))
 	}
+	st := ses.Stats()
+	fmt.Printf("[%.2fs wall, parallel=%d, %d runs, %d cache hits]\n",
+		elapsed.Seconds(), ses.Parallelism(), st.Runs, st.Hits+st.Waits)
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -59,48 +59,70 @@ type AppBar struct {
 	Results map[string]*Result // keyed "hlrc/AO", "sc/BB", ...
 }
 
-// Figure3 runs the speedup ladder for one application at the given
-// scale and processor count.
-func Figure3(app string, scale apps.Scale, procs int, configs []LayerConfig) (*AppBar, error) {
-	bar := &AppBar{
-		App:  app,
-		HLRC: map[string]float64{}, SC: map[string]float64{},
-		Results: map[string]*Result{},
-	}
-	seq, err := SequentialBaseline(app, scale, true)
-	if err != nil {
-		return nil, err
-	}
-	// Ideal machine speedup.
-	idealSpec := RunSpec{App: app, Scale: scale, Protocol: Ideal, Procs: procs,
-		Comm: comm.Best(), Costs: proto.BestCosts(), CacheEnabled: true}
-	idealRes, err := Run(idealSpec)
-	if err != nil {
-		return nil, err
-	}
-	bar.Ideal = float64(seq) / float64(idealRes.Cycles)
-	bar.Results["ideal"] = idealRes
+// configSlot names one (protocol, layer-config) cell of a sweep, used
+// to map index-ordered runner results back to their labels.
+type configSlot struct {
+	prot  ProtocolKind
+	label string
+}
 
+// configSpecs expands the protocol x config grid into specs plus the
+// slot bookkeeping that labels each index-aligned result.
+func configSpecs(app string, scale apps.Scale, procs int, configs []LayerConfig) ([]RunSpec, []configSlot, error) {
+	var specs []RunSpec
+	var slots []configSlot
 	for _, prot := range []ProtocolKind{HLRC, SC} {
 		for _, lc := range configs {
 			spec := DefaultSpec(app, prot)
 			spec.Scale = scale
 			spec.Procs = procs
 			if err := lc.Apply(&spec); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			res, err := Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s %s: %w", app, prot, lc.Label(), err)
-			}
-			sp := float64(seq) / float64(res.Cycles)
-			key := string(prot) + "/" + lc.Label()
-			bar.Results[key] = res
-			if prot == HLRC {
-				bar.HLRC[lc.Label()] = sp
-			} else {
-				bar.SC[lc.Label()] = sp
-			}
+			specs = append(specs, spec)
+			slots = append(slots, configSlot{prot, lc.Label()})
+		}
+	}
+	return specs, slots, nil
+}
+
+// Figure3 runs the speedup ladder for one application at the given
+// scale and processor count (one-off session; sweeps over several
+// figures should share a Session to reuse cached runs).
+func Figure3(app string, scale apps.Scale, procs int, configs []LayerConfig) (*AppBar, error) {
+	return NewSession(0).Figure3(app, scale, procs, configs)
+}
+
+// Figure3 runs the speedup ladder through the session's worker pool.
+// All runs — sequential baseline, ideal machine, and the protocol x
+// config grid — are scheduled at once; results are collected by index,
+// so the output is identical to the serial path.
+func (s *Session) Figure3(app string, scale apps.Scale, procs int, configs []LayerConfig) (*AppBar, error) {
+	gridSpecs, slots, err := configSpecs(app, scale, procs, configs)
+	if err != nil {
+		return nil, err
+	}
+	specs := append([]RunSpec{baselineSpec(app, scale, true), idealSpec(app, scale, procs)}, gridSpecs...)
+	results, err := s.RunAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure 3 (%s): %w", app, err)
+	}
+	seq := results[0].Cycles
+	bar := &AppBar{
+		App:  app,
+		HLRC: map[string]float64{}, SC: map[string]float64{},
+		Results: map[string]*Result{},
+	}
+	bar.Ideal = float64(seq) / float64(results[1].Cycles)
+	bar.Results["ideal"] = results[1]
+	for i, sl := range slots {
+		res := results[2+i]
+		sp := float64(seq) / float64(res.Cycles)
+		bar.Results[string(sl.prot)+"/"+sl.label] = res
+		if sl.prot == HLRC {
+			bar.HLRC[sl.label] = sp
+		} else {
+			bar.SC[sl.label] = sp
 		}
 	}
 	return bar, nil
@@ -139,28 +161,32 @@ type Figure4Row struct {
 	Cycles    int64
 }
 
-// Figure4 computes breakdowns for an application across configurations.
+// Figure4 computes breakdowns for an application across configurations
+// (one-off session).
 func Figure4(app string, scale apps.Scale, procs int, configs []LayerConfig) ([]Figure4Row, error) {
-	var out []Figure4Row
-	for _, prot := range []ProtocolKind{HLRC, SC} {
-		for _, lc := range configs {
-			spec := DefaultSpec(app, prot)
-			spec.Scale = scale
-			spec.Procs = procs
-			if err := lc.Apply(&spec); err != nil {
-				return nil, err
-			}
-			res, err := Run(spec)
-			if err != nil {
-				return nil, err
-			}
-			row := Figure4Row{App: app, Proto: prot, Config: lc.Label(), Cycles: res.Cycles}
-			avg := res.Stats.AverageBreakdown()
-			for c := stats.Category(0); c < stats.NumCategories; c++ {
-				row.Breakdown[c] = avg[c]
-			}
-			out = append(out, row)
+	return NewSession(0).Figure4(app, scale, procs, configs)
+}
+
+// Figure4 computes breakdowns through the session's worker pool; rows
+// come back in the same protocol x config order as the serial path.
+func (s *Session) Figure4(app string, scale apps.Scale, procs int, configs []LayerConfig) ([]Figure4Row, error) {
+	specs, slots, err := configSpecs(app, scale, procs, configs)
+	if err != nil {
+		return nil, err
+	}
+	results, err := s.RunAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure 4 (%s): %w", app, err)
+	}
+	out := make([]Figure4Row, 0, len(results))
+	for i, sl := range slots {
+		res := results[i]
+		row := Figure4Row{App: app, Proto: sl.prot, Config: sl.label, Cycles: res.Cycles}
+		avg := res.Stats.AverageBreakdown()
+		for c := stats.Category(0); c < stats.NumCategories; c++ {
+			row.Breakdown[c] = avg[c]
 		}
+		out = append(out, row)
 	}
 	return out, nil
 }
@@ -241,17 +267,27 @@ func vary(base comm.Params, param string, num, den int64) comm.Params {
 }
 
 // Figure5 sweeps one communication parameter at a time (others at
-// achievable values), for both protocols.
+// achievable values), for both protocols (one-off session).
 func Figure5(app string, scale apps.Scale, procs int) ([]Figure5Point, error) {
-	seq, err := SequentialBaseline(app, scale, true)
-	if err != nil {
-		return nil, err
-	}
+	return NewSession(0).Figure5(app, scale, procs)
+}
+
+// Figure5 runs the single-parameter sweeps through the session's worker
+// pool.  The baseline and every (protocol, parameter, factor) run are
+// scheduled together; the x1 point of each parameter is the same memo
+// key (the unmodified achievable Params), so the cache collapses those
+// duplicates to one run per protocol.
+func (s *Session) Figure5(app string, scale apps.Scale, procs int) ([]Figure5Point, error) {
 	factors := []struct {
 		label    string
 		num, den int64
 	}{{"0", 0, 1}, {"1/2", 1, 2}, {"1", 1, 1}, {"2", 2, 1}}
-	var out []Figure5Point
+	type slot struct {
+		param, factor string
+		prot          ProtocolKind
+	}
+	specs := []RunSpec{baselineSpec(app, scale, true)}
+	var slots []slot
 	for _, prot := range []ProtocolKind{HLRC, SC} {
 		for _, param := range Figure5Params {
 			for _, f := range factors {
@@ -259,16 +295,22 @@ func Figure5(app string, scale apps.Scale, procs int) ([]Figure5Point, error) {
 				spec.Scale = scale
 				spec.Procs = procs
 				spec.Comm = vary(comm.Achievable(), param, f.num, f.den)
-				res, err := Run(spec)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, Figure5Point{
-					Param: param, Factor: f.label, Proto: prot,
-					Speedup: float64(seq) / float64(res.Cycles),
-				})
+				specs = append(specs, spec)
+				slots = append(slots, slot{param, f.label, prot})
 			}
 		}
+	}
+	results, err := s.RunAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure 5 (%s): %w", app, err)
+	}
+	seq := results[0].Cycles
+	out := make([]Figure5Point, 0, len(slots))
+	for i, sl := range slots {
+		out = append(out, Figure5Point{
+			Param: sl.param, Factor: sl.factor, Proto: sl.prot,
+			Speedup: float64(seq) / float64(results[1+i].Cycles),
+		})
 	}
 	return out, nil
 }

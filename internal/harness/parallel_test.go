@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"swsm/internal/apps"
+)
+
+// TestParallelFigure3Deterministic proves the runner's central claim:
+// running the full Figure-3 ladder through a parallel session produces
+// results identical to a serial session — cycle counts and complete
+// per-processor breakdowns — because each simulation is internally
+// single-threaded and cross-run parallelism cannot perturb it.
+func TestParallelFigure3Deterministic(t *testing.T) {
+	const app, procs = "fft", 8
+	serial, err := NewSession(1).Figure3(app, apps.Tiny, procs, Figure3Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewSession(8).Figure3(app, apps.Tiny, procs, Figure3Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Ideal != par.Ideal {
+		t.Fatalf("ideal speedup diverged: serial %v, parallel %v", serial.Ideal, par.Ideal)
+	}
+	if !reflect.DeepEqual(serial.HLRC, par.HLRC) || !reflect.DeepEqual(serial.SC, par.SC) {
+		t.Fatalf("speedups diverged:\nserial HLRC %v SC %v\nparallel HLRC %v SC %v",
+			serial.HLRC, serial.SC, par.HLRC, par.SC)
+	}
+	if len(serial.Results) != len(par.Results) {
+		t.Fatalf("result sets differ: %d vs %d", len(serial.Results), len(par.Results))
+	}
+	for key, sr := range serial.Results {
+		pr, ok := par.Results[key]
+		if !ok {
+			t.Fatalf("parallel session missing result %q", key)
+		}
+		if sr.Cycles != pr.Cycles {
+			t.Fatalf("%s: cycles diverged: serial %d, parallel %d", key, sr.Cycles, pr.Cycles)
+		}
+		// Full per-processor breakdowns and counters, not just totals.
+		if !reflect.DeepEqual(sr.Stats.Procs, pr.Stats.Procs) {
+			t.Fatalf("%s: per-processor stats diverged", key)
+		}
+	}
+}
+
+// TestSessionMemoizesBaseline checks the satellite requirement: the
+// sequential baseline runs once per (app, scale) within a session, no
+// matter how many speedups divide by it.
+func TestSessionMemoizesBaseline(t *testing.T) {
+	s := NewSession(2)
+	seq1, err := s.SequentialBaseline("fft", apps.Tiny, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Speedup(func() RunSpec {
+		spec := DefaultSpec("fft", HLRC)
+		spec.Scale = apps.Tiny
+		spec.Procs = 4
+		return spec
+	}()); err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := s.SequentialBaseline("fft", apps.Tiny, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq1 != seq2 {
+		t.Fatalf("baseline changed between calls: %d vs %d", seq1, seq2)
+	}
+	st := s.Stats()
+	// Three requests touched the baseline key (direct, Speedup, direct);
+	// exactly one executed.
+	if st.Runs != 2 { // baseline + the HLRC run
+		t.Fatalf("runs = %d, want 2 (baseline memoized)", st.Runs)
+	}
+	if st.Hits+st.Waits < 2 {
+		t.Fatalf("cache hits+waits = %d, want >= 2", st.Hits+st.Waits)
+	}
+}

@@ -139,28 +139,18 @@ func Run(spec RunSpec) (*Result, error) {
 
 // SequentialBaseline runs the app single-threaded on the ideal machine,
 // the denominator of every speedup in the paper ("the same best
-// sequential version").
+// sequential version").  Sweeps should prefer Session.SequentialBaseline,
+// which memoizes the run per (app, scale).
 func SequentialBaseline(app string, scale apps.Scale, cacheEnabled bool) (int64, error) {
-	spec := RunSpec{
-		App: app, Scale: scale, Protocol: Ideal, Procs: 1,
-		Comm: comm.Best(), Costs: proto.BestCosts(), CacheEnabled: cacheEnabled,
-	}
-	res, err := Run(spec)
+	res, err := Run(baselineSpec(app, scale, cacheEnabled))
 	if err != nil {
 		return 0, err
 	}
 	return res.Cycles, nil
 }
 
-// Speedup runs spec and reports cycles(seq)/cycles(parallel).
+// Speedup runs spec and reports cycles(seq)/cycles(parallel), using a
+// one-off parallel session (spec and baseline run concurrently).
 func Speedup(spec RunSpec) (float64, *Result, error) {
-	seq, err := SequentialBaseline(spec.App, spec.Scale, spec.CacheEnabled)
-	if err != nil {
-		return 0, nil, err
-	}
-	res, err := Run(spec)
-	if err != nil {
-		return 0, nil, err
-	}
-	return float64(seq) / float64(res.Cycles), res, nil
+	return NewSession(0).Speedup(spec)
 }

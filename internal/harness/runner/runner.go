@@ -1,0 +1,134 @@
+// Package runner provides the concurrency-safe experiment scheduler
+// underneath the harness's sweeps: a bounded worker pool that fans
+// independent runs out over goroutines, a key-addressed memoization
+// cache so any run executes at most once per sweep session, and
+// single-flight deduplication of concurrently requested identical keys.
+//
+// The pool is generic over a comparable key type and a result type; the
+// harness instantiates it with K = RunSpec (a flat, comparable struct —
+// every field participates in the memo key) and V = *Result.  Because
+// each simulation is internally single-threaded and deterministic,
+// cross-run parallelism cannot perturb results: a run's output depends
+// only on its key, never on scheduling order, which is precisely what
+// makes memoization sound.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats counts cache traffic in a pool.
+type Stats struct {
+	// Runs is the number of function executions actually performed
+	// (cache misses).
+	Runs int64
+	// Hits is the number of calls served from the completed-run cache.
+	Hits int64
+	// Waits is the number of calls that found an identical key already
+	// in flight and waited for it (single-flight deduplication).
+	Waits int64
+}
+
+// call is one memoized execution.  done is closed exactly once, after
+// val/err are final.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Pool memoizes and schedules executions of fn over a bounded number of
+// concurrent workers.  All methods are safe for concurrent use.
+type Pool[K comparable, V any] struct {
+	fn  func(K) (V, error)
+	sem chan struct{}
+
+	mu    sync.Mutex
+	calls map[K]*call[V]
+
+	runs, hits, waits atomic.Int64
+}
+
+// New creates a pool running fn on at most parallel workers
+// (parallel <= 0 means runtime.GOMAXPROCS(0)).
+func New[K comparable, V any](parallel int, fn func(K) (V, error)) *Pool[K, V] {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Pool[K, V]{
+		fn:    fn,
+		sem:   make(chan struct{}, parallel),
+		calls: make(map[K]*call[V]),
+	}
+}
+
+// Parallelism reports the worker bound.
+func (p *Pool[K, V]) Parallelism() int { return cap(p.sem) }
+
+// Do returns fn(k), executing it at most once per pool lifetime: the
+// first caller runs it (bounded by the worker semaphore), concurrent
+// callers with the same key wait for that execution, and later callers
+// get the cached result.  Errors are memoized like values.
+func (p *Pool[K, V]) Do(k K) (V, error) {
+	p.mu.Lock()
+	if c, ok := p.calls[k]; ok {
+		p.mu.Unlock()
+		select {
+		case <-c.done:
+			p.hits.Add(1)
+		default:
+			p.waits.Add(1)
+			<-c.done
+		}
+		return c.val, c.err
+	}
+	c := &call[V]{done: make(chan struct{})}
+	p.calls[k] = c
+	p.mu.Unlock()
+
+	p.runs.Add(1)
+	p.sem <- struct{}{}
+	defer func() {
+		<-p.sem
+		// Close after val/err are written (and even if fn panicked, so
+		// waiters are not stranded; the panic itself propagates).
+		close(c.done)
+	}()
+	c.val, c.err = p.fn(k)
+	return c.val, c.err
+}
+
+// DoAll runs Do for every key concurrently and returns the results in
+// key order (index i of the result corresponds to keys[i], regardless
+// of completion order).  The first error encountered in key order is
+// returned alongside the partial results.
+func (p *Pool[K, V]) DoAll(keys []K) ([]V, error) {
+	out := make([]V, len(keys))
+	errs := make([]error, len(keys))
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k K) {
+			defer wg.Done()
+			out[i], errs[i] = p.Do(k)
+		}(i, k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the pool's cache counters.
+func (p *Pool[K, V]) Stats() Stats {
+	return Stats{
+		Runs:  p.runs.Load(),
+		Hits:  p.hits.Load(),
+		Waits: p.waits.Load(),
+	}
+}

@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoHitMiss(t *testing.T) {
+	var execs atomic.Int64
+	p := New(2, func(k int) (int, error) {
+		execs.Add(1)
+		return k * 10, nil
+	})
+	for i := 0; i < 3; i++ {
+		v, err := p.Do(7)
+		if err != nil || v != 70 {
+			t.Fatalf("Do(7) = %d, %v", v, err)
+		}
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	st := p.Stats()
+	if st.Runs != 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want Runs=1 Hits=2", st)
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	release := make(chan struct{})
+	var execs atomic.Int64
+	p := New(4, func(k string) (string, error) {
+		execs.Add(1)
+		<-release
+		return k + "!", nil
+	})
+	const waiters = 4
+	var wg sync.WaitGroup
+	results := make([]string, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = p.Do("x")
+		}(i)
+	}
+	// Let the goroutines reach Do before releasing the single execution.
+	for p.Stats().Runs+p.Stats().Waits < waiters {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times for one key, want 1", got)
+	}
+	for i, r := range results {
+		if r != "x!" {
+			t.Fatalf("waiter %d got %q", i, r)
+		}
+	}
+	st := p.Stats()
+	if st.Runs != 1 || st.Waits != waiters-1 {
+		t.Fatalf("stats = %+v, want Runs=1 Waits=%d", st, waiters-1)
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const bound = 2
+	var cur, peak atomic.Int64
+	p := New(bound, func(k int) (int, error) {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		// Hold the slot long enough for contention to be observable.
+		for i := 0; i < 1000; i++ {
+			_ = i
+		}
+		cur.Add(-1)
+		return k, nil
+	})
+	keys := make([]int, 16)
+	for i := range keys {
+		keys[i] = i
+	}
+	if _, err := p.DoAll(keys); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > bound {
+		t.Fatalf("observed %d concurrent executions, bound is %d", got, bound)
+	}
+}
+
+func TestDoAllOrder(t *testing.T) {
+	p := New(4, func(k int) (int, error) { return k * k, nil })
+	keys := []int{5, 3, 9, 1, 3, 5}
+	out, err := p.DoAll(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if out[i] != k*k {
+			t.Fatalf("out[%d] = %d, want %d (results must align with key order)", i, out[i], k*k)
+		}
+	}
+	st := p.Stats()
+	if st.Runs != 4 { // 5, 3, 9, 1 — duplicates deduplicated
+		t.Fatalf("runs = %d, want 4", st.Runs)
+	}
+}
+
+func TestErrorMemoized(t *testing.T) {
+	boom := errors.New("boom")
+	var execs atomic.Int64
+	p := New(1, func(k int) (int, error) {
+		execs.Add(1)
+		return 0, boom
+	})
+	if _, err := p.Do(1); !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v", err)
+	}
+	if _, err := p.Do(1); !errors.Is(err, boom) {
+		t.Fatalf("second Do err = %v", err)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("failing fn executed %d times, want 1 (errors memoize)", got)
+	}
+}
+
+func TestDefaultParallelism(t *testing.T) {
+	p := New(0, func(k int) (int, error) { return k, nil })
+	if p.Parallelism() < 1 {
+		t.Fatalf("Parallelism() = %d, want >= 1", p.Parallelism())
+	}
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"swsm/internal/apps"
+	"swsm/internal/comm"
+	"swsm/internal/harness/runner"
+	"swsm/internal/proto"
+)
+
+// Session is a sweep session: it schedules independent RunSpecs over a
+// bounded worker pool and memoizes every run by its spec, so any
+// configuration — including the sequential baseline every speedup
+// divides by — executes at most once per session no matter how many
+// figures and tables request it.
+//
+// Cross-run parallelism cannot perturb results: each sim.Engine is
+// single-threaded and deterministic, every run gets a fresh machine,
+// and a run's outcome depends only on its RunSpec.  RunSpec is a flat
+// comparable struct, so it serves directly as the memo key (every field
+// participates).  Memoized *Results are shared between callers and must
+// be treated as read-only.
+type Session struct {
+	pool *runner.Pool[RunSpec, *Result]
+}
+
+// NewSession creates a session running at most parallel simulations
+// concurrently (parallel <= 0 means runtime.GOMAXPROCS(0)).
+func NewSession(parallel int) *Session {
+	return &Session{pool: runner.New(parallel, Run)}
+}
+
+// Parallelism reports the session's worker bound.
+func (s *Session) Parallelism() int { return s.pool.Parallelism() }
+
+// Stats reports the session's cache counters (runs executed, cache
+// hits, single-flight waits).
+func (s *Session) Stats() runner.Stats { return s.pool.Stats() }
+
+// Run executes spec through the session cache.
+func (s *Session) Run(spec RunSpec) (*Result, error) { return s.pool.Do(spec) }
+
+// RunAll executes all specs over the worker pool and returns results in
+// spec order (index i corresponds to specs[i], regardless of completion
+// order — the property that keeps sweep output deterministic).
+func (s *Session) RunAll(specs []RunSpec) ([]*Result, error) { return s.pool.DoAll(specs) }
+
+// baselineSpec is the canonical sequential-baseline spec: the app
+// single-threaded on the ideal machine ("the same best sequential
+// version" of the paper).  Centralizing the spec construction guarantees
+// every caller hits the same memo key.
+func baselineSpec(app string, scale apps.Scale, cacheEnabled bool) RunSpec {
+	return RunSpec{
+		App: app, Scale: scale, Protocol: Ideal, Procs: 1,
+		Comm: comm.Best(), Costs: proto.BestCosts(), CacheEnabled: cacheEnabled,
+	}
+}
+
+// idealSpec is the parallel ideal-machine spec used for algorithmic
+// speedups (Figure 3's "Ideal" bars, Table 5's denominator).
+func idealSpec(app string, scale apps.Scale, procs int) RunSpec {
+	return RunSpec{
+		App: app, Scale: scale, Protocol: Ideal, Procs: procs,
+		Comm: comm.Best(), Costs: proto.BestCosts(), CacheEnabled: true,
+	}
+}
+
+// SequentialBaseline returns the memoized 1-proc ideal-machine cycle
+// count for (app, scale) — the denominator of every speedup.
+func (s *Session) SequentialBaseline(app string, scale apps.Scale, cacheEnabled bool) (int64, error) {
+	res, err := s.Run(baselineSpec(app, scale, cacheEnabled))
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// Speedup runs spec (and its sequential baseline, concurrently if not
+// already cached) and reports cycles(seq)/cycles(parallel).
+func (s *Session) Speedup(spec RunSpec) (float64, *Result, error) {
+	results, err := s.RunAll([]RunSpec{
+		baselineSpec(spec.App, spec.Scale, spec.CacheEnabled),
+		spec,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return float64(results[0].Cycles) / float64(results[1].Cycles), results[1], nil
+}

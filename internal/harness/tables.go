@@ -90,18 +90,29 @@ type Table4Row struct {
 
 // Table4 measures the percentage of processor time spent in protocol
 // activity and its split into diff computation and handler execution
-// (HLRC, base configuration), for every application.
+// (HLRC, base configuration), for every application (one-off session).
 func Table4(scale apps.Scale, procs int) ([]Table4Row, error) {
-	var rows []Table4Row
-	for _, name := range apps.Names() {
+	return NewSession(0).Table4(scale, procs)
+}
+
+// Table4 runs every application's base-configuration HLRC run through
+// the session's worker pool; rows come back in apps.Names() order.
+func (s *Session) Table4(scale apps.Scale, procs int) ([]Table4Row, error) {
+	names := apps.Names()
+	specs := make([]RunSpec, len(names))
+	for i, name := range names {
 		spec := DefaultSpec(name, HLRC)
 		spec.Scale = scale
 		spec.Procs = procs
-		res, err := Run(spec)
-		if err != nil {
-			return nil, err
-		}
-		total, diff, handler := res.Stats.ProtocolPercent()
+		specs[i] = spec
+	}
+	results, err := s.RunAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("table 4: %w", err)
+	}
+	rows := make([]Table4Row, 0, len(names))
+	for i, name := range names {
+		total, diff, handler := results[i].Stats.ProtocolPercent()
 		rows = append(rows, Table4Row{App: name, TotalPct: total, DiffPct: diff, HandlerPct: handler})
 	}
 	return rows, nil
@@ -136,22 +147,23 @@ type Table5Row struct {
 	AO, AB, BO, HB, BB, BPlusB, Ideal float64
 }
 
-// Table5 computes the per-application summary for HLRC.
+// Table5 computes the per-application summary for HLRC (one-off
+// session).
 func Table5(scale apps.Scale, procs int) ([]Table5Row, error) {
+	return NewSession(0).Table5(scale, procs)
+}
+
+// Table5 schedules every application's full run set — sequential
+// baseline, ideal machine, and the six-configuration HLRC ladder — in
+// one batch over the session's worker pool, then assembles the rows
+// from the index-ordered results.
+func (s *Session) Table5(scale apps.Scale, procs int) ([]Table5Row, error) {
 	ladder := []LayerConfig{{"A", "O"}, {"A", "B"}, {"B", "O"}, {"H", "B"}, {"B", "B"}, {"B+", "B"}}
-	var rows []Table5Row
-	for _, name := range apps.Names() {
-		seq, err := SequentialBaseline(name, scale, true)
-		if err != nil {
-			return nil, err
-		}
-		idealSpec := RunSpec{App: name, Scale: scale, Protocol: Ideal, Procs: procs,
-			Comm: comm.Best(), Costs: proto.BestCosts(), CacheEnabled: true}
-		idealRes, err := Run(idealSpec)
-		if err != nil {
-			return nil, err
-		}
-		sp := map[string]float64{}
+	names := apps.Names()
+	stride := 2 + len(ladder) // baseline, ideal, ladder per app
+	specs := make([]RunSpec, 0, len(names)*stride)
+	for _, name := range names {
+		specs = append(specs, baselineSpec(name, scale, true), idealSpec(name, scale, procs))
 		for _, lc := range ladder {
 			spec := DefaultSpec(name, HLRC)
 			spec.Scale = scale
@@ -159,11 +171,20 @@ func Table5(scale apps.Scale, procs int) ([]Table5Row, error) {
 			if err := lc.Apply(&spec); err != nil {
 				return nil, err
 			}
-			res, err := Run(spec)
-			if err != nil {
-				return nil, err
-			}
-			sp[lc.Label()] = float64(seq) / float64(res.Cycles)
+			specs = append(specs, spec)
+		}
+	}
+	results, err := s.RunAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("table 5: %w", err)
+	}
+	rows := make([]Table5Row, 0, len(names))
+	for ai, name := range names {
+		base := results[ai*stride : (ai+1)*stride]
+		seq := base[0].Cycles
+		sp := map[string]float64{}
+		for li, lc := range ladder {
+			sp[lc.Label()] = float64(seq) / float64(base[2+li].Cycles)
 		}
 		row := Table5Row{
 			App:       name,
@@ -171,7 +192,7 @@ func Table5(scale apps.Scale, procs int) ([]Table5Row, error) {
 			HBBeatsBO: sp["HB"] > sp["BO"],
 			AO:        sp["AO"], AB: sp["AB"], BO: sp["BO"], HB: sp["HB"],
 			BB: sp["BB"], BPlusB: sp["B+B"],
-			Ideal: float64(seq) / float64(idealRes.Cycles),
+			Ideal: float64(seq) / float64(base[1].Cycles),
 		}
 		row.Needed = "-"
 		for _, label := range []string{"AO", "AB", "BO", "BB", "B+B"} {

@@ -1,40 +1,29 @@
 package hlrc
 
 import (
-	"encoding/binary"
-
-	"swsm/internal/mem"
+	"swsm/internal/proto/wdiff"
 )
 
 // wordDiff is one modified word in a diff: the word index within the
-// page and its new value.
-type wordDiff struct {
-	off uint16
-	val uint32
-}
+// page and its new value (shared kernel in internal/proto/wdiff).
+type wordDiff = wdiff.Word
 
 // diffPage compares a coherence unit against its twin word by word and
-// returns the modified words.
+// returns the modified words (allocating; the flush hot path uses
+// diffPageInto with the protocol's scratch buffer instead).
 func diffPage(twin, cur []byte) []wordDiff {
-	var out []wordDiff
-	n := len(twin) / mem.WordSize
-	for w := 0; w < n; w++ {
-		o := w * mem.WordSize
-		a := binary.LittleEndian.Uint32(twin[o : o+4])
-		b := binary.LittleEndian.Uint32(cur[o : o+4])
-		if a != b {
-			out = append(out, wordDiff{off: uint16(w), val: b})
-		}
-	}
-	return out
+	return wdiff.Append(nil, twin, cur)
+}
+
+// diffPageInto appends the modified words to dst (pass scratch[:0] to
+// reuse a buffer; the result aliases dst's array).
+func diffPageInto(dst []wordDiff, twin, cur []byte) []wordDiff {
+	return wdiff.Append(dst, twin, cur)
 }
 
 // applyDiff merges a diff into a coherence unit's bytes.
 func applyDiff(unit []byte, words []wordDiff) {
-	for _, wd := range words {
-		o := int(wd.off) * mem.WordSize
-		binary.LittleEndian.PutUint32(unit[o:o+4], wd.val)
-	}
+	wdiff.Apply(unit, words)
 }
 
 // Message payloads.

@@ -1,0 +1,53 @@
+package hlrc
+
+import "testing"
+
+// benchPage builds a 4 KB page and a twin differing in every nth word.
+func benchPage(nth int) (twin, cur []byte) {
+	twin = make([]byte, 4096)
+	cur = make([]byte, 4096)
+	for i := range twin {
+		twin[i] = byte(i * 7)
+	}
+	copy(cur, twin)
+	for w := 0; w < 1024; w += nth {
+		cur[w*4] ^= 0xff
+	}
+	return
+}
+
+// BenchmarkDiffPage measures the host cost of diffing a full page
+// against its twin (the protocol hot path at every flush).  The
+// scratch-buffer variant should be allocation-free in steady state.
+func BenchmarkDiffPage(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		nth  int
+	}{{"sparse64", 64}, {"every8th", 8}, {"dense", 1}} {
+		b.Run(tc.name, func(b *testing.B) {
+			twin, cur := benchPage(tc.nth)
+			var scratch []wordDiff
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scratch = diffPageInto(scratch[:0], twin, cur)
+			}
+			if len(scratch) == 0 {
+				b.Fatal("no diff produced")
+			}
+		})
+	}
+}
+
+// BenchmarkApplyDiff measures patching a page with a diff.
+func BenchmarkApplyDiff(b *testing.B) {
+	twin, cur := benchPage(8)
+	d := diffPage(twin, cur)
+	page := make([]byte, 4096)
+	copy(page, twin)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		applyDiff(page, d)
+	}
+}

@@ -22,7 +22,7 @@ func TestDiffSingleWord(t *testing.T) {
 	cur := make([]byte, mem.PageSize)
 	binary.LittleEndian.PutUint32(cur[100*4:], 0xdeadbeef)
 	d := diffPage(twin, cur)
-	if len(d) != 1 || d[0].off != 100 || d[0].val != 0xdeadbeef {
+	if len(d) != 1 || d[0].Off != 100 || d[0].Val != 0xdeadbeef {
 		t.Fatalf("diff = %+v", d)
 	}
 }

@@ -42,8 +42,10 @@ func (p *Protocol) handlePageReq(h proto.HandlerCtx, req pageReq) int64 {
 		OnDeliver: func(now sim.Time) {
 			// The NI deposits the unit directly into the requester's
 			// memory; the faulting thread finishes the mapping when it
-			// wakes.
+			// wakes.  The staging buffer's lifetime ends here, so it
+			// goes back on the free list.
 			p.env.NodeMem(dst).CopyIn(p.unitBase(pg), data)
+			p.freeUnitBuf(data)
 			p.env.WakeThread(dst)
 		},
 	})
@@ -57,7 +59,11 @@ func (p *Protocol) handleDiff(h proto.HandlerCtx, d diffMsg) int64 {
 	if p.home(d.page) != homeNode {
 		panic("hlrc: diff arrived at non-home")
 	}
-	unit := p.copyUnit(homeNode, d.page)
+	// Patch the home copy through the protocol scratch buffer (the
+	// handler runs to completion without yielding, so the scratch is
+	// exclusively ours), then recycle the message's diff words.
+	unit := p.unitScratch
+	p.env.NodeMem(homeNode).CopyOut(p.unitBase(d.page), unit)
 	applyDiff(unit, d.words)
 	p.env.NodeMem(homeNode).CopyIn(p.unitBase(d.page), unit)
 	st := p.env.Metrics()
@@ -66,6 +72,7 @@ func (p *Protocol) handleDiff(h proto.HandlerCtx, d diffMsg) int64 {
 		proto.WordCost(p.cfg.Costs.DiffApplyQ4, int64(len(d.words)))
 	body += p.env.CacheTouch(homeNode, p.unitBase(d.page), int(p.unitBytes), true)
 	st.AddDiff(homeNode, body-p.cfg.Costs.HandlerBase)
+	p.freeDiffBuf(d.words)
 	from := d.from
 	fromNS := p.nodes[from]
 	h.Send(&comm.Message{
@@ -104,7 +111,7 @@ func (p *Protocol) handleRelease(h proto.HandlerCtx, rel relMsg) int64 {
 	if !ls.held || ls.holder != rel.proc {
 		panic(fmt.Sprintf("hlrc: release of lock %d by non-holder %d", rel.lock, rel.proc))
 	}
-	ls.releaseVC = cloneVC(rel.vc)
+	copy(ls.releaseVC, rel.vc) // same length; reuse instead of reallocating
 	if len(ls.queue) == 0 {
 		ls.held = false
 		return p.cfg.Costs.HandlerBase
@@ -147,8 +154,12 @@ func (p *Protocol) handleBarArrive(h proto.HandlerCtx, ba barArrive) int64 {
 	if bs.arrived < p.nprocs {
 		return p.cfg.Costs.HandlerBase
 	}
-	// Last arrival: release all participants.
-	merged := make([]int32, p.nprocs)
+	// Last arrival: release all participants.  The merged clock lives in
+	// the preallocated scratch; each grant clones what it retains.
+	merged := p.vcScratch
+	for i := range merged {
+		merged[i] = 0
+	}
 	for _, vc := range bs.vcs {
 		maxVC(merged, vc)
 	}

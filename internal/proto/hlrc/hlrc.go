@@ -121,6 +121,22 @@ type Protocol struct {
 	intervals [][]interval // indexed by owner, then seq-1
 	locks     map[int]*lockState
 	barriers  map[int]*barrierState
+
+	// Hot-path scratch.  The simulation engine is single-threaded, and
+	// none of these survive across a coroutine yield point, so one set
+	// per protocol instance is safe.
+	//
+	// unitScratch holds the current copy of a unit while it is diffed or
+	// patched; diffScratch collects modified words before they are copied
+	// (right-sized) into the outgoing message; vcScratch holds the merged
+	// barrier clock; unitFree recycles twin/page buffers whose lifetime
+	// ends at a flush, invalidation or page-fetch delivery; diffFree
+	// recycles diff-message word slices after the home applies them.
+	unitScratch []byte
+	diffScratch []wordDiff
+	vcScratch   []int32
+	unitFree    [][]byte
+	diffFree    [][]wordDiff
 }
 
 // New creates an HLRC protocol with the given cost set and defaults.
@@ -151,11 +167,53 @@ func (p *Protocol) unitOf(a int64) int64 { return a >> p.unitShift }
 // unitBase is the first address of unit u.
 func (p *Protocol) unitBase(u int64) int64 { return u << p.unitShift }
 
-// copyUnit extracts unit u from a node's memory.
+// copyUnit extracts unit u from a node's memory into a recycled buffer
+// (return it with freeUnitBuf when its lifetime ends).
 func (p *Protocol) copyUnit(node int, u int64) []byte {
-	buf := make([]byte, p.unitBytes)
+	buf := p.newUnitBuf()
 	p.env.NodeMem(node).CopyOut(p.unitBase(u), buf)
 	return buf
+}
+
+// newUnitBuf returns a unit-sized buffer from the free list (or a fresh
+// one).  Contents are undefined; every user overwrites the whole unit.
+func (p *Protocol) newUnitBuf() []byte {
+	if n := len(p.unitFree); n > 0 {
+		buf := p.unitFree[n-1]
+		p.unitFree = p.unitFree[:n-1]
+		return buf
+	}
+	return make([]byte, p.unitBytes)
+}
+
+// freeUnitBuf recycles a twin or page buffer.
+func (p *Protocol) freeUnitBuf(buf []byte) {
+	p.unitFree = append(p.unitFree, buf)
+}
+
+// dropTwin removes pg's twin (if any) and recycles its buffer.
+func (p *Protocol) dropTwin(ns *nodeState, pg int64) {
+	if twin, ok := ns.twin[pg]; ok {
+		delete(ns.twin, pg)
+		p.freeUnitBuf(twin)
+	}
+}
+
+// newDiffBuf returns a word-diff slice (len 0) from the free list.
+func (p *Protocol) newDiffBuf() []wordDiff {
+	if n := len(p.diffFree); n > 0 {
+		d := p.diffFree[n-1]
+		p.diffFree = p.diffFree[:n-1]
+		return d[:0]
+	}
+	return nil
+}
+
+// freeDiffBuf recycles a diff-message slice after the home applied it.
+func (p *Protocol) freeDiffBuf(d []wordDiff) {
+	if cap(d) > 0 {
+		p.diffFree = append(p.diffFree, d)
+	}
 }
 
 // Attach wires the environment and sizes the per-node state.
@@ -167,6 +225,8 @@ func (p *Protocol) Attach(env proto.Env) {
 	for i := int64(0); i < p.npages; i++ {
 		p.homes[i] = int32(i % int64(p.nprocs))
 	}
+	p.unitScratch = make([]byte, p.unitBytes)
+	p.vcScratch = make([]int32, p.nprocs)
 	p.nodes = make([]*nodeState, p.nprocs)
 	p.intervals = make([][]interval, p.nprocs)
 	for i := range p.nodes {
@@ -338,9 +398,14 @@ func (p *Protocol) flushPage(th proto.Thread, pg int64, cat stats.Category) {
 	if !ok {
 		panic(fmt.Sprintf("hlrc: dirty unit %d has no twin on node %d", pg, me))
 	}
-	cur := p.copyUnit(me, pg)
-	d := diffPage(twin, cur)
-	delete(ns.twin, pg)
+	// Diff into the protocol scratch, then right-size into a recycled
+	// message buffer (the message retains it until the home applies it
+	// and hands it back via freeDiffBuf).
+	cur := p.unitScratch
+	p.env.NodeMem(me).CopyOut(p.unitBase(pg), cur)
+	p.diffScratch = diffPageInto(p.diffScratch[:0], twin, cur)
+	d := append(p.newDiffBuf(), p.diffScratch...)
+	p.dropTwin(ns, pg)
 
 	st := p.env.Metrics()
 	cost := proto.WordCost(p.cfg.Costs.DiffCompareQ4, p.unitWords) +

@@ -105,7 +105,7 @@ func (p *Protocol) applyNotices(th proto.Thread, g *grantPayload) {
 					p.flushPageFromInvalidation(th, pg)
 				}
 				ns.mode[pg] = modeInvalid
-				delete(ns.twin, pg)
+				p.dropTwin(ns, pg)
 				p.env.CacheInvalidate(me, p.unitBase(pg), int(p.unitBytes))
 				invalidated++
 			}

@@ -6,6 +6,7 @@ import (
 	"swsm/internal/comm"
 	"swsm/internal/mem"
 	"swsm/internal/proto"
+	"swsm/internal/proto/wdiff"
 	"swsm/internal/sim"
 )
 
@@ -98,7 +99,7 @@ func (p *Protocol) handleRelease(h proto.HandlerCtx, rel acqMsg) int64 {
 	if !ls.held || ls.holder != rel.proc {
 		panic(fmt.Sprintf("lrc: release of lock %d by non-holder %d", rel.lock, rel.proc))
 	}
-	ls.releaseVC = cloneVC(rel.vc)
+	copy(ls.releaseVC, rel.vc) // same length; reuse instead of reallocating
 	if len(ls.queue) == 0 {
 		ls.held = false
 		return p.cfg.Costs.HandlerBase
@@ -142,7 +143,12 @@ func (p *Protocol) handleBarArrive(h proto.HandlerCtx, ba barMsg) int64 {
 	if bs.arrived < p.nprocs {
 		return p.cfg.Costs.HandlerBase
 	}
-	merged := make([]int32, p.nprocs)
+	// The merged clock lives in the preallocated scratch; each grant
+	// clones what it retains.
+	merged := p.vcScratch
+	for i := range merged {
+		merged[i] = 0
+	}
 	for _, vc := range bs.vcs {
 		maxVC(merged, vc)
 	}
@@ -197,13 +203,7 @@ func (p *Protocol) ReadCoherent(addr int64) uint32 {
 	}
 	sortIntervals(ivs)
 	for _, iv := range ivs {
-		for _, wd := range iv.diffs[pg] {
-			o := int(wd.off) * mem.WordSize
-			page[o] = byte(wd.val)
-			page[o+1] = byte(wd.val >> 8)
-			page[o+2] = byte(wd.val >> 16)
-			page[o+3] = byte(wd.val >> 24)
-		}
+		wdiff.Apply(page[:], iv.diffs[pg])
 	}
 	off := addr & (mem.PageSize - 1)
 	return uint32(page[off]) | uint32(page[off+1])<<8 |

@@ -29,6 +29,7 @@ import (
 	"swsm/internal/comm"
 	"swsm/internal/mem"
 	"swsm/internal/proto"
+	"swsm/internal/proto/wdiff"
 	"swsm/internal/stats"
 )
 
@@ -51,11 +52,8 @@ const (
 
 const wordsPerPage = mem.PageSize / mem.WordSize
 
-// wordDiff is one modified word.
-type wordDiff struct {
-	off uint16
-	val uint32
-}
+// wordDiff is one modified word (shared kernel in internal/proto/wdiff).
+type wordDiff = wdiff.Word
 
 // interval is one closed writer interval, carrying its vector timestamp
 // and the retained diffs of every page it wrote.
@@ -135,6 +133,15 @@ type Protocol struct {
 	intervals [][]*interval // per owner, indexed seq-1
 	locks     map[int]*lockState
 	barriers  map[int]*barrierState
+
+	// Hot-path scratch (single-threaded engine; nothing here survives a
+	// yield point).  diffScratch collects a page's modified words before
+	// they are right-sized into the retained interval diff; twinFree
+	// recycles twin buffers freed at flush or invalidation; vcScratch
+	// holds the merged barrier clock.
+	diffScratch []wordDiff
+	twinFree    [][]byte
+	vcScratch   []int32
 }
 
 // New creates a classic-LRC protocol.
@@ -155,6 +162,7 @@ func (p *Protocol) Attach(env proto.Env) {
 	for i := int64(0); i < p.npages; i++ {
 		p.managers[i] = int32(i % int64(p.nprocs))
 	}
+	p.vcScratch = make([]int32, p.nprocs)
 	p.nodes = make([]*nodeState, p.nprocs)
 	p.intervals = make([][]*interval, p.nprocs)
 	for i := range p.nodes {
@@ -322,13 +330,7 @@ func (p *Protocol) fault(th proto.Thread, pg int64) {
 	var applyCost int64
 	for _, iv := range ivs {
 		d := iv.diffs[pg]
-		for _, wd := range d {
-			o := int(wd.off) * mem.WordSize
-			frame[o] = byte(wd.val)
-			frame[o+1] = byte(wd.val >> 8)
-			frame[o+2] = byte(wd.val >> 16)
-			frame[o+3] = byte(wd.val >> 24)
-		}
+		wdiff.Apply(frame[:], d)
 		applyCost += proto.WordCost(p.cfg.Costs.DiffApplyQ4, int64(len(d)))
 		if iv.seq > applied[iv.owner] {
 			applied[iv.owner] = iv.seq
@@ -339,6 +341,25 @@ func (p *Protocol) fault(th proto.Thread, pg int64) {
 	if applyCost > 0 {
 		st.AddDiff(me, applyCost)
 		th.Charge(stats.Protocol, applyCost)
+	}
+}
+
+// newTwinBuf returns a page-sized twin buffer from the free list (or a
+// fresh one); dropTwin recycles.  Contents are overwritten by the user.
+func (p *Protocol) newTwinBuf() []byte {
+	if n := len(p.twinFree); n > 0 {
+		buf := p.twinFree[n-1]
+		p.twinFree = p.twinFree[:n-1]
+		return buf
+	}
+	return make([]byte, mem.PageSize)
+}
+
+// dropTwin removes pg's twin (if any) and recycles its buffer.
+func (p *Protocol) dropTwin(ns *nodeState, pg int64) {
+	if twin, ok := ns.twin[pg]; ok {
+		delete(ns.twin, pg)
+		p.twinFree = append(p.twinFree, twin)
 	}
 }
 
@@ -365,7 +386,7 @@ func (p *Protocol) makeTwin(th proto.Thread, pg int64) {
 		return
 	}
 	frame := p.env.NodeMem(me).Frame(pg)
-	twin := make([]byte, mem.PageSize)
+	twin := p.newTwinBuf()
 	copy(twin, frame[:])
 	ns.twin[pg] = twin
 	cost := proto.WordCost(p.cfg.Costs.TwinQ4, wordsPerPage)

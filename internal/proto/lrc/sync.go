@@ -6,6 +6,7 @@ import (
 	"swsm/internal/comm"
 	"swsm/internal/mem"
 	"swsm/internal/proto"
+	"swsm/internal/proto/wdiff"
 	"swsm/internal/stats"
 )
 
@@ -46,17 +47,18 @@ func (p *Protocol) flush(th proto.Thread) {
 			// in ensure(); reaching here is a protocol bug.
 			panic("lrc: dirty page without twin")
 		}
+		// Diff into the protocol scratch (8-byte-wide compare), then
+		// right-size into the retained interval diff.  Retained diffs are
+		// never garbage collected (classic LRC without GC), so they get
+		// exact-size allocations rather than append-grown capacity.
+		p.diffScratch = wdiff.Append(p.diffScratch[:0], twin, frame[:])
 		var d []wordDiff
-		for w := 0; w < wordsPerPage; w++ {
-			o := w * mem.WordSize
-			a := uint32(twin[o]) | uint32(twin[o+1])<<8 | uint32(twin[o+2])<<16 | uint32(twin[o+3])<<24
-			b := uint32(frame[o]) | uint32(frame[o+1])<<8 | uint32(frame[o+2])<<16 | uint32(frame[o+3])<<24
-			if a != b {
-				d = append(d, wordDiff{off: uint16(w), val: b})
-			}
+		if len(p.diffScratch) > 0 {
+			d = make([]wordDiff, len(p.diffScratch))
+			copy(d, p.diffScratch)
 		}
 		iv.diffs[pg] = d
-		delete(ns.twin, pg)
+		p.dropTwin(ns, pg)
 		cost := proto.WordCost(p.cfg.Costs.DiffCompareQ4, wordsPerPage) +
 			proto.WordCost(p.cfg.Costs.DiffWriteQ4, int64(len(d)))
 		cost += p.env.CacheTouch(me, mem.PageBase(pg), mem.PageSize, false)
@@ -178,7 +180,7 @@ func (p *Protocol) applyNotices(th proto.Thread, g *grantPayload) {
 				p.flushSinglePage(th, pg)
 			}
 			ns.mode[pg] = modeInvalid
-			delete(ns.twin, pg)
+			p.dropTwin(ns, pg)
 			delete(ns.applied, pg)
 			if ns.held != nil {
 				delete(ns.held, pg)

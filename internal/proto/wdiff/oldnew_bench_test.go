@@ -1,0 +1,61 @@
+package wdiff
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// naiveAppend is the pre-optimization diff kernel: 4-byte word compare,
+// allocating append (kept here as the benchmark baseline).
+func naiveAppend(twin, cur []byte) []Word {
+	var out []Word
+	for off := 0; off+WordSize <= len(cur); off += WordSize {
+		a := binary.LittleEndian.Uint32(twin[off:])
+		b := binary.LittleEndian.Uint32(cur[off:])
+		if a != b {
+			out = append(out, Word{Off: uint16(off / WordSize), Val: b})
+		}
+	}
+	return out
+}
+
+func benchInput(nth int) (twin, cur []byte) {
+	twin = make([]byte, 4096)
+	cur = make([]byte, 4096)
+	for i := range twin {
+		twin[i] = byte(i * 7)
+	}
+	copy(cur, twin)
+	for w := 0; w < 1024; w += nth {
+		cur[w*4] ^= 0xff
+	}
+	return
+}
+
+func BenchmarkAppendNaive(b *testing.B) {
+	for _, nth := range []int{1024, 64, 8, 1} {
+		b.Run(fmt.Sprint(nth), func(b *testing.B) {
+			twin, cur := benchInput(nth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = naiveAppend(twin, cur)
+			}
+		})
+	}
+}
+
+func BenchmarkAppendWide(b *testing.B) {
+	for _, nth := range []int{1024, 64, 8, 1} {
+		b.Run(fmt.Sprint(nth), func(b *testing.B) {
+			twin, cur := benchInput(nth)
+			var scratch []Word
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scratch = Append(scratch[:0], twin, cur)
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package wdiff
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// naive is the reference word-by-word implementation.
+func naive(twin, cur []byte) []Word {
+	var out []Word
+	for w := 0; w < len(twin)/WordSize; w++ {
+		o := w * WordSize
+		a := binary.LittleEndian.Uint32(twin[o:])
+		b := binary.LittleEndian.Uint32(cur[o:])
+		if a != b {
+			out = append(out, Word{Off: uint16(w), Val: b})
+		}
+	}
+	return out
+}
+
+// TestAppendMatchesNaive checks the 8-byte-wide scan against the word
+// loop across unit sizes, including the word-grain tail (non-multiple
+// of 8) and dense/sparse modification patterns.
+func TestAppendMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, size := range []int{4, 8, 12, 64, 128, 4096} {
+		for trial := 0; trial < 20; trial++ {
+			twin := make([]byte, size)
+			r.Read(twin)
+			cur := make([]byte, size)
+			copy(cur, twin)
+			nw := r.Intn(size/WordSize + 1)
+			for i := 0; i < nw; i++ {
+				w := r.Intn(size / WordSize)
+				binary.LittleEndian.PutUint32(cur[w*WordSize:], r.Uint32())
+			}
+			want := naive(twin, cur)
+			got := Append(nil, twin, cur)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("size=%d trial=%d: got %v, want %v", size, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestAppendReusesScratch checks that reusing a scratch buffer produces
+// correct results without growing allocations once warm.
+func TestAppendReusesScratch(t *testing.T) {
+	twin := make([]byte, 4096)
+	cur := make([]byte, 4096)
+	for w := 0; w < 1024; w += 3 {
+		binary.LittleEndian.PutUint32(cur[w*WordSize:], uint32(w+1))
+	}
+	scratch := Append(nil, twin, cur)
+	first := append([]Word(nil), scratch...)
+	scratch = Append(scratch[:0], twin, cur)
+	if !reflect.DeepEqual(scratch, first) {
+		t.Fatal("scratch reuse changed the diff")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = Append(scratch[:0], twin, cur)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Append allocates %v times per run", allocs)
+	}
+}
+
+// TestApplyReconstructs checks Apply(twin, Append(twin, cur)) == cur.
+func TestApplyReconstructs(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	twin := make([]byte, 4096)
+	r.Read(twin)
+	cur := make([]byte, 4096)
+	r.Read(cur)
+	d := Append(nil, twin, cur)
+	frame := make([]byte, 4096)
+	copy(frame, twin)
+	Apply(frame, d)
+	for i := range cur {
+		if frame[i] != cur[i] {
+			t.Fatalf("byte %d: got %d, want %d", i, frame[i], cur[i])
+		}
+	}
+}

@@ -14,6 +14,11 @@ type Coro struct {
 	resume chan struct{}
 	yield  chan struct{}
 
+	// stepFn is the method value c.step, bound once at spawn so that
+	// every Sleep/Wake schedules the same closure instead of allocating
+	// a fresh one per event.
+	stepFn func()
+
 	started bool
 	done    bool
 	blocked bool
@@ -32,6 +37,7 @@ func (e *Engine) Spawn(name string, start Time, body func(*Coro)) *Coro {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	c.stepFn = c.step
 	e.coros = append(e.coros, c)
 	e.At(start, func() {
 		c.started = true
@@ -85,7 +91,7 @@ func (c *Coro) Sleep(d Time) {
 	if d == 0 {
 		return
 	}
-	c.eng.After(d, c.step)
+	c.eng.After(d, c.stepFn)
 	c.yieldToEngine()
 }
 
@@ -117,7 +123,7 @@ func (c *Coro) Block() {
 func (c *Coro) Wake() {
 	if c.blocked {
 		c.blocked = false
-		c.eng.At(c.eng.now, c.step)
+		c.eng.At(c.eng.now, c.stepFn)
 		return
 	}
 	c.pendingWakes++

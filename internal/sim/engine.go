@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -18,40 +17,24 @@ import (
 type Time = int64
 
 // event is a scheduled callback.  Events with equal timestamps fire in
-// scheduling order (seq), which keeps runs deterministic.
+// scheduling order (seq), which keeps runs deterministic.  Event objects
+// are recycled through the engine's free list: simulations schedule one
+// event per message hop and per thread sleep, so the steady-state event
+// rate is the engine's hottest allocation site.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is the discrete-event core.  It owns the virtual clock and the
 // event queue, and it is the only entity that resumes coroutines.
 type Engine struct {
 	now    Time
-	events eventHeap
+	events []*event // binary min-heap ordered by (at, seq)
 	seq    uint64
 	coros  []*Coro
+	free   []*event // recycled event objects
 
 	// Stopped is set by Stop; Run drains no further events once set.
 	stopped bool
@@ -67,6 +50,60 @@ func NewEngine() *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// less orders heap entries by (at, seq).
+func (e *Engine) less(i, j int) bool {
+	a, b := e.events[i], e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap property from leaf i upward.
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property from root i downward.
+func (e *Engine) siftDown(i int) {
+	n := len(e.events)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && e.less(l, min) {
+			min = l
+		}
+		if r < n && e.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		e.events[i], e.events[min] = e.events[min], e.events[i]
+		i = min
+	}
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() *event {
+	top := e.events[0]
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = nil
+	e.events = e.events[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
 // At schedules fn to run at absolute virtual time t.  Scheduling in the
 // past is an error in the simulation logic and panics.
 func (e *Engine) At(t Time, fn func()) {
@@ -74,7 +111,16 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	e.events = append(e.events, ev)
+	e.siftUp(len(e.events) - 1)
 }
 
 // After schedules fn to run d cycles from now.
@@ -101,12 +147,17 @@ func (e *Engine) fail(err error) {
 // returns the final virtual time.
 func (e *Engine) Run() (Time, error) {
 	for !e.stopped && len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.pop()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
 		e.now = ev.at
-		ev.fn()
+		// Recycle before dispatch: ev is off the heap and nothing else
+		// references it, so the callback may schedule into its slot.
+		fn := ev.fn
+		ev.fn = nil
+		e.free = append(e.free, ev)
+		fn()
 	}
 	if e.failure != nil {
 		return e.now, e.failure
@@ -131,3 +182,7 @@ func (e *Engine) blockedCoros() []string {
 
 // PendingEvents reports how many events are queued (for tests).
 func (e *Engine) PendingEvents() int { return len(e.events) }
+
+// FreeEvents reports how many event objects are pooled for reuse (for
+// tests).
+func (e *Engine) FreeEvents() int { return len(e.free) }

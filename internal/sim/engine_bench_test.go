@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEvents measures the schedule+dispatch cycle of the
+// event core — the simulator's hottest path (one event per message hop
+// and per thread sleep).  With the free list and the prebound step
+// closure it should run allocation-free in steady state.
+func BenchmarkEngineEvents(b *testing.B) {
+	e := NewEngine()
+	remaining := b.N
+	var chain func()
+	chain = func() {
+		if remaining > 0 {
+			remaining--
+			e.After(1, chain)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.At(0, chain)
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineEventsFanout schedules bursts of 64 simultaneous
+// events, exercising heap sift costs alongside pooling.
+func BenchmarkEngineEventsFanout(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 64 {
+		base := e.Now()
+		for j := 0; j < 64; j++ {
+			e.At(base+Time(j%8), func() {})
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

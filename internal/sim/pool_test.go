@@ -1,0 +1,95 @@
+package sim
+
+import "testing"
+
+// TestEventPoolRecycles checks that event objects return to the free
+// list as they fire and that reuse never corrupts ordering: each
+// callback schedules a successor, so every firing reuses the object
+// that was just recycled.
+func TestEventPoolRecycles(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var chain func()
+	chain = func() {
+		fired = append(fired, e.Now())
+		if len(fired) < 100 {
+			e.After(3, chain)
+		}
+	}
+	e.At(0, chain)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, at := range fired {
+		if at != Time(i*3) {
+			t.Fatalf("firing %d at cycle %d, want %d", i, at, i*3)
+		}
+	}
+	// The chain keeps at most one event live, so the pool should hold
+	// very few objects — reuse, not growth.
+	if got := e.FreeEvents(); got < 1 || got > 2 {
+		t.Fatalf("FreeEvents() = %d, want 1-2 (chain must reuse, not allocate)", got)
+	}
+}
+
+// TestEventPoolReuseWhileScheduled pins down the subtle recycling bug:
+// an event is recycled the moment it is popped, before its callback
+// runs, so a callback that schedules new events may be handed the very
+// object that carried it.  The original (at, seq, fn) must have been
+// fully consumed by then.
+func TestEventPoolReuseWhileScheduled(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(5, func() {
+		order = append(order, 0)
+		// These reuse the just-recycled event object for the first one.
+		e.At(5, func() { order = append(order, 2) })
+		e.After(0, func() { order = append(order, 3) })
+	})
+	e.At(5, func() { order = append(order, 1) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (same-time events fire in scheduling order)", order, want)
+		}
+	}
+}
+
+// TestEventPoolBurst drains a wide burst and checks the pool retains
+// every object for the next burst, which then allocates nothing.
+func TestEventPoolBurst(t *testing.T) {
+	e := NewEngine()
+	const n = 64
+	count := 0
+	for i := 0; i < n; i++ {
+		e.At(Time(i%7), func() { count++ })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("fired %d events, want %d", count, n)
+	}
+	if got := e.FreeEvents(); got != n {
+		t.Fatalf("FreeEvents() = %d, want %d after drain", got, n)
+	}
+	// Second burst: every event comes from the pool.
+	for i := 0; i < n; i++ {
+		e.At(e.Now()+Time(i), func() { count++ })
+	}
+	if got := e.FreeEvents(); got != 0 {
+		t.Fatalf("FreeEvents() = %d, want 0 with %d events in flight", got, n)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2*n {
+		t.Fatalf("fired %d events total, want %d", count, 2*n)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"swsm/internal/comm"
 	"swsm/internal/core"
 	"swsm/internal/harness"
+	"swsm/internal/harness/runner"
 	"swsm/internal/proto"
 	"swsm/internal/proto/hlrc"
 	"swsm/internal/proto/ideal"
@@ -166,6 +167,21 @@ func DefaultSpec(app string, prot ProtocolKind) RunSpec {
 
 // Run executes a spec end to end (setup, simulate, verify).
 func Run(spec RunSpec) (*Result, error) { return harness.Run(spec) }
+
+// Session is a sweep session: it fans independent runs over a bounded
+// worker pool and memoizes every run by its RunSpec, so a configuration
+// executes at most once per session no matter how many figures and
+// tables request it.  Each figure/table helper exists as a Session
+// method; the package-level functions are one-off sessions.
+type Session = harness.Session
+
+// SweepStats are a Session's cache counters (runs executed, cache hits,
+// single-flight waits).
+type SweepStats = runner.Stats
+
+// NewSession creates a sweep session running at most parallel
+// simulations concurrently (0 = one per available CPU).
+func NewSession(parallel int) *Session { return harness.NewSession(parallel) }
 
 // Speedup runs spec and reports speedup over the sequential baseline.
 func Speedup(spec RunSpec) (float64, *Result, error) { return harness.Speedup(spec) }
