@@ -37,6 +37,10 @@ func main() {
 		scale    = flag.String("scale", "base", "problem scale: tiny, base, large")
 		csvPath  = flag.String("csv", "", "also write figure data as CSV to this file")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+
+		traceOut    = flag.String("trace", "", "write a multi-run Chrome trace of the figure-3 config ladder to this file")
+		traceSample = flag.Int64("trace-sample", 0, "sample the breakdown every N cycles in traced runs")
+		hotK        = flag.Int("hot", 0, "print the top K hot pages/locks/barriers per traced run")
 	)
 	flag.Parse()
 
@@ -84,6 +88,13 @@ func main() {
 			fmt.Println("wrote", *csvPath)
 		}
 	}
+	if *traceOut != "" || *hotK > 0 {
+		sweep(ses, "trace", func() {
+			if err := runTraced(ses, sel, sc, *procs, *traceOut, *traceSample, *hotK); err != nil {
+				fatalf("trace: %v", err)
+			}
+		})
+	}
 	if *validate {
 		res, err := harness.ValidateAll()
 		if err != nil {
@@ -95,9 +106,65 @@ func main() {
 		}
 		return
 	}
-	if *table == 0 && *figure == 0 {
+	if *table == 0 && *figure == 0 && *traceOut == "" && *hotK == 0 {
 		flag.Usage()
 	}
+}
+
+// runTraced re-runs the figure-3 configuration ladder for each selected
+// application with tracing enabled and writes every run into one
+// multi-run Chrome trace (one Perfetto process per app/config pair).
+// Traced specs are memoized separately from their untraced twins, so
+// this never contaminates figure results.
+func runTraced(ses *swsm.Session, sel []string, scale swsm.Scale, procs int, path string, sample int64, hotK int) error {
+	var runs []swsm.TraceRun
+	for _, app := range sel {
+		specs, labels, err := swsm.TracedConfigSpecs(app, scale, procs, swsm.Figure3Configs, sample)
+		if err != nil {
+			return err
+		}
+		results, err := ses.RunAll(specs)
+		if err != nil {
+			return err
+		}
+		for i := range labels {
+			labels[i] = app + "/" + labels[i]
+		}
+		runs = append(runs, swsm.TraceRuns(labels, results)...)
+	}
+	if hotK > 0 {
+		for _, r := range runs {
+			if r.Data.Hot == nil {
+				continue
+			}
+			fmt.Printf("%s hot objects (top %d):\n", r.Label, hotK)
+			for _, p := range r.Data.Hot.TopPages(hotK) {
+				fmt.Printf("  page %6d: fetches %d (wait %d cy), diffs %d (%d B)\n",
+					p.ID, p.Fetches, p.FetchWait, p.Diffs, p.DiffBytes)
+			}
+			for _, l := range r.Data.Hot.TopLocks(hotK) {
+				fmt.Printf("  lock %6d: acquires %d, wait %d cy\n", l.ID, l.Count, l.Wait)
+			}
+			for _, b := range r.Data.Hot.TopBarriers(hotK) {
+				fmt.Printf("  barrier %4d: episodes %d, wait %d cy\n", b.ID, b.Count, b.Wait)
+			}
+		}
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := swsm.WriteChromeTraceMulti(f, runs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d traced runs)\n", path, len(runs))
+	}
+	return nil
 }
 
 // sweep times f and prints the one-line wall-clock + cache summary the

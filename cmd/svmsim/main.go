@@ -33,6 +33,12 @@ func main() {
 		list     = flag.Bool("list", false, "list applications and exit")
 		perProc  = flag.Bool("perproc", false, "print the per-processor breakdown table")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+
+		traceOut    = flag.String("trace", "", "write Chrome trace_event JSON (Perfetto-loadable) to this file")
+		traceJSONL  = flag.String("trace-jsonl", "", "write the event trace as compact JSONL to this file")
+		traceSample = flag.Int64("trace-sample", 0, "sample the breakdown every N cycles (with tracing)")
+		timelineOut = flag.String("timeline", "", "write the sampled breakdown timeline CSV to this file")
+		hotK        = flag.Int("hot", 0, "print the top K hot pages/locks/barriers (requires tracing)")
 	)
 	flag.Parse()
 
@@ -64,6 +70,14 @@ func main() {
 	lc := swsm.LayerConfig{Comm: *commSet, Costs: *costSet}
 	if err := lc.Apply(&spec); err != nil {
 		fatalf("%v", err)
+	}
+	tracing := *traceOut != "" || *traceJSONL != "" || *timelineOut != "" || *hotK > 0
+	if tracing {
+		spec.Trace = true
+		spec.TraceSample = *traceSample
+		if *timelineOut != "" && *traceSample <= 0 {
+			fatalf("-timeline needs -trace-sample N")
+		}
 	}
 
 	// The session runs the spec and its sequential baseline concurrently
@@ -97,9 +111,75 @@ func main() {
 		fmt.Println("  per-processor breakdown:")
 		fmt.Print(harness.PerProcBreakdown(res))
 	}
+	if tracing {
+		if err := writeTraceOutputs(res, *traceOut, *traceJSONL, *timelineOut, *hotK); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	st := ses.Stats()
 	fmt.Printf("[%.2fs wall, parallel=%d, %d runs, %d cache hits]\n",
 		elapsed.Seconds(), ses.Parallelism(), st.Runs, st.Hits+st.Waits)
+}
+
+// writeTraceOutputs serializes a traced run's observability products:
+// Chrome trace, JSONL trace, timeline CSV, and a hot-object report on
+// stdout.
+func writeTraceOutputs(res *swsm.Result, chromePath, jsonlPath, timelinePath string, hotK int) error {
+	d := res.Trace
+	if d == nil {
+		return fmt.Errorf("run carried no trace data")
+	}
+	label := fmt.Sprintf("%s/%s", res.Spec.App, res.Spec.Protocol)
+	if chromePath != "" {
+		if err := writeFile(chromePath, func(w *os.File) error {
+			return swsm.WriteChromeTrace(w, label, d)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("  trace: %s (%d events; load in Perfetto)\n", chromePath, len(d.Events))
+	}
+	if jsonlPath != "" {
+		if err := writeFile(jsonlPath, func(w *os.File) error {
+			return swsm.WriteJSONLTrace(w, []swsm.TraceRun{{Label: label, Data: d}})
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("  trace-jsonl: %s\n", jsonlPath)
+	}
+	if timelinePath != "" {
+		if err := writeFile(timelinePath, func(w *os.File) error {
+			return swsm.WriteBreakdownTimelineCSV(w, d.Samples)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("  timeline: %s (%d samples)\n", timelinePath, len(d.Samples))
+	}
+	if hotK > 0 && d.Hot != nil {
+		fmt.Printf("  hot objects (top %d):\n", hotK)
+		for _, p := range d.Hot.TopPages(hotK) {
+			fmt.Printf("    page %6d: faults %d, fetches %d (wait %d cy), diffs %d (%d B), twins %d, invals %d\n",
+				p.ID, p.Faults, p.Fetches, p.FetchWait, p.Diffs, p.DiffBytes, p.Twins, p.Invals)
+		}
+		for _, l := range d.Hot.TopLocks(hotK) {
+			fmt.Printf("    lock %6d: acquires %d, wait %d cy\n", l.ID, l.Count, l.Wait)
+		}
+		for _, b := range d.Hot.TopBarriers(hotK) {
+			fmt.Printf("    barrier %4d: episodes %d, wait %d cy\n", b.ID, b.Count, b.Wait)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...interface{}) {

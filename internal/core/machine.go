@@ -17,6 +17,7 @@ import (
 	"swsm/internal/proto"
 	"swsm/internal/sim"
 	"swsm/internal/stats"
+	"swsm/internal/trace"
 )
 
 // Config assembles one machine configuration: the communication-layer
@@ -52,6 +53,10 @@ type Config struct {
 	// load/store, modeling Shasta-style software access-control
 	// instrumentation (zero = the paper's free-hardware assumption).
 	AccessInstrCycles int64
+	// Tracer enables the observability layer when non-nil: typed event
+	// tracing, interval breakdown sampling, and hot-object profiling.
+	// Nil (the default) keeps every hook a no-op on the hot paths.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig is the paper's base system: 16 processors, achievable
@@ -98,6 +103,10 @@ type Machine struct {
 	arena  *mem.Arena
 	finish []sim.Time
 	ran    bool
+	// live counts application threads that have not finished; the
+	// breakdown sampler keeps rescheduling itself only while live > 0 so
+	// the event queue can drain and Run can terminate.
+	live int
 }
 
 // NewMachine builds a cluster running the given protocol.  The protocol
@@ -131,6 +140,7 @@ func NewMachine(cfg Config, p proto.Protocol) *Machine {
 	}
 	m.arena = mem.NewArena(mem.PageSize, cfg.MemLimit) // keep page 0 unused
 	m.Net.Dispatch = m.dispatch
+	eng.SetTracer(cfg.Tracer)
 	p.Attach(m)
 	return m
 }
@@ -169,6 +179,7 @@ func (m *Machine) Run(body func(t *Thread)) (sim.Time, error) {
 		return 0, fmt.Errorf("core: machine already ran")
 	}
 	m.ran = true
+	m.live = len(m.Nodes)
 	for i := range m.Nodes {
 		n := m.Nodes[i]
 		t := newThread(m, n)
@@ -180,8 +191,10 @@ func (m *Machine) Run(body func(t *Thread)) (sim.Time, error) {
 			t.sync()
 			m.finish[n.ID] = co.Now()
 			n.idle = true
+			m.live--
 		})
 	}
+	m.startSampler()
 	if _, err := m.Eng.Run(); err != nil {
 		return 0, err
 	}
@@ -192,6 +205,9 @@ func (m *Machine) Run(body func(t *Thread)) (sim.Time, error) {
 		}
 	}
 	m.Stats.ExecCycles = end
+	// Final snapshot so the last partial interval is not lost; collapses
+	// with a periodic snapshot that landed on the same cycle.
+	m.Cfg.Tracer.SampleNow(end, m.Stats)
 	if m.Cfg.CacheEnabled {
 		for i, n := range m.Nodes {
 			m.Stats.Inc(i, stats.L1Misses, n.Cache.L1Misses)
@@ -201,9 +217,29 @@ func (m *Machine) Run(body func(t *Thread)) (sim.Time, error) {
 	return end, nil
 }
 
+// startSampler arms the interval breakdown sampler: a self-rescheduling
+// simulation event that snapshots per-category cycle deltas every
+// SampleEvery cycles.  It stops rescheduling once every application
+// thread has finished, so the engine's event queue can drain.
+func (m *Machine) startSampler() {
+	s := m.Cfg.Tracer.Sampler()
+	if s == nil || s.Every <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		s.Snapshot(m.Eng.Now(), m.Stats)
+		if m.live > 0 {
+			m.Eng.After(s.Every, tick)
+		}
+	}
+	m.Eng.After(s.Every, tick)
+}
+
 // dispatch receives protocol request messages from the network.
 func (m *Machine) dispatch(msg *comm.Message, now sim.Time) {
 	n := m.Nodes[msg.Dst]
+	m.Cfg.Tracer.MsgRecv(now, int32(msg.Dst), int64(msg.Kind), int64(msg.Src))
 	if n.idle {
 		m.runHandler(n, msg)
 		return
@@ -227,6 +263,7 @@ func (m *Machine) runHandler(n *Node, msg *comm.Message) {
 	n.cpuFreeAt = end
 	m.Stats.Inc(n.ID, stats.MsgsHandled, 1)
 	m.Stats.AddHandlerBody(n.ID, cost)
+	m.Cfg.Tracer.Handler(start, end, int32(n.ID), int64(msg.Kind))
 	sends := h.sends
 	if len(sends) > 0 {
 		m.Eng.At(end, func() {
@@ -266,6 +303,7 @@ func (m *Machine) Metrics() *stats.Machine { return m.Stats }
 func (m *Machine) Send(msg *comm.Message) {
 	m.Stats.Inc(msg.Src, stats.MsgsSent, 1)
 	m.Stats.Inc(msg.Src, stats.BytesSent, msg.Size+comm.HeaderBytes)
+	m.Cfg.Tracer.MsgSend(m.Eng.Now(), int32(msg.Src), int64(msg.Kind), msg.Size+comm.HeaderBytes)
 	m.Net.Send(msg)
 }
 
@@ -303,6 +341,9 @@ func (m *Machine) WakeThread(node int) {
 
 // Schedule runs fn after d cycles.
 func (m *Machine) Schedule(d sim.Time, fn func()) { m.Eng.After(d, fn) }
+
+// Tracer returns the observability tracer (proto.Env); nil when off.
+func (m *Machine) Tracer() *trace.Tracer { return m.Cfg.Tracer }
 
 var _ proto.Env = (*Machine)(nil)
 

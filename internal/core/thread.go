@@ -93,9 +93,11 @@ func (t *Thread) drainHandlers() {
 		t.m.Stats.Inc(n.ID, stats.MsgsHandled, 1)
 		t.m.Stats.AddHandlerBody(n.ID, cost)
 		t.m.Stats.Add(n.ID, stats.Handler, cost)
+		start := t.co.Now()
 		if cost > 0 {
 			t.co.Sleep(cost)
 		}
+		t.m.Cfg.Tracer.Handler(start, start+cost, int32(n.ID), int64(msg.Kind))
 		for _, s := range h.sends {
 			t.m.Send(s)
 		}
@@ -237,22 +239,29 @@ func (t *Thread) StoreF32(a int64, v float32) {
 	t.Store32(a, math.Float32bits(v))
 }
 
-// Acquire obtains lock l with acquire semantics.
+// Acquire obtains lock l with acquire semantics.  The traced span covers
+// the whole protocol-level acquire (request, transfer wait, notice
+// application), protocol-agnostically.
 func (t *Thread) Acquire(l int) {
 	t.sync()
 	t.m.Stats.Inc(t.node.ID, stats.LockAcquires, 1)
+	start := t.co.Now()
 	t.m.Prot.Acquire(t, l)
+	t.m.Cfg.Tracer.LockWait(start, t.co.Now(), int32(t.node.ID), int64(l))
 }
 
 // Release releases lock l with release semantics.
 func (t *Thread) Release(l int) {
 	t.sync()
 	t.m.Prot.Release(t, l)
+	t.m.Cfg.Tracer.LockRelease(t.co.Now(), int32(t.node.ID), int64(l))
 }
 
 // Barrier waits until all threads reach barrier b.
 func (t *Thread) Barrier(b int) {
 	t.sync()
 	t.m.Stats.Inc(t.node.ID, stats.BarriersCrossed, 1)
+	start := t.co.Now()
 	t.m.Prot.Barrier(t, b, t.m.Cfg.Procs)
+	t.m.Cfg.Tracer.BarrierWait(start, t.co.Now(), int32(t.node.ID), int64(b))
 }

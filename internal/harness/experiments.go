@@ -9,6 +9,7 @@ import (
 	"swsm/internal/comm"
 	"swsm/internal/proto"
 	"swsm/internal/stats"
+	"swsm/internal/trace"
 )
 
 // LayerConfig names one point of the paper's layer-cost grid: a
@@ -84,6 +85,38 @@ func configSpecs(app string, scale apps.Scale, procs int, configs []LayerConfig)
 		}
 	}
 	return specs, slots, nil
+}
+
+// TracedConfigSpecs expands the protocol x config grid into specs with
+// tracing enabled, returning parallel label slices ("hlrc/AO", ...).
+// The specs are deterministic and index-ordered, so serializing the
+// runner's results in slice order yields byte-identical trace files
+// regardless of execution parallelism.
+func TracedConfigSpecs(app string, scale apps.Scale, procs int, configs []LayerConfig, sample int64) ([]RunSpec, []string, error) {
+	specs, slots, err := configSpecs(app, scale, procs, configs)
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := make([]string, len(specs))
+	for i := range specs {
+		specs[i].Trace = true
+		specs[i].TraceSample = sample
+		labels[i] = string(slots[i].prot) + "/" + slots[i].label
+	}
+	return specs, labels, nil
+}
+
+// TraceRuns pairs index-aligned labels and results into the trace
+// package's serialization input (skipping untraced results).
+func TraceRuns(labels []string, results []*Result) []trace.Run {
+	runs := make([]trace.Run, 0, len(results))
+	for i, res := range results {
+		if res == nil || res.Trace == nil {
+			continue
+		}
+		runs = append(runs, trace.Run{Label: labels[i], Data: res.Trace})
+	}
+	return runs
 }
 
 // Figure3 runs the speedup ladder for one application at the given

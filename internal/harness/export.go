@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"swsm/internal/stats"
+	"swsm/internal/trace"
 )
 
 // CSV exporters so the regenerated figures can be re-plotted with any
@@ -74,6 +75,72 @@ func WriteFigure5CSV(w io.Writer, app string, points []Figure5Point) error {
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteBreakdownTimelineCSV emits a traced run's breakdown time series:
+// one row per sample with the cycles each Figure-4 category accrued
+// (machine-wide) since the previous sample.  Column order matches the
+// figure's category order; summing a column over all rows reproduces the
+// end-of-run breakdown total for that category.
+func WriteBreakdownTimelineCSV(w io.Writer, samples []trace.Sample) error {
+	cw := csv.NewWriter(w)
+	header := []string{"cycle"}
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		header = append(header, c.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		rec := []string{strconv.FormatInt(s.Cycle, 10)}
+		for c := stats.Category(0); c < stats.NumCategories; c++ {
+			rec = append(rec, strconv.FormatInt(s.Delta[c], 10))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteHotObjectsCSV emits a traced run's hot-object ranking: the top k
+// pages (coherence units), locks and barriers, hottest first (all if
+// k <= 0).  Sync objects leave the page-only columns zero.
+func WriteHotObjectsCSV(w io.Writer, p *trace.Profile, k int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"kind", "id", "events", "wait_cycles", "fetches", "diff_bytes", "twins", "invalidations",
+	}); err != nil {
+		return err
+	}
+	n := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, ps := range p.TopPages(k) {
+		if err := cw.Write([]string{
+			"page", n(ps.ID), n(ps.Faults), n(ps.FetchWait), n(ps.Fetches),
+			n(ps.DiffBytes), n(ps.Twins), n(ps.Invals),
+		}); err != nil {
+			return err
+		}
+	}
+	writeSync := func(kind string, rows []trace.SyncStats) error {
+		for _, ss := range rows {
+			if err := cw.Write([]string{
+				kind, n(ss.ID), n(ss.Count), n(ss.Wait), "0", "0", "0", "0",
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeSync("lock", p.TopLocks(k)); err != nil {
+		return err
+	}
+	if err := writeSync("barrier", p.TopBarriers(k)); err != nil {
+		return err
 	}
 	cw.Flush()
 	return cw.Error()

@@ -16,6 +16,7 @@ import (
 	"swsm/internal/proto/lrc"
 	"swsm/internal/proto/scfg"
 	"swsm/internal/stats"
+	"swsm/internal/trace"
 )
 
 // ProtocolKind names a protocol family.
@@ -63,6 +64,14 @@ type RunSpec struct {
 	// delayed-consistency multiple-writer protocol of the paper's
 	// referee note.
 	HLRCUnitShift uint
+	// Trace enables the observability layer for this run: the Result
+	// carries a captured event trace, hot-object profile and (if
+	// TraceSample > 0) breakdown timeline.  Part of the memo key, so
+	// traced and untraced runs of the same point cache separately.
+	Trace bool
+	// TraceSample snapshots the Figure-4 breakdown every N cycles (0 =
+	// no timeline).  Implies nothing unless Trace is set.
+	TraceSample int64
 }
 
 // DefaultSpec is the paper's base system (AO) for an application.
@@ -80,6 +89,9 @@ type Result struct {
 	Cycles  int64
 	Stats   *stats.Machine
 	Machine *core.Machine
+	// Trace holds the captured observability data when Spec.Trace was
+	// set: events, breakdown timeline samples, hot-object profile.
+	Trace *trace.Data
 }
 
 // Run executes a spec: build machine + protocol, set up the app, run all
@@ -125,6 +137,18 @@ func Run(spec RunSpec) (*Result, error) {
 		return nil, fmt.Errorf("harness: unknown protocol %q", spec.Protocol)
 	}
 
+	var tr *trace.Tracer
+	if spec.Trace {
+		// Capture mode: events are retained in memory and serialized by
+		// the caller after the run, so concurrently executing runs (the
+		// parallel sweep runner) cannot interleave output.
+		tr = trace.NewCapture(trace.Options{
+			Profile:     true,
+			SampleEvery: spec.TraceSample,
+		})
+		cfg.Tracer = tr
+	}
+
 	m := core.NewMachine(cfg, p)
 	inst.Setup(m)
 	cycles, err := m.Run(inst.Run)
@@ -134,7 +158,12 @@ func Run(spec RunSpec) (*Result, error) {
 	if err := inst.Verify(m); err != nil {
 		return nil, fmt.Errorf("harness: %s on %s failed verification: %w", spec.App, spec.Protocol, err)
 	}
-	return &Result{Spec: spec, Cycles: cycles, Stats: m.Stats, Machine: m}, nil
+	res := &Result{Spec: spec, Cycles: cycles, Stats: m.Stats, Machine: m}
+	if tr != nil {
+		res.Trace = tr.Data()
+		res.Trace.Procs = spec.Procs
+	}
+	return res, nil
 }
 
 // SequentialBaseline runs the app single-threaded on the ideal machine,

@@ -72,6 +72,7 @@ func (p *Protocol) handleDiff(h proto.HandlerCtx, d diffMsg) int64 {
 		proto.WordCost(p.cfg.Costs.DiffApplyQ4, int64(len(d.words)))
 	body += p.env.CacheTouch(homeNode, p.unitBase(d.page), int(p.unitBytes), true)
 	st.AddDiff(homeNode, body-p.cfg.Costs.HandlerBase)
+	p.tr.DiffApply(p.env.Now(), int32(homeNode), d.page, int64(len(d.words)))
 	p.freeDiffBuf(d.words)
 	from := d.from
 	fromNS := p.nodes[from]

@@ -30,6 +30,7 @@ import (
 	"swsm/internal/mem"
 	"swsm/internal/proto"
 	"swsm/internal/stats"
+	"swsm/internal/trace"
 )
 
 // Page access modes.
@@ -108,8 +109,11 @@ type barrierState struct {
 
 // Protocol is the HLRC protocol instance for one machine.
 type Protocol struct {
-	cfg       Config
-	env       proto.Env
+	cfg Config
+	env proto.Env
+	// tr caches env.Tracer() at Attach; nil (tracing off) makes every
+	// hook call a no-op.
+	tr        *trace.Tracer
 	nprocs    int
 	npages    int64
 	unitShift uint
@@ -219,6 +223,7 @@ func (p *Protocol) freeDiffBuf(d []wordDiff) {
 // Attach wires the environment and sizes the per-node state.
 func (p *Protocol) Attach(env proto.Env) {
 	p.env = env
+	p.tr = env.Tracer()
 	p.nprocs = env.NumProcs()
 	p.npages = (env.NodeMem(0).Limit() + p.unitBytes - 1) >> p.unitShift
 	p.homes = make([]int32, p.npages)
@@ -292,6 +297,7 @@ func (p *Protocol) ensure(th proto.Thread, pg int64, write bool) {
 	}
 	st := p.env.Metrics()
 	me := th.Proc()
+	p.tr.PageFault(p.env.Now(), int32(me), pg, write)
 
 	if m == modeInvalid {
 		// Read or write fault on an invalid page: fetch from home.
@@ -301,8 +307,10 @@ func (p *Protocol) ensure(th proto.Thread, pg int64, write bool) {
 			Src: me, Dst: p.home(pg), Kind: msgPageReq, Size: 16,
 			Payload: pageReq{page: pg, requester: me}, NeedsHandler: true,
 		}
+		fetchStart := p.env.Now()
 		th.Send(stats.DataWait, req)
 		th.BlockFor(stats.DataWait)
+		p.tr.PageFetch(fetchStart, p.env.Now(), int32(me), pg)
 		// The reply's OnDeliver copied the page into our frame and woke us.
 		ns.mode[pg] = modeReadOnly
 		th.Charge(stats.Protocol, p.cfg.Costs.MprotectCost(1))
@@ -336,6 +344,7 @@ func (p *Protocol) makeTwin(th proto.Thread, pg int64) {
 	st := p.env.Metrics()
 	st.Inc(me, stats.TwinsCreated, 1)
 	st.AddDiff(me, cost)
+	p.tr.Twin(p.env.Now(), int32(me), pg)
 }
 
 // --- flush (interval close) ---
@@ -416,6 +425,7 @@ func (p *Protocol) flushPage(th proto.Thread, pg int64, cat stats.Category) {
 	st.Inc(me, stats.DiffsCreated, 1)
 	st.Inc(me, stats.DiffWordsCompared, p.unitWords)
 	st.Inc(me, stats.DiffWordsWritten, int64(len(d)))
+	p.tr.DiffCreate(p.env.Now(), int32(me), pg, int64(len(d)))
 
 	ns.pendingAcks++
 	msg := &comm.Message{

@@ -107,6 +107,7 @@ func (p *Protocol) applyNotices(th proto.Thread, g *grantPayload) {
 				ns.mode[pg] = modeInvalid
 				p.dropTwin(ns, pg)
 				p.env.CacheInvalidate(me, p.unitBase(pg), int(p.unitBytes))
+				p.tr.Invalidate(p.env.Now(), int32(me), pg)
 				invalidated++
 			}
 		}

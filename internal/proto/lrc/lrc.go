@@ -31,6 +31,7 @@ import (
 	"swsm/internal/proto"
 	"swsm/internal/proto/wdiff"
 	"swsm/internal/stats"
+	"swsm/internal/trace"
 )
 
 type pageMode uint8
@@ -123,8 +124,10 @@ type Config struct {
 
 // Protocol is the classic-LRC instance.
 type Protocol struct {
-	cfg    Config
-	env    proto.Env
+	cfg Config
+	env proto.Env
+	// tr caches env.Tracer() at Attach; nil makes every hook a no-op.
+	tr     *trace.Tracer
 	nprocs int
 	npages int64
 
@@ -156,6 +159,7 @@ func (p *Protocol) Name() string { return "lrc" }
 // Attach wires the environment and sizes per-node state.
 func (p *Protocol) Attach(env proto.Env) {
 	p.env = env
+	p.tr = env.Tracer()
 	p.nprocs = env.NumProcs()
 	p.npages = (env.NodeMem(0).Limit() + mem.PageSize - 1) >> mem.PageShift
 	p.managers = make([]int32, p.npages)
@@ -233,6 +237,7 @@ func (p *Protocol) ensure(th proto.Thread, pg int64, write bool) {
 		return
 	}
 	st := p.env.Metrics()
+	p.tr.PageFault(p.env.Now(), int32(me), pg, write)
 
 	if m == modeInvalid {
 		th.Charge(stats.Protocol, p.cfg.Costs.FaultBase)
@@ -288,6 +293,7 @@ func (p *Protocol) fault(th proto.Thread, pg int64) {
 
 	base := !ns.everHeld(pg) && p.manager(pg) != me
 
+	fetchStart := p.env.Now()
 	ns.faultWait = 0
 	if base {
 		ns.faultWait++
@@ -317,6 +323,7 @@ func (p *Protocol) fault(th proto.Thread, pg int64) {
 	for ns.faultWait > 0 {
 		th.BlockFor(stats.DataWait)
 	}
+	p.tr.PageFetch(fetchStart, p.env.Now(), int32(me), pg)
 	ns.markHeld(pg)
 
 	// Merge in a linear extension of happened-before (vc-sum order).
@@ -336,6 +343,7 @@ func (p *Protocol) fault(th proto.Thread, pg int64) {
 			applied[iv.owner] = iv.seq
 		}
 		st.Inc(me, stats.DiffsApplied, 1)
+		p.tr.DiffApply(p.env.Now(), int32(me), pg, int64(len(d)))
 	}
 	applyCost += p.env.CacheTouch(me, mem.PageBase(pg), mem.PageSize, true)
 	if applyCost > 0 {
@@ -395,6 +403,7 @@ func (p *Protocol) makeTwin(th proto.Thread, pg int64) {
 	st := p.env.Metrics()
 	st.Inc(me, stats.TwinsCreated, 1)
 	st.AddDiff(me, cost)
+	p.tr.Twin(p.env.Now(), int32(me), pg)
 }
 
 // payloads

@@ -67,6 +67,7 @@ func (p *Protocol) flush(th proto.Thread) {
 		st.Inc(me, stats.DiffsCreated, 1)
 		st.Inc(me, stats.DiffWordsCompared, wordsPerPage)
 		st.Inc(me, stats.DiffWordsWritten, int64(len(d)))
+		p.tr.DiffCreate(p.env.Now(), int32(me), pg, int64(len(d)))
 		// Our own copy reflects our interval.
 		ns.appliedFor(pg, p.nprocs)[me] = seq
 		ns.markHeld(pg)
@@ -186,6 +187,7 @@ func (p *Protocol) applyNotices(th proto.Thread, g *grantPayload) {
 				delete(ns.held, pg)
 			}
 			p.env.CacheInvalidate(me, mem.PageBase(pg), mem.PageSize)
+			p.tr.Invalidate(p.env.Now(), int32(me), pg)
 			invalidated++
 		}
 		if n.seq > ns.vc[n.owner] {

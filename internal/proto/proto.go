@@ -15,6 +15,7 @@ import (
 	"swsm/internal/mem"
 	"swsm/internal/sim"
 	"swsm/internal/stats"
+	"swsm/internal/trace"
 )
 
 // Env is the machine environment a protocol operates in.  It is
@@ -37,6 +38,9 @@ type Env interface {
 	WakeThread(node int)
 	// Schedule runs fn after d cycles (engine context).
 	Schedule(d sim.Time, fn func())
+	// Tracer returns the observability tracer, nil when tracing is off.
+	// Protocols cache it at Attach; all hooks are no-ops on nil.
+	Tracer() *trace.Tracer
 }
 
 // Thread is the per-thread interface protocols use from fault context.

@@ -23,6 +23,7 @@ import (
 	"swsm/internal/proto"
 	"swsm/internal/sim"
 	"swsm/internal/stats"
+	"swsm/internal/trace"
 )
 
 // Block states at each node.
@@ -75,8 +76,10 @@ type request struct {
 
 // Protocol is the fine-grained SC protocol instance.
 type Protocol struct {
-	cfg       Config
-	env       proto.Env
+	cfg Config
+	env proto.Env
+	// tr caches env.Tracer() at Attach; nil makes every hook a no-op.
+	tr        *trace.Tracer
 	nprocs    int
 	nblocks   int64
 	blockBits uint
@@ -121,6 +124,7 @@ func (p *Protocol) BlockSize() int { return p.cfg.BlockSize }
 // Attach wires the environment and sizes per-node state.
 func (p *Protocol) Attach(env proto.Env) {
 	p.env = env
+	p.tr = env.Tracer()
 	p.nprocs = env.NumProcs()
 	if p.nprocs > 32 {
 		panic("scfg: sharer bitmap supports at most 32 processors")
@@ -212,16 +216,21 @@ func (p *Protocol) ensure(th proto.Thread, b int64, write bool) {
 			kind = msgGetX
 		}
 		p.env.Metrics().Inc(me, stats.BlockFetches, 1)
+		// Coherence misses are the SC analogue of page faults; the fetch
+		// span covers one request/grant round trip (retries span again).
+		p.tr.PageFault(p.env.Now(), int32(me), b, write)
 		req := &comm.Message{
 			Src: me, Dst: p.home(b), Kind: kind, Size: 16,
 			Payload: request{proc: me, write: write, block: b}, NeedsHandler: true,
 		}
+		fetchStart := p.env.Now()
 		th.Send(stats.DataWait, req)
 		// The grant installs both the data and the new state at delivery
 		// time (before any same-cycle recall can run) and wakes us; a
 		// recall or invalidation drained on the way out of BlockFor may
 		// already have revoked the grant, so re-check and retry.
 		th.BlockFor(stats.DataWait)
+		p.tr.PageFetch(fetchStart, p.env.Now(), int32(me), b)
 	}
 }
 
@@ -414,6 +423,7 @@ func (p *Protocol) handleInv(h proto.HandlerCtx, r request) int64 {
 	p.state[me][r.block] = stInvalid
 	p.env.CacheInvalidate(me, base, p.cfg.BlockSize)
 	p.env.Metrics().Inc(me, stats.Invalidations, 1)
+	p.tr.Invalidate(p.env.Now(), int32(me), r.block)
 	h.Send(&comm.Message{
 		Src: me, Dst: p.home(r.block), Kind: msgInvAck, Size: 8,
 		Payload: request{proc: me, block: r.block}, NeedsHandler: true,

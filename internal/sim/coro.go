@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"swsm/internal/trace"
+)
 
 // Coro is a simulated thread of control.  Its body runs on a real
 // goroutine, but exactly one coroutine (or the engine itself) executes at
@@ -10,6 +14,9 @@ import "fmt"
 type Coro struct {
 	eng  *Engine
 	name string
+	// tid is the coroutine's spawn index; the tracer uses it as the track
+	// id for thread-state transitions.
+	tid int32
 
 	resume chan struct{}
 	yield  chan struct{}
@@ -38,9 +45,11 @@ func (e *Engine) Spawn(name string, start Time, body func(*Coro)) *Coro {
 		yield:  make(chan struct{}),
 	}
 	c.stepFn = c.step
+	c.tid = int32(len(e.coros))
 	e.coros = append(e.coros, c)
 	e.At(start, func() {
 		c.started = true
+		e.tracer.ThreadState(e.now, c.tid, trace.StateStarted)
 		go func() {
 			<-c.resume
 			defer func() {
@@ -50,6 +59,7 @@ func (e *Engine) Spawn(name string, start Time, body func(*Coro)) *Coro {
 					e.fail(fmt.Errorf("sim: coroutine %s panicked: %v", name, r))
 				}
 				c.done = true
+				c.eng.tracer.ThreadState(c.eng.now, c.tid, trace.StateDone)
 				c.yield <- struct{}{}
 			}()
 			body(c)
@@ -112,8 +122,10 @@ func (c *Coro) Block() {
 		return
 	}
 	c.blocked = true
+	c.eng.tracer.ThreadState(c.eng.now, c.tid, trace.StateBlocked)
 	c.yieldToEngine()
 	c.blocked = false
+	c.eng.tracer.ThreadState(c.eng.now, c.tid, trace.StateRunning)
 }
 
 // Wake resumes a blocked coroutine at the current virtual time.  If the

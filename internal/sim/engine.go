@@ -11,6 +11,8 @@ package sim
 
 import (
 	"fmt"
+
+	"swsm/internal/trace"
 )
 
 // Time is a point in virtual time, measured in processor cycles.
@@ -40,6 +42,11 @@ type Engine struct {
 	stopped bool
 	// failure records a coroutine panic; Run returns it.
 	failure error
+
+	// tracer is nil unless observability is enabled; every hook method on
+	// a nil *trace.Tracer is a no-op, so the event loop stays allocation-
+	// free when tracing is off.
+	tracer *trace.Tracer
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -49,6 +56,12 @@ func NewEngine() *Engine {
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetTracer installs (or, with nil, removes) the engine's tracer.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
+
+// Tracer returns the installed tracer; nil means tracing is disabled.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // less orders heap entries by (at, seq).
 func (e *Engine) less(i, j int) bool {

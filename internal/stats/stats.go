@@ -115,16 +115,28 @@ func New(n int) *Machine {
 	return &Machine{Procs: make([]Proc, n)}
 }
 
-// Add charges cycles to a category on processor p.
+// Add charges cycles to a category on processor p.  Negative charges
+// and out-of-range categories are accounting bugs and panic loudly.
 func (m *Machine) Add(p int, c Category, cycles int64) {
+	if c < 0 || c >= NumCategories {
+		panic(fmt.Sprintf("stats: charge to invalid category %d", int(c)))
+	}
 	if cycles < 0 {
 		panic(fmt.Sprintf("stats: negative charge %d to %v", cycles, c))
 	}
 	m.Procs[p].Time[c] += cycles
 }
 
-// Inc bumps a counter on processor p.
+// Inc bumps a counter on processor p.  Like Add, negative deltas and
+// out-of-range counters panic: counters are monotonic event tallies, so
+// a negative increment always means a caller bug.
 func (m *Machine) Inc(p int, c Counter, n int64) {
+	if c < 0 || c >= NumCounters {
+		panic(fmt.Sprintf("stats: increment of invalid counter %d", int(c)))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("stats: negative increment %d of %v", n, c))
+	}
 	m.Procs[p].Count[c] += n
 }
 
@@ -142,8 +154,12 @@ func (m *Machine) AddHandlerBody(p int, cycles int64) {
 	m.Procs[p].HandlerCycles += cycles
 }
 
-// TotalTime sums a category across processors.
+// TotalTime sums a category across processors.  Out-of-range categories
+// panic rather than corrupting a report silently.
 func (m *Machine) TotalTime(c Category) int64 {
+	if c < 0 || c >= NumCategories {
+		panic(fmt.Sprintf("stats: total of invalid category %d", int(c)))
+	}
 	var t int64
 	for i := range m.Procs {
 		t += m.Procs[i].Time[c]
@@ -151,8 +167,12 @@ func (m *Machine) TotalTime(c Category) int64 {
 	return t
 }
 
-// TotalCount sums a counter across processors.
+// TotalCount sums a counter across processors.  Out-of-range counters
+// panic rather than corrupting a report silently.
 func (m *Machine) TotalCount(c Counter) int64 {
+	if c < 0 || c >= NumCounters {
+		panic(fmt.Sprintf("stats: total of invalid counter %d", int(c)))
+	}
 	var t int64
 	for i := range m.Procs {
 		t += m.Procs[i].Count[c]
@@ -174,6 +194,20 @@ func (m *Machine) GrandTotal() int64 {
 // split into diff computation and handler execution.  The diff/handler
 // books include handlers that overlapped waits, as the paper's
 // instrumentation does.
+//
+// Accounting discipline — max of two books.  Thread-context protocol
+// work is recorded twice, in books with different coverage: the Time
+// array's Protocol category (partitioned wall-clock time: mprotect,
+// fault plumbing, diffs that delayed the thread) and the DiffCycles
+// overlap book (all diff computation, whether or not it delayed the
+// thread).  Neither book is a superset cycle-for-cycle, but diff work
+// dominates both, so summing them would double-count it.  The total
+// therefore takes max(ΣTime[Protocol], ΣDiffCycles) as the thread-side
+// share and adds ΣHandlerCycles on top.  Consequences callers must not
+// "fix": total ≠ diff + handler in general (the max may exceed the diff
+// book), and the diff and handler columns always report their own books
+// unchanged, so they remain comparable across runs even when the max
+// switches sides.
 func (m *Machine) ProtocolPercent() (total, diff, handler float64) {
 	denom := float64(m.ExecCycles) * float64(len(m.Procs))
 	if denom == 0 {

@@ -127,3 +127,48 @@ func TestBreakdownString(t *testing.T) {
 		t.Fatalf("breakdown string %q", s)
 	}
 }
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestNegativeIncrementPanics(t *testing.T) {
+	mustPanic(t, "Inc negative", func() { New(1).Inc(0, MsgsSent, -1) })
+}
+
+func TestOutOfRangeIndexPanics(t *testing.T) {
+	m := New(1)
+	mustPanic(t, "Add high", func() { m.Add(0, NumCategories, 1) })
+	mustPanic(t, "Add low", func() { m.Add(0, Category(-1), 1) })
+	mustPanic(t, "Inc high", func() { m.Inc(0, NumCounters, 1) })
+	mustPanic(t, "Inc low", func() { m.Inc(0, Counter(-1), 1) })
+	mustPanic(t, "TotalTime high", func() { m.TotalTime(NumCategories) })
+	mustPanic(t, "TotalCount high", func() { m.TotalCount(NumCounters) })
+}
+
+// TestProtocolPercentMaxOfBooks pins the max-of-two-books discipline on
+// a synthetic machine where the partitioned Protocol category exceeds
+// the diff overlap book: the total must use the larger book while the
+// diff and handler columns keep reporting their own books unchanged —
+// so total != diff + handler here by design.
+func TestProtocolPercentMaxOfBooks(t *testing.T) {
+	m := New(2)
+	m.ExecCycles = 1000      // denominator: 2000 processor-cycles
+	m.AddDiff(0, 100)        // diff book: 100
+	m.Add(0, Protocol, 240)  // partitioned book: 240 > diff book
+	m.AddHandlerBody(1, 300) // handler book: 300
+	total, diff, handler := m.ProtocolPercent()
+	// threadSide = max(240, 100) = 240; total = (240+300)/2000 = 27%.
+	if total != 27 || diff != 5 || handler != 15 {
+		t.Fatalf("percent = %.1f/%.1f/%.1f, want 27/5/15", total, diff, handler)
+	}
+	if total == diff+handler {
+		t.Fatal("synthetic machine must exercise the total != diff+handler case")
+	}
+}

@@ -1,0 +1,151 @@
+package trace
+
+import "sort"
+
+// Profiler accumulates per-object protocol activity so the costliest
+// pages (coherence units), locks and barriers of a run can be ranked —
+// the drill-down behind the paper's Table-4/5 aggregate numbers.  It is
+// fed by the Tracer's hook methods; map updates happen only while
+// tracing is enabled, so the disabled path never touches it.
+type Profiler struct {
+	pages map[int64]*PageStats
+	locks map[int64]*SyncStats
+	bars  map[int64]*SyncStats
+}
+
+func newProfiler() *Profiler {
+	return &Profiler{
+		pages: make(map[int64]*PageStats),
+		locks: make(map[int64]*SyncStats),
+		bars:  make(map[int64]*SyncStats),
+	}
+}
+
+// PageStats is one coherence unit's accumulated activity.
+type PageStats struct {
+	ID        int64
+	Faults    int64 // access faults (read or write)
+	Fetches   int64 // remote fetches
+	FetchWait int64 // cycles spent waiting for fetches
+	DiffBytes int64 // bytes of diffs created for this unit
+	Diffs     int64 // diffs created
+	Twins     int64
+	Invals    int64
+}
+
+// SyncStats is one lock's or barrier's accumulated activity.
+type SyncStats struct {
+	ID    int64
+	Count int64 // acquires (locks) or per-processor episodes (barriers)
+	Wait  int64 // cycles spent in the acquire/barrier span
+}
+
+func (p *Profiler) pageFor(id int64) *PageStats {
+	ps := p.pages[id]
+	if ps == nil {
+		ps = &PageStats{ID: id}
+		p.pages[id] = ps
+	}
+	return ps
+}
+
+func (p *Profiler) syncFor(m map[int64]*SyncStats, id int64) *SyncStats {
+	ss := m[id]
+	if ss == nil {
+		ss = &SyncStats{ID: id}
+		m[id] = ss
+	}
+	return ss
+}
+
+func (p *Profiler) pageFault(unit int64) { p.pageFor(unit).Faults++ }
+
+func (p *Profiler) pageFetch(unit, wait int64) {
+	ps := p.pageFor(unit)
+	ps.Fetches++
+	ps.FetchWait += wait
+}
+
+func (p *Profiler) diff(unit, bytes int64) {
+	ps := p.pageFor(unit)
+	ps.Diffs++
+	ps.DiffBytes += bytes
+}
+
+func (p *Profiler) twin(unit int64)       { p.pageFor(unit).Twins++ }
+func (p *Profiler) invalidate(unit int64) { p.pageFor(unit).Invals++ }
+
+func (p *Profiler) lock(id, wait int64) {
+	ss := p.syncFor(p.locks, id)
+	ss.Count++
+	ss.Wait += wait
+}
+
+func (p *Profiler) barrier(id, wait int64) {
+	ss := p.syncFor(p.bars, id)
+	ss.Count++
+	ss.Wait += wait
+}
+
+// Profile is the immutable, deterministically ordered result of a
+// Profiler: every object sorted hottest-first with stable tie-breaks,
+// so two identical runs produce identical profiles (and identical CSV
+// bytes) despite the map-based accumulation.
+type Profile struct {
+	// Pages is sorted by FetchWait desc, then DiffBytes desc, then ID.
+	Pages []PageStats
+	// Locks and Barriers are sorted by Wait desc, then ID.
+	Locks    []SyncStats
+	Barriers []SyncStats
+}
+
+// Profile freezes the profiler into sorted rankings.
+func (p *Profiler) Profile() *Profile {
+	out := &Profile{}
+	for _, ps := range p.pages {
+		out.Pages = append(out.Pages, *ps)
+	}
+	sort.Slice(out.Pages, func(i, j int) bool {
+		a, b := &out.Pages[i], &out.Pages[j]
+		if a.FetchWait != b.FetchWait {
+			return a.FetchWait > b.FetchWait
+		}
+		if a.DiffBytes != b.DiffBytes {
+			return a.DiffBytes > b.DiffBytes
+		}
+		return a.ID < b.ID
+	})
+	out.Locks = sortSync(p.locks)
+	out.Barriers = sortSync(p.bars)
+	return out
+}
+
+func sortSync(m map[int64]*SyncStats) []SyncStats {
+	out := make([]SyncStats, 0, len(m))
+	for _, ss := range m {
+		out = append(out, *ss)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wait != out[j].Wait {
+			return out[i].Wait > out[j].Wait
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// TopPages returns the k hottest coherence units (all if k <= 0).
+func (p *Profile) TopPages(k int) []PageStats { return p.Pages[:clampTop(k, len(p.Pages))] }
+
+// TopLocks returns the k most contended locks.
+func (p *Profile) TopLocks(k int) []SyncStats { return p.Locks[:clampTop(k, len(p.Locks))] }
+
+// TopBarriers returns the k costliest barriers.
+func (p *Profile) TopBarriers(k int) []SyncStats { return p.Barriers[:clampTop(k, len(p.Barriers))] }
+
+func clampTop(k, n int) int {
+	if k <= 0 || k > n {
+		return n
+	}
+	return k
+}

@@ -1,0 +1,56 @@
+package trace
+
+import "swsm/internal/stats"
+
+// Sample is one interval snapshot of the machine-wide breakdown: the
+// cycles charged to each Figure-4 category (summed over processors)
+// since the previous sample.  A run's samples turn the end-of-run
+// breakdown bar into a time series — which phase of the execution
+// accrued the lock wait, when the diff traffic burst happened.
+type Sample struct {
+	// Cycle is the virtual time at which the snapshot was taken.
+	Cycle int64
+	// Delta holds per-category cycles accrued in (prevCycle, Cycle].
+	Delta [stats.NumCategories]int64
+}
+
+// Sampler accumulates interval snapshots.  The core machine drives it
+// from a self-rescheduling simulation event every Every cycles, plus a
+// final snapshot when the run ends.
+//
+// Time attribution quantizes at the simulator's polling model: threads
+// materialize pending cycles at sync points and at the poll quantum, so
+// a sample boundary can shift up to one quantum of a category's time
+// into the next sample.  Deltas are exact in aggregate — the sum of all
+// samples equals the end-of-run breakdown.
+type Sampler struct {
+	// Every is the sampling interval in cycles.
+	Every int64
+
+	rows []Sample
+	last [stats.NumCategories]int64
+}
+
+// Snapshot records the per-category deltas since the previous snapshot.
+// Consecutive same-cycle snapshots collapse (the final end-of-run
+// snapshot may coincide with a periodic one).
+func (s *Sampler) Snapshot(cycle int64, m *stats.Machine) {
+	if n := len(s.rows); n > 0 && s.rows[n-1].Cycle == cycle {
+		return
+	}
+	row := Sample{Cycle: cycle}
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		tot := m.TotalTime(c)
+		row.Delta[c] = tot - s.last[c]
+		s.last[c] = tot
+	}
+	s.rows = append(s.rows, row)
+}
+
+// Rows returns the recorded samples in time order.
+func (s *Sampler) Rows() []Sample {
+	if s == nil {
+		return nil
+	}
+	return s.rows
+}

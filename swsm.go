@@ -52,6 +52,7 @@ import (
 	"swsm/internal/proto/ideal"
 	"swsm/internal/proto/scfg"
 	"swsm/internal/stats"
+	"swsm/internal/trace"
 
 	// Register the full application suite.
 	_ "swsm/internal/apps/barnes"
@@ -229,3 +230,32 @@ var (
 
 // Figure3Configs is the paper's bar ladder (B+B, BB, AB, BO, AO, WO).
 var Figure3Configs = harness.Figure3Configs
+
+// Observability types: set RunSpec.Trace (and optionally
+// RunSpec.TraceSample) and the Result carries a TraceData with the
+// captured event stream, breakdown timeline and hot-object profile.
+type (
+	// TraceData is one traced run's captured observability data.
+	TraceData = trace.Data
+	// TraceRun labels one traced run for multi-run trace files.
+	TraceRun = trace.Run
+	// HotProfile ranks pages, locks and barriers hottest-first.
+	HotProfile = trace.Profile
+)
+
+// Trace serialization: Chrome trace_event JSON (loads in Perfetto /
+// chrome://tracing; one track per simulated processor) and compact
+// JSONL.  Output bytes are deterministic for identical runs.
+var (
+	WriteChromeTrace      = trace.WriteChrome
+	WriteChromeTraceMulti = trace.WriteChromeMulti
+	WriteJSONLTrace       = trace.WriteJSONL
+)
+
+// Observability CSV exports and traced-sweep helpers.
+var (
+	WriteBreakdownTimelineCSV = harness.WriteBreakdownTimelineCSV
+	WriteHotObjectsCSV        = harness.WriteHotObjectsCSV
+	TracedConfigSpecs         = harness.TracedConfigSpecs
+	TraceRuns                 = harness.TraceRuns
+)
