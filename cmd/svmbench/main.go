@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,6 +42,10 @@ func main() {
 		traceOut    = flag.String("trace", "", "write a multi-run Chrome trace of the figure-3 config ladder to this file")
 		traceSample = flag.Int64("trace-sample", 0, "sample the breakdown every N cycles in traced runs")
 		hotK        = flag.Int("hot", 0, "print the top K hot pages/locks/barriers per traced run")
+
+		degradation = flag.Bool("degradation", false, "run the slowdown-vs-drop-rate fault sweep")
+		dropsCS     = flag.String("drops", "0.5,1,2,5", "comma-separated drop rates in percent for -degradation")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for the -degradation fault plans")
 	)
 	flag.Parse()
 
@@ -95,6 +100,13 @@ func main() {
 			}
 		})
 	}
+	if *degradation {
+		sweep(ses, "degradation", func() {
+			if err := runDegradation(ses, sel, sc, *procs, *faultSeed, *dropsCS, *csvPath); err != nil {
+				fatalf("degradation: %v", err)
+			}
+		})
+	}
 	if *validate {
 		res, err := harness.ValidateAll()
 		if err != nil {
@@ -106,9 +118,49 @@ func main() {
 		}
 		return
 	}
-	if *table == 0 && *figure == 0 && *traceOut == "" && *hotK == 0 {
+	if *table == 0 && *figure == 0 && *traceOut == "" && *hotK == 0 && !*degradation {
 		flag.Usage()
 	}
+}
+
+// runDegradation sweeps drop rate x app x protocol through the shared
+// session, printing the slowdown table (and optionally its CSV).  Each
+// faulted run re-verifies the application's answer, so completing the
+// sweep certifies correctness under every injected fault rate.
+func runDegradation(ses *swsm.Session, sel []string, scale swsm.Scale, procs int, seed uint64, dropsCS, csvPath string) error {
+	var dropPPMs []int64
+	for _, s := range strings.Split(dropsCS, ",") {
+		pct, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("-drops %q: %v", dropsCS, err)
+		}
+		if pct < 0 || pct > 100 {
+			return fmt.Errorf("-drops rate %.2f outside [0, 100]", pct)
+		}
+		dropPPMs = append(dropPPMs, int64(pct*1e4))
+	}
+	protos := []swsm.ProtocolKind{swsm.HLRC, swsm.SC}
+	points, err := ses.DegradationSweep(sel, protos, scale, procs, seed, dropPPMs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Degradation sweep: slowdown vs drop rate (seed %d, all answers verified)\n", seed)
+	fmt.Print(swsm.FormatDegradation(points))
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := swsm.WriteDegradationCSV(f, points); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", csvPath)
+	}
+	return nil
 }
 
 // runTraced re-runs the figure-3 configuration ladder for each selected

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"swsm"
@@ -39,6 +41,14 @@ func main() {
 		traceSample = flag.Int64("trace-sample", 0, "sample the breakdown every N cycles (with tracing)")
 		timelineOut = flag.String("timeline", "", "write the sampled breakdown timeline CSV to this file")
 		hotK        = flag.Int("hot", 0, "print the top K hot pages/locks/barriers (requires tracing)")
+
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection")
+		dropPct   = flag.Float64("drop", 0, "message drop rate in percent (enables the reliable transport)")
+		dupPct    = flag.Float64("dup", 0, "message duplication rate in percent")
+		delayPct  = flag.Float64("delay", 0, "message extra-delay rate in percent")
+		delayMax  = flag.Int64("delay-max", 0, "max injected extra delay in cycles (default 10000)")
+		pauseSpec = flag.String("pause", "", "periodic node pause windows as EVERY:FOR[:NODEMASK] cycles")
+		reliable  = flag.Bool("reliable", false, "route through the reliable transport even with no faults")
 	)
 	flag.Parse()
 
@@ -71,6 +81,25 @@ func main() {
 	if err := lc.Apply(&spec); err != nil {
 		fatalf("%v", err)
 	}
+	spec.Fault = swsm.FaultSpec{
+		Seed:     *faultSeed,
+		DropPPM:  pctToPPM(*dropPct, "drop"),
+		DupPPM:   pctToPPM(*dupPct, "dup"),
+		DelayPPM: pctToPPM(*delayPct, "delay"),
+		DelayMax: *delayMax,
+		Reliable: *reliable,
+	}
+	if *pauseSpec != "" {
+		every, dur, mask, err := parsePause(*pauseSpec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec.Fault.PauseEvery, spec.Fault.PauseFor, spec.Fault.PauseMask = every, dur, mask
+	}
+	if err := spec.Fault.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+
 	tracing := *traceOut != "" || *traceJSONL != "" || *timelineOut != "" || *hotK > 0
 	if tracing {
 		spec.Trace = true
@@ -96,6 +125,11 @@ func main() {
 
 	fmt.Printf("%s on %s, %d procs, config %s (scale %s)\n",
 		*app, *protocol, *procs, lc.Label(), *scale)
+	if spec.Fault.Enabled() {
+		fmt.Printf("  fault plan: seed %d, drop %.2f%%, dup %.2f%%, delay %.2f%%, pause %d/%d\n",
+			spec.Fault.Seed, *dropPct, *dupPct, *delayPct,
+			spec.Fault.PauseFor, spec.Fault.PauseEvery)
+	}
 	fmt.Printf("  cycles:   %d (sequential %d)\n", res.Cycles, seq)
 	fmt.Printf("  speedup:  %.2f\n", speedup)
 	fmt.Printf("  breakdown (avg cycles/proc): %s\n", res.Stats.BreakdownString())
@@ -180,6 +214,36 @@ func writeFile(path string, fn func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// pctToPPM converts a percentage flag to the fault plane's fixed-point
+// parts-per-million rate.
+func pctToPPM(pct float64, name string) int64 {
+	if pct < 0 || pct > 100 {
+		fatalf("-%s %.2f outside [0, 100]", name, pct)
+	}
+	return int64(pct * 1e4)
+}
+
+// parsePause decodes EVERY:FOR[:NODEMASK] (cycles, cycles, hex or
+// decimal bitmask of pausing nodes; omitted mask = all nodes).
+func parsePause(s string) (every, dur int64, mask uint64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("-pause wants EVERY:FOR[:NODEMASK], got %q", s)
+	}
+	if every, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("-pause period: %v", err)
+	}
+	if dur, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("-pause duration: %v", err)
+	}
+	if len(parts) == 3 {
+		if mask, err = strconv.ParseUint(parts[2], 0, 64); err != nil {
+			return 0, 0, 0, fmt.Errorf("-pause node mask: %v", err)
+		}
+	}
+	return every, dur, mask, nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -26,6 +26,13 @@ type Message struct {
 
 	// SendTime records when the message entered the network (set by Send).
 	SendTime sim.Time
+
+	// DropOnWire marks a transmission the fault plane has condemned: it
+	// consumes source-side resources (I/O bus, NI, link) like any other
+	// message but is never deposited at the destination.  Only the
+	// reliable transport sets this; application-visible messages are
+	// delivered exactly once or not at all.
+	DropOnWire bool
 }
 
 // HeaderBytes is the fixed per-message header charged on the wire.
@@ -78,6 +85,7 @@ func (nw *Network) Params() Params { return nw.p }
 // (thread or handler), since sends are asynchronous and the paper defines
 // host overhead as processor busy time.
 func (nw *Network) Send(m *Message) {
+	nw.checkEndpoints(m)
 	now := nw.eng.Now()
 	m.SendTime = now
 	if m.Src == m.Dst {
@@ -108,6 +116,11 @@ func (nw *Network) Send(m *Message) {
 		arrive := niEnd + nw.p.LinkLatency
 		last := remaining == 0
 		pktBytes := pkt
+		if m.DropOnWire {
+			// Lost in the fabric: source-side resources were consumed,
+			// nothing reaches the destination.
+			continue
+		}
 		// Receiver-side resources are reserved at arrival time (in an
 		// event) so that packets from different senders contend in true
 		// arrival order.
@@ -121,6 +134,21 @@ func (nw *Network) Send(m *Message) {
 		})
 	}
 }
+
+// checkEndpoints panics with a self-explanatory message when Src or Dst
+// is outside the machine; without it an out-of-range Dst surfaces as an
+// index panic deep in endpoint bookkeeping.
+func (nw *Network) checkEndpoints(m *Message) {
+	if m.Src < 0 || m.Src >= len(nw.eps) {
+		panic(fmt.Sprintf("comm: Send from out-of-range Src %d (nodes 0..%d)", m.Src, len(nw.eps)-1))
+	}
+	if m.Dst < 0 || m.Dst >= len(nw.eps) {
+		panic(fmt.Sprintf("comm: Send to out-of-range Dst %d (nodes 0..%d)", m.Dst, len(nw.eps)-1))
+	}
+}
+
+// NumNodes reports the machine size the network was built for.
+func (nw *Network) NumNodes() int { return len(nw.eps) }
 
 func (nw *Network) deliver(m *Message) {
 	now := nw.eng.Now()

@@ -1,0 +1,130 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+
+	"swsm/internal/sim"
+)
+
+// sendSized pushes one message of the given payload size through a fresh
+// network and reports the packet count and delivery time.
+func sendSized(t *testing.T, p Params, size int64) (pkts int64, at sim.Time) {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := NewNetwork(eng, 2, p)
+	at = -1
+	eng.At(0, func() {
+		nw.Send(&Message{Src: 0, Dst: 1, Size: size,
+			OnDeliver: func(now sim.Time) { at = now }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at < 0 {
+		t.Fatalf("message of size %d never delivered", size)
+	}
+	return nw.PktCount, at
+}
+
+// TestPacketizationEdges pins the packet-count boundaries, including the
+// header accounting: the wire carries Size + HeaderBytes, so payloads
+// within HeaderBytes of the packet limit spill into a second packet.
+func TestPacketizationEdges(t *testing.T) {
+	p := Achievable() // MaxPacket 4096
+	cases := []struct {
+		size int64
+		pkts int64
+	}{
+		{0, 1},                             // header-only message still moves one packet
+		{1, 1},                             //
+		{p.MaxPacket - HeaderBytes, 1},     // 4064+32 = exactly one full packet
+		{p.MaxPacket - HeaderBytes + 1, 2}, // one byte over: spills
+		{p.MaxPacket, 2},                   // 4096+32 = 4128: full packet + 32-byte runt
+		{p.MaxPacket + 1, 2},               //
+		{2*p.MaxPacket - HeaderBytes, 2},
+		{2*p.MaxPacket - HeaderBytes + 1, 3},
+	}
+	for _, c := range cases {
+		pkts, _ := sendSized(t, p, c.size)
+		if pkts != c.pkts {
+			t.Errorf("size %d: %d packets, want %d", c.size, pkts, c.pkts)
+		}
+	}
+}
+
+// TestZeroSizeLatency pins the zero-payload delivery time end to end:
+// 32 header bytes cost ceil(32*3/2) = 48 cycles per bus crossing, plus
+// NI occupancy both sides and the link.
+func TestZeroSizeLatency(t *testing.T) {
+	p := Achievable()
+	_, at := sendSized(t, p, 0)
+	want := sim.Time(48 + 400 + 2 + 400 + 48)
+	if at != want {
+		t.Fatalf("zero-size delivery at %d, want %d", at, want)
+	}
+}
+
+// TestPacketSpillCost checks that crossing the packet boundary costs a
+// second NI occupancy on each side: the one-byte spill must be strictly
+// slower than the exactly-full message by at least the NI service time.
+func TestPacketSpillCost(t *testing.T) {
+	p := Achievable()
+	full := p.MaxPacket - HeaderBytes
+	_, atFull := sendSized(t, p, full)
+	_, atSpill := sendSized(t, p, full+1)
+	if atSpill <= atFull {
+		t.Fatalf("spilled message (%d) not slower than full packet (%d)", atSpill, atFull)
+	}
+}
+
+func TestSendBoundsChecked(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := NewNetwork(eng, 4, Achievable())
+	expectPanic := func(m *Message, frag string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("Send(%+v) did not panic", m)
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, frag) {
+				t.Fatalf("Send(%+v) panicked with %v, want message containing %q", m, r, frag)
+			}
+		}()
+		nw.Send(m)
+	}
+	expectPanic(&Message{Src: -1, Dst: 1}, "out-of-range Src")
+	expectPanic(&Message{Src: 4, Dst: 1}, "out-of-range Src")
+	expectPanic(&Message{Src: 0, Dst: -2}, "out-of-range Dst")
+	expectPanic(&Message{Src: 0, Dst: 4}, "out-of-range Dst")
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, name := range []string{"A", "B", "H", "W", "B+"} {
+		p, err := ParamsByName(name)
+		if err != nil {
+			t.Fatalf("ParamsByName(%s): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("named set %s fails its own validation: %v", name, err)
+		}
+	}
+	bad := []Params{
+		{MaxPacket: 0, IOBusBytesDen: 1},
+		{MaxPacket: -1, IOBusBytesDen: 1},
+		{MaxPacket: 4096, IOBusBytesDen: 0},
+		{MaxPacket: 4096, IOBusBytesDen: 3, HostOverhead: -1},
+		{MaxPacket: 4096, IOBusBytesDen: 3, LinkLatency: -2},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+	// Infinite bandwidth (Num 0) is a documented sentinel, not an error.
+	inf := Params{MaxPacket: 4096, IOBusBytesNum: 0, IOBusBytesDen: 1}
+	if err := inf.Validate(); err != nil {
+		t.Errorf("infinite-bandwidth params rejected: %v", err)
+	}
+}

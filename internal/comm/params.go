@@ -114,21 +114,46 @@ func BetterThanBest() Params {
 	}
 }
 
-// Set names used by the harness ("A", "B", "H", "W", "B+").
+// Validate rejects parameter sets the simulator cannot run: packetization
+// needs a positive MaxPacket, and the bandwidth rational needs a positive
+// denominator (a zero numerator is the documented "infinite" sentinel).
+func (p Params) Validate() error {
+	if p.MaxPacket <= 0 {
+		return fmt.Errorf("comm: MaxPacket %d must be > 0", p.MaxPacket)
+	}
+	if p.IOBusBytesDen <= 0 {
+		return fmt.Errorf("comm: IOBusBytesDen %d must be > 0", p.IOBusBytesDen)
+	}
+	if p.HostOverhead < 0 || p.NIOccupancy < 0 || p.MsgHandling < 0 || p.LinkLatency < 0 {
+		return fmt.Errorf("comm: negative cost in %+v", p)
+	}
+	return nil
+}
+
+// Set names used by the harness ("A", "B", "H", "W", "B+").  Every
+// returned set is validated, so a future edit to a named set that breaks
+// an invariant fails here with a clear error instead of panicking deep in
+// the packetization loop.
 func ParamsByName(name string) (Params, error) {
+	var p Params
 	switch name {
 	case "A":
-		return Achievable(), nil
+		p = Achievable()
 	case "B":
-		return Best(), nil
+		p = Best()
 	case "H":
-		return Halfway(), nil
+		p = Halfway()
 	case "W":
-		return Worse(), nil
+		p = Worse()
 	case "B+":
-		return BetterThanBest(), nil
+		p = BetterThanBest()
+	default:
+		return Params{}, fmt.Errorf("comm: unknown parameter set %q (want A, B, H, W or B+)", name)
 	}
-	return Params{}, fmt.Errorf("comm: unknown parameter set %q (want A, B, H, W or B+)", name)
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
 }
 
 // BandwidthMBs reports the I/O bus bandwidth in MB/s assuming a 200 MHz

@@ -1,0 +1,184 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+
+	"swsm/internal/fault"
+	"swsm/internal/sim"
+)
+
+// reliableDeliveries sends n sized messages 0->1 through a
+// ReliableNetwork driven by spec and returns per-message delivery counts
+// and the delivery order, plus the transport for counter inspection.
+func reliableDeliveries(t *testing.T, spec fault.Spec, n int, size int64) (counts []int, order []int, rn *ReliableNetwork) {
+	t.Helper()
+	eng := sim.NewEngine()
+	rn = NewReliableNetwork(NewNetwork(eng, 2, Achievable()), spec, DefaultReliableParams())
+	counts = make([]int, n)
+	eng.At(0, func() {
+		for i := 0; i < n; i++ {
+			i := i
+			rn.Send(&Message{Src: 0, Dst: 1, Kind: i, Size: size,
+				OnDeliver: func(sim.Time) {
+					counts[i]++
+					order = append(order, i)
+				}})
+		}
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return counts, order, rn
+}
+
+// assertExactlyOnceFIFO is the transport's contract toward the
+// protocols: every message delivered exactly once, in send order.
+func assertExactlyOnceFIFO(t *testing.T, counts []int, order []int) {
+	t.Helper()
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("message %d delivered %d times, want exactly once", i, c)
+		}
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("delivery order %v is not FIFO", order)
+		}
+	}
+}
+
+func TestReliableZeroFaultPassthrough(t *testing.T) {
+	// With Reliable set but nothing injected, delivery must be
+	// cycle-identical to the plain network (the fast path IS the plain
+	// path).
+	plain := deliverAt(t, Achievable(), 32)
+
+	eng := sim.NewEngine()
+	nw := NewNetwork(eng, 4, Achievable())
+	rn := NewReliableNetwork(nw, fault.Spec{Reliable: true}, DefaultReliableParams())
+	var at sim.Time = -1
+	eng.At(0, func() {
+		rn.Send(&Message{Src: 0, Dst: 1, Size: 32,
+			OnDeliver: func(now sim.Time) { at = now }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != plain {
+		t.Fatalf("zero-fault reliable delivery at %d, plain network at %d", at, plain)
+	}
+	if rn.TotalAcks() != 0 || rn.TotalRetransmits() != 0 {
+		t.Fatal("zero-fault fast path generated transport traffic")
+	}
+	if nw.MsgCount != 1 {
+		t.Fatalf("zero-fault fast path sent %d wire messages, want 1", nw.MsgCount)
+	}
+}
+
+func TestReliableSurvivesDrops(t *testing.T) {
+	spec := fault.Spec{Seed: 11, DropPPM: 300_000} // 30%: plenty of loss
+	counts, order, rn := reliableDeliveries(t, spec, 40, 256)
+	assertExactlyOnceFIFO(t, counts, order)
+	if rn.TotalDrops() == 0 {
+		t.Fatal("30% drop rate lost nothing")
+	}
+	if rn.TotalRetransmits() == 0 {
+		t.Fatal("drops recovered without any retransmission")
+	}
+	if rn.TotalAcks() == 0 {
+		t.Fatal("no acks sent")
+	}
+}
+
+func TestReliableSuppressesDuplicates(t *testing.T) {
+	spec := fault.Spec{Seed: 5, DupPPM: fault.PPM} // duplicate every frame
+	counts, order, rn := reliableDeliveries(t, spec, 20, 64)
+	assertExactlyOnceFIFO(t, counts, order)
+	if rn.TotalDupsSuppressed() == 0 {
+		t.Fatal("100% duplication suppressed nothing")
+	}
+}
+
+func TestReliableReordersBackIntoFIFO(t *testing.T) {
+	// Heavy injected delay reorders frames on the wire; the receiver's
+	// reorder buffer must still deliver in send order.
+	spec := fault.Spec{Seed: 23, DelayPPM: 600_000, DelayMax: 40_000}
+	counts, order, _ := reliableDeliveries(t, spec, 30, 128)
+	assertExactlyOnceFIFO(t, counts, order)
+}
+
+func TestReliableMixedFaults(t *testing.T) {
+	spec := fault.Spec{Seed: 3, DropPPM: 100_000, DupPPM: 100_000,
+		DelayPPM: 200_000, DelayMax: 20_000,
+		PauseEvery: 50_000, PauseFor: 5_000}
+	counts, order, rn := reliableDeliveries(t, spec, 40, 512)
+	assertExactlyOnceFIFO(t, counts, order)
+	if rn.TotalRetransmits() == 0 && rn.TotalDrops() == 0 && rn.TotalDupsSuppressed() == 0 {
+		t.Fatal("mixed fault plan induced no transport activity at all")
+	}
+}
+
+func TestReliableDeterministic(t *testing.T) {
+	spec := fault.Spec{Seed: 77, DropPPM: 150_000, DupPPM: 50_000, DelayPPM: 100_000}
+	run := func() (sim.Time, int64, int64) {
+		eng := sim.NewEngine()
+		rn := NewReliableNetwork(NewNetwork(eng, 2, Achievable()), spec, DefaultReliableParams())
+		var last sim.Time
+		eng.At(0, func() {
+			for i := 0; i < 25; i++ {
+				rn.Send(&Message{Src: 0, Dst: 1, Size: 200,
+					OnDeliver: func(now sim.Time) { last = now }})
+			}
+		})
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last, rn.TotalRetransmits(), rn.TotalDrops()
+	}
+	t1, rx1, dr1 := run()
+	t2, rx2, dr2 := run()
+	if t1 != t2 || rx1 != rx2 || dr1 != dr2 {
+		t.Fatalf("identical specs diverged: (%d, %d, %d) vs (%d, %d, %d)",
+			t1, rx1, dr1, t2, rx2, dr2)
+	}
+	if rx1 == 0 {
+		t.Fatal("15% drops caused no retransmission")
+	}
+}
+
+func TestReliableGivesUpOnDeadFabric(t *testing.T) {
+	// Dropping every transmission (data, retransmits and acks) must
+	// exhaust MaxAttempts and fail the run instead of spinning forever.
+	spec := fault.Spec{Seed: 1, DropPPM: fault.PPM}
+	eng := sim.NewEngine()
+	p := DefaultReliableParams()
+	p.MaxAttempts = 5
+	rn := NewReliableNetwork(NewNetwork(eng, 2, Achievable()), spec, p)
+	eng.At(0, func() {
+		rn.Send(&Message{Src: 0, Dst: 1, Size: 64, OnDeliver: func(sim.Time) {
+			t.Error("message delivered through a 100%-loss fabric")
+		}})
+	})
+	_, err := eng.Run()
+	if err == nil || !strings.Contains(err.Error(), "undeliverable") {
+		t.Fatalf("Run() = %v, want an undeliverable-message failure", err)
+	}
+}
+
+func TestReliableLoopbackBypassesTransport(t *testing.T) {
+	spec := fault.Spec{Seed: 1, DropPPM: fault.PPM}
+	eng := sim.NewEngine()
+	rn := NewReliableNetwork(NewNetwork(eng, 2, Achievable()), spec, DefaultReliableParams())
+	delivered := false
+	eng.At(0, func() {
+		rn.Send(&Message{Src: 1, Dst: 1, Size: 64,
+			OnDeliver: func(sim.Time) { delivered = true }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Fatal("loopback message lost; local delivery must bypass the faulty wire")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"swsm/internal/cache"
 	"swsm/internal/comm"
+	"swsm/internal/fault"
 	"swsm/internal/mem"
 	"swsm/internal/proto"
 	"swsm/internal/sim"
@@ -53,6 +54,12 @@ type Config struct {
 	// load/store, modeling Shasta-style software access-control
 	// instrumentation (zero = the paper's free-hardware assumption).
 	AccessInstrCycles int64
+	// Fault configures deterministic fault injection.  When enabled the
+	// machine routes every protocol message through the reliable
+	// transport (sequence numbers, acks, retransmission); the zero value
+	// keeps the paper's perfectly reliable fabric and the plain network
+	// path, untouched.
+	Fault fault.Spec
 	// Tracer enables the observability layer when non-nil: typed event
 	// tracing, interval breakdown sampling, and hot-object profiling.
 	// Nil (the default) keeps every hook a no-op on the hot paths.
@@ -93,9 +100,13 @@ type Node struct {
 
 // Machine is the simulated cluster.
 type Machine struct {
-	Cfg   Config
-	Eng   *sim.Engine
-	Net   *comm.Network
+	Cfg Config
+	Eng *sim.Engine
+	Net *comm.Network
+	// RNet is the reliable transport wrapping Net; nil unless
+	// Cfg.Fault.Enabled().  When present, all machine sends route
+	// through it (its zero-injection path delegates straight to Net).
+	RNet  *comm.ReliableNetwork
 	Stats *stats.Machine
 	Prot  proto.Protocol
 	Nodes []*Node
@@ -140,9 +151,22 @@ func NewMachine(cfg Config, p proto.Protocol) *Machine {
 	}
 	m.arena = mem.NewArena(mem.PageSize, cfg.MemLimit) // keep page 0 unused
 	m.Net.Dispatch = m.dispatch
+	if cfg.Fault.Enabled() {
+		m.RNet = comm.NewReliableNetwork(m.Net, cfg.Fault, comm.DefaultReliableParams())
+	}
 	eng.SetTracer(cfg.Tracer)
 	p.Attach(m)
 	return m
+}
+
+// netSend routes a message through the reliable transport when fault
+// injection is on, and straight to the plain network otherwise.
+func (m *Machine) netSend(msg *comm.Message) {
+	if m.RNet != nil {
+		m.RNet.Send(msg)
+		return
+	}
+	m.Net.Send(msg)
 }
 
 // Alloc reserves shared address space (see mem.Arena.Alloc).
@@ -214,6 +238,14 @@ func (m *Machine) Run(body func(t *Thread)) (sim.Time, error) {
 			m.Stats.Inc(i, stats.L2Misses, n.Cache.L2Misses)
 		}
 	}
+	if m.RNet != nil {
+		for i := range m.Nodes {
+			m.Stats.Inc(i, stats.Retransmits, m.RNet.RetransmitsFrom(i))
+			m.Stats.Inc(i, stats.MsgsDropped, m.RNet.DropsFrom(i))
+			m.Stats.Inc(i, stats.AcksSent, m.RNet.AcksFrom(i))
+			m.Stats.Inc(i, stats.DupsSuppressed, m.RNet.DupsSuppressedAt(i))
+		}
+	}
 	return end, nil
 }
 
@@ -268,7 +300,7 @@ func (m *Machine) runHandler(n *Node, msg *comm.Message) {
 	if len(sends) > 0 {
 		m.Eng.At(end, func() {
 			for _, s := range sends {
-				m.Net.Send(s)
+				m.netSend(s)
 			}
 		})
 	}
@@ -304,7 +336,7 @@ func (m *Machine) Send(msg *comm.Message) {
 	m.Stats.Inc(msg.Src, stats.MsgsSent, 1)
 	m.Stats.Inc(msg.Src, stats.BytesSent, msg.Size+comm.HeaderBytes)
 	m.Cfg.Tracer.MsgSend(m.Eng.Now(), int32(msg.Src), int64(msg.Kind), msg.Size+comm.HeaderBytes)
-	m.Net.Send(msg)
+	m.netSend(msg)
 }
 
 // CacheTouch models protocol-induced cache pollution on node i.

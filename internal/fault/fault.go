@@ -1,0 +1,212 @@
+// Package fault is the deterministic fault-injection plane of the
+// simulated cluster.  It decides, per wire transmission, whether a
+// message is dropped, duplicated or delayed, and it defines periodic
+// per-node pause windows (a stalled OS, a GC'ing runtime) and NI stall
+// windows (a wedged network interface) during which traffic is deferred.
+//
+// Every decision is a pure function of (Spec.Seed, src, dst, wire index)
+// through a splitmix64 hash, so fault outcomes are bit-reproducible: the
+// same Spec produces the same faults no matter how wide the surrounding
+// sweep runs, and two runs differing only in Seed see independent fault
+// patterns.  The plane itself never advances time — the reliable
+// transport in internal/comm turns its decisions into retransmissions,
+// duplicate suppression and deferred deliveries, all charged to the
+// simulated clock.
+package fault
+
+import "fmt"
+
+// PPM is the fixed-point probability base: rates are expressed in parts
+// per million, so integer Specs stay comparable (RunSpec memo keys) and
+// no float rounding can perturb determinism.
+const PPM = 1_000_000
+
+// Spec configures the fault plane.  The zero value injects nothing.
+// All fields are scalars so Spec is comparable and can participate in
+// flat memoization keys.
+type Spec struct {
+	// Seed keys every pseudo-random decision.  Two Specs that differ
+	// only in Seed produce independent fault patterns.
+	Seed uint64
+
+	// DropPPM is the per-transmission probability (parts per million)
+	// that a message is lost on the wire after consuming source-side
+	// resources.  Applies to retransmissions and acks too.
+	DropPPM int64
+	// DupPPM is the probability that a transmission is duplicated (the
+	// copy delivers too and must be suppressed by the receiver).
+	DupPPM int64
+	// DelayPPM is the probability that a delivered transmission is held
+	// at the destination NI for an extra 1..DelayMax cycles, which can
+	// reorder it behind later traffic on the same pair.
+	DelayPPM int64
+	// DelayMax bounds the extra delay in cycles (default 10000 when a
+	// DelayPPM is set but DelayMax is not).
+	DelayMax int64
+
+	// PauseEvery opens a pause window on each masked node once per
+	// period: the node neither transmits nor accepts deliveries during
+	// [start, start+PauseFor).  Window phase is seeded per node so nodes
+	// do not pause in lockstep.
+	PauseEvery int64
+	// PauseFor is the pause window length in cycles.
+	PauseFor int64
+	// PauseMask selects pausing nodes (bit i = node i mod 64); zero
+	// means every node when PauseEvery is set.
+	PauseMask uint64
+
+	// StallEvery/StallFor define periodic NI stall windows on every
+	// node: outbound transmissions initiated inside a window wait for
+	// its end (inbound deposits are unaffected — the NI buffers them).
+	StallEvery int64
+	StallFor   int64
+
+	// Reliable routes traffic through the reliable transport even when
+	// no injection is active, pinning the wrapper's zero-fault
+	// pass-through (it must be cycle-identical to the plain network).
+	Reliable bool
+}
+
+// Active reports whether the spec injects any fault at all.  The
+// reliable transport falls back to the plain network path when false.
+func (s Spec) Active() bool {
+	return s.DropPPM > 0 || s.DupPPM > 0 || s.DelayPPM > 0 ||
+		(s.PauseEvery > 0 && s.PauseFor > 0) ||
+		(s.StallEvery > 0 && s.StallFor > 0)
+}
+
+// Enabled reports whether the machine should wrap its network in the
+// reliable transport (any active injection, or Reliable forced on).
+func (s Spec) Enabled() bool { return s.Active() || s.Reliable }
+
+// Validate rejects rates outside [0, PPM] and negative windows.
+func (s Spec) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    int64
+	}{{"DropPPM", s.DropPPM}, {"DupPPM", s.DupPPM}, {"DelayPPM", s.DelayPPM}} {
+		if r.v < 0 || r.v > PPM {
+			return fmt.Errorf("fault: %s = %d outside [0, %d]", r.name, r.v, int64(PPM))
+		}
+	}
+	for _, r := range []struct {
+		name string
+		v    int64
+	}{{"DelayMax", s.DelayMax}, {"PauseEvery", s.PauseEvery}, {"PauseFor", s.PauseFor},
+		{"StallEvery", s.StallEvery}, {"StallFor", s.StallFor}} {
+		if r.v < 0 {
+			return fmt.Errorf("fault: negative %s = %d", r.name, r.v)
+		}
+	}
+	if s.PauseEvery > 0 && s.PauseFor >= s.PauseEvery {
+		return fmt.Errorf("fault: PauseFor %d must be shorter than PauseEvery %d", s.PauseFor, s.PauseEvery)
+	}
+	if s.StallEvery > 0 && s.StallFor >= s.StallEvery {
+		return fmt.Errorf("fault: StallFor %d must be shorter than StallEvery %d", s.StallFor, s.StallEvery)
+	}
+	return nil
+}
+
+// splitmix64 is the finalizer of the splitmix64 PRNG: a bijective
+// avalanche hash, so distinct (seed, src, dst, index) tuples map to
+// effectively independent 64-bit values.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Decision is the fault plane's verdict for one wire transmission.
+type Decision struct {
+	// Drop loses the transmission after source-side resources.
+	Drop bool
+	// Dup delivers a second identical copy.
+	Dup bool
+	// Delay holds the delivered copy this many extra cycles at the
+	// destination (0 = none).
+	Delay int64
+}
+
+// Injector evaluates a Spec for one simulated machine.  It keeps one
+// monotone wire-transmission counter per directed (src, dst) pair, so a
+// transmission's fate depends only on (seed, src, dst, index) — never on
+// wall-clock state or map iteration order.
+type Injector struct {
+	spec Spec
+	n    int
+	idx  []uint64 // per-pair wire counters, indexed src*n+dst
+}
+
+// NewInjector builds the fault plane for an n-node machine.
+func NewInjector(spec Spec, n int) *Injector {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{spec: spec, n: n, idx: make([]uint64, n*n)}
+}
+
+// Spec returns the injector's configuration.
+func (in *Injector) Spec() Spec { return in.spec }
+
+// Decide consumes the next wire index of the (src, dst) pair and returns
+// that transmission's fate.
+func (in *Injector) Decide(src, dst int) Decision {
+	i := src*in.n + dst
+	idx := in.idx[i]
+	in.idx[i]++
+	h := splitmix64(in.spec.Seed ^ 0xd6e8feb86659fd93)
+	h = splitmix64(h ^ uint64(src)<<32 ^ uint64(dst))
+	h = splitmix64(h ^ idx)
+	var d Decision
+	if in.spec.DropPPM > 0 && int64(h%PPM) < in.spec.DropPPM {
+		d.Drop = true
+		return d // a lost transmission cannot also duplicate or delay
+	}
+	h = splitmix64(h)
+	if in.spec.DupPPM > 0 && int64(h%PPM) < in.spec.DupPPM {
+		d.Dup = true
+	}
+	h = splitmix64(h)
+	if in.spec.DelayPPM > 0 && int64(h%PPM) < in.spec.DelayPPM {
+		max := in.spec.DelayMax
+		if max <= 0 {
+			max = 10000
+		}
+		d.Delay = 1 + int64(splitmix64(h)%uint64(max))
+	}
+	return d
+}
+
+// windowEnd returns the end of the periodic window covering now, or now
+// itself when outside every window.  Window starts are at
+// phase + k*every; phase is seeded per (salt, node) so nodes desynchronize.
+func (in *Injector) windowEnd(node int, now, every, dur int64, salt uint64) int64 {
+	if every <= 0 || dur <= 0 {
+		return now
+	}
+	phase := int64(splitmix64(in.spec.Seed^salt^uint64(node)) % uint64(every))
+	pos := (now - phase) % every
+	if pos < 0 {
+		pos += every
+	}
+	if pos < dur {
+		return now + (dur - pos)
+	}
+	return now
+}
+
+// PauseUntil reports when node may next transmit or accept a delivery:
+// now if it is not paused, otherwise the end of its pause window.
+func (in *Injector) PauseUntil(node int, now int64) int64 {
+	if in.spec.PauseMask != 0 && in.spec.PauseMask&(1<<uint(node%64)) == 0 {
+		return now
+	}
+	return in.windowEnd(node, now, in.spec.PauseEvery, in.spec.PauseFor, 0x8e2f_19a3_0b5c_d671)
+}
+
+// StallUntil reports when node's NI may next begin an outbound
+// transmission: now outside stall windows, else the window end.
+func (in *Injector) StallUntil(node int, now int64) int64 {
+	return in.windowEnd(node, now, in.spec.StallEvery, in.spec.StallFor, 0x51ab_7ce9_93d4_f205)
+}

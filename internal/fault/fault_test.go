@@ -1,0 +1,206 @@
+package fault
+
+import "testing"
+
+// decisions rolls the injector n times on one pair and returns the
+// outcomes.
+func decisions(spec Spec, src, dst, n int) []Decision {
+	in := NewInjector(spec, 4)
+	out := make([]Decision, n)
+	for i := range out {
+		out[i] = in.Decide(src, dst)
+	}
+	return out
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	spec := Spec{Seed: 42, DropPPM: 100_000, DupPPM: 50_000, DelayPPM: 50_000, DelayMax: 500}
+	a := decisions(spec, 0, 1, 2000)
+	b := decisions(spec, 0, 1, 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical injectors: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDecideIndependentAcrossPairsAndSeeds(t *testing.T) {
+	spec := Spec{Seed: 42, DropPPM: 500_000}
+	a := decisions(spec, 0, 1, 512)
+	b := decisions(spec, 1, 0, 512)
+	spec2 := spec
+	spec2.Seed = 43
+	c := decisions(spec2, 0, 1, 512)
+	same := func(x, y []Decision) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(a, b) {
+		t.Fatal("pairs (0,1) and (1,0) saw identical fault sequences")
+	}
+	if same(a, c) {
+		t.Fatal("seeds 42 and 43 saw identical fault sequences")
+	}
+}
+
+func TestDecideRates(t *testing.T) {
+	const n = 100_000
+	spec := Spec{Seed: 7, DropPPM: 10_000, DupPPM: 20_000, DelayPPM: 30_000, DelayMax: 100}
+	var drops, dups, delays int
+	for _, d := range decisions(spec, 2, 3, n) {
+		if d.Drop {
+			drops++
+			if d.Dup || d.Delay != 0 {
+				t.Fatal("a dropped transmission cannot also duplicate or delay")
+			}
+		}
+		if d.Dup {
+			dups++
+		}
+		if d.Delay != 0 {
+			delays++
+			if d.Delay < 1 || d.Delay > 100 {
+				t.Fatalf("delay %d outside [1, DelayMax=100]", d.Delay)
+			}
+		}
+	}
+	// Expected counts: 1%, 2%, 3% of n, within a generous ±40% band.
+	check := func(name string, got, want int) {
+		if got < want*6/10 || got > want*14/10 {
+			t.Errorf("%s rate off: got %d of %d, want ~%d", name, got, n, want)
+		}
+	}
+	check("drop", drops, n/100)
+	check("dup", dups, n*2/100)
+	check("delay", delays, n*3/100)
+}
+
+func TestZeroSpecInjectsNothing(t *testing.T) {
+	var spec Spec
+	if spec.Active() || spec.Enabled() {
+		t.Fatal("zero spec must be inactive")
+	}
+	for i, d := range decisions(spec, 0, 1, 1000) {
+		if d.Drop || d.Dup || d.Delay != 0 {
+			t.Fatalf("zero spec injected a fault at roll %d: %+v", i, d)
+		}
+	}
+	if !(Spec{Reliable: true}).Enabled() {
+		t.Fatal("Reliable must force Enabled")
+	}
+	if (Spec{Reliable: true}).Active() {
+		t.Fatal("Reliable alone must not be Active")
+	}
+}
+
+func TestPauseWindows(t *testing.T) {
+	spec := Spec{Seed: 9, PauseEvery: 1000, PauseFor: 100}
+	in := NewInjector(spec, 4)
+	// Scanning one full period must find exactly PauseFor paused cycles,
+	// all contiguous mod the period.
+	paused := 0
+	for now := int64(0); now < 1000; now++ {
+		end := in.PauseUntil(0, now)
+		if end < now {
+			t.Fatalf("PauseUntil went backwards: now %d -> %d", now, end)
+		}
+		if end > now {
+			paused++
+			if end-now > 100 {
+				t.Fatalf("pause window longer than PauseFor: %d cycles left at %d", end-now, now)
+			}
+		}
+	}
+	if paused != 100 {
+		t.Fatalf("node paused for %d of 1000 cycles, want 100", paused)
+	}
+	// The phase is per node: with 4 nodes at a 10% duty cycle, all four
+	// sharing one phase would be a (9/10)^3 ~ 27% coincidence per node
+	// pair; require at least one differing phase.
+	first := func(node int) int64 {
+		for now := int64(0); now < 1000; now++ {
+			if in.PauseUntil(node, now) > now {
+				return now
+			}
+		}
+		return -1
+	}
+	p0 := first(0)
+	if first(1) != p0 || first(2) != p0 || first(3) != p0 {
+		return // desynchronized, as intended
+	}
+	t.Fatal("all nodes pause in lockstep; phases are not per-node")
+}
+
+func TestPauseMask(t *testing.T) {
+	spec := Spec{Seed: 9, PauseEvery: 1000, PauseFor: 100, PauseMask: 1 << 2}
+	in := NewInjector(spec, 4)
+	for now := int64(0); now < 2000; now++ {
+		if in.PauseUntil(0, now) != now {
+			t.Fatalf("unmasked node 0 paused at %d", now)
+		}
+	}
+	pausedSomewhere := false
+	for now := int64(0); now < 2000; now++ {
+		if in.PauseUntil(2, now) > now {
+			pausedSomewhere = true
+			break
+		}
+	}
+	if !pausedSomewhere {
+		t.Fatal("masked node 2 never paused")
+	}
+}
+
+func TestStallWindows(t *testing.T) {
+	spec := Spec{Seed: 3, StallEvery: 500, StallFor: 50}
+	in := NewInjector(spec, 2)
+	stalled := 0
+	for now := int64(0); now < 500; now++ {
+		if in.StallUntil(1, now) > now {
+			stalled++
+		}
+	}
+	if stalled != 50 {
+		t.Fatalf("NI stalled for %d of 500 cycles, want 50", stalled)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Spec{
+		{},
+		{Seed: 1, DropPPM: PPM},
+		{DupPPM: 1, DelayPPM: PPM, DelayMax: 10},
+		{PauseEvery: 100, PauseFor: 99},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+	bad := []Spec{
+		{DropPPM: -1},
+		{DropPPM: PPM + 1},
+		{DupPPM: PPM + 1},
+		{DelayPPM: -5},
+		{DelayMax: -1},
+		{PauseEvery: -1},
+		{PauseEvery: 100, PauseFor: 100}, // window must be shorter than period
+		{StallEvery: 10, StallFor: 20},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInjector accepted an invalid spec")
+		}
+	}()
+	NewInjector(Spec{DropPPM: -1}, 2)
+}

@@ -10,6 +10,7 @@ import (
 	"swsm/internal/apps"
 	"swsm/internal/comm"
 	"swsm/internal/core"
+	"swsm/internal/fault"
 	"swsm/internal/proto"
 	"swsm/internal/proto/hlrc"
 	"swsm/internal/proto/ideal"
@@ -72,6 +73,12 @@ type RunSpec struct {
 	// TraceSample snapshots the Figure-4 breakdown every N cycles (0 =
 	// no timeline).  Implies nothing unless Trace is set.
 	TraceSample int64
+	// Fault configures deterministic fault injection (drops, duplicates,
+	// delays, node pauses, NI stalls) plus the reliable transport that
+	// absorbs it.  The zero value is the paper's perfectly reliable
+	// fabric.  Part of the memo key: faulted and clean runs of the same
+	// point cache separately.
+	Fault fault.Spec
 }
 
 // DefaultSpec is the paper's base system (AO) for an application.
@@ -112,6 +119,10 @@ func Run(spec RunSpec) (*Result, error) {
 	}
 	cfg.DisablePlacement = spec.DisablePlacement
 	cfg.NoProtocolPollution = spec.NoProtocolPollution
+	if err := spec.Fault.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Fault = spec.Fault
 	if spec.SoftwareAccessControl {
 		// ~2 extra instructions per shared reference approximates the
 		// Table-1 instrumentation percentages at the 1-IPC model.

@@ -1,0 +1,43 @@
+package sim
+
+// Timer is a cancellable one-shot timer, the primitive the reliable
+// transport's retransmission timeouts are built on.  The engine's event
+// heap has no removal operation (events are pooled and recycled), so a
+// stopped timer leaves its event in place and the event's thunk checks
+// the stopped flag when it fires — O(1) cancellation, no heap surgery.
+type Timer struct {
+	stopped bool
+	fired   bool
+}
+
+// NewTimer schedules fn to run d cycles from now unless Stop is called
+// first.
+func (e *Engine) NewTimer(d Time, fn func()) *Timer {
+	t := &Timer{}
+	e.After(d, func() {
+		if t.stopped {
+			return
+		}
+		t.fired = true
+		fn()
+	})
+	return t
+}
+
+// Stop cancels the timer.  It reports whether the timer was stopped
+// before firing (false when fn already ran or Stop was already called).
+func (t *Timer) Stop() bool {
+	if t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Fired reports whether the timer's callback has run.
+func (t *Timer) Fired() bool { return t.fired }
+
+// Fail aborts the run: Run drains no further events and returns err.
+// The reliable transport uses it when a message exhausts its retransmit
+// budget (a partitioned or dead node), which no protocol can survive.
+func (e *Engine) Fail(err error) { e.fail(err) }

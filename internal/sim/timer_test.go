@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTimerFires(t *testing.T) {
+	eng := NewEngine()
+	var firedAt Time = -1
+	var tm *Timer
+	eng.At(0, func() {
+		tm = eng.NewTimer(100, func() { firedAt = eng.Now() })
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != 100 {
+		t.Fatalf("timer fired at %d, want 100", firedAt)
+	}
+	if !tm.Fired() {
+		t.Fatal("Fired() false after the callback ran")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop() after firing must report false")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.At(0, func() {
+		tm := eng.NewTimer(100, func() { fired = true })
+		eng.At(50, func() {
+			if !tm.Stop() {
+				t.Error("first Stop() must report true")
+			}
+			if tm.Stop() {
+				t.Error("second Stop() must report false")
+			}
+		})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("stopped timer fired anyway")
+	}
+}
+
+func TestFailAbortsRun(t *testing.T) {
+	eng := NewEngine()
+	boom := errors.New("boom")
+	late := false
+	eng.At(10, func() { eng.Fail(boom) })
+	eng.At(20, func() { late = true })
+	at, err := eng.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run returned %v, want the injected failure", err)
+	}
+	if at != 10 {
+		t.Fatalf("failure reported at %d, want 10", at)
+	}
+	if late {
+		t.Fatal("events after Fail still ran")
+	}
+}

@@ -64,6 +64,14 @@ const (
 	L1Misses
 	L2Misses
 	TaskSteals
+	// Reliable-transport counters (nonzero only under fault injection):
+	// retransmissions sent, wire transmissions lost, transport acks sent
+	// and duplicate frames suppressed, attributed to the node that
+	// performed the action.
+	Retransmits
+	MsgsDropped
+	AcksSent
+	DupsSuppressed
 	NumCounters
 )
 
@@ -73,6 +81,7 @@ var counterNames = [NumCounters]string{
 	"twinsCreated", "writeNotices", "invalidations", "lockAcquires",
 	"barriersCrossed", "pageProtects", "loads", "stores", "l1Misses",
 	"l2Misses", "taskSteals",
+	"retransmits", "msgsDropped", "acksSent", "dupsSuppressed",
 }
 
 // String returns the counter label.

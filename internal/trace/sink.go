@@ -143,6 +143,15 @@ func chromeName(ev *Event) (name, cat string) {
 		return fmt.Sprintf("barrier %d", ev.Arg), "barrier"
 	case KHandler:
 		return fmt.Sprintf("handler k%d", ev.Arg), "handler"
+	case KMsgDrop:
+		if ev.Arg < 0 {
+			return fmt.Sprintf("drop ack s%d", ev.Arg2), "fault"
+		}
+		return fmt.Sprintf("drop k%d s%d", ev.Arg, ev.Arg2), "fault"
+	case KMsgRetransmit:
+		return fmt.Sprintf("rexmit k%d try%d", ev.Arg, ev.Arg2), "fault"
+	case KMsgAck:
+		return fmt.Sprintf("ack to %d s%d", ev.Arg, ev.Arg2), "msg"
 	}
 	return "unknown", "unknown"
 }

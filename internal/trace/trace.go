@@ -61,6 +61,15 @@ const (
 	KBarrierWait
 	// KHandler spans a protocol handler execution (Arg = message kind).
 	KHandler
+	// KMsgDrop marks a wire transmission the fault plane lost
+	// (Arg = protocol kind, -1 for an ack; Arg2 = sequence number).
+	KMsgDrop
+	// KMsgRetransmit marks a timeout-driven retransmission
+	// (Arg = protocol kind, Arg2 = attempt count so far).
+	KMsgRetransmit
+	// KMsgAck marks a cumulative transport ack leaving a node
+	// (Arg = destination node, Arg2 = acknowledged sequence number).
+	KMsgAck
 	numKinds
 )
 
@@ -68,6 +77,7 @@ var kindNames = [numKinds]string{
 	"threadState", "msgSend", "msgRecv", "pageFault", "pageFetch",
 	"diffCreate", "diffApply", "twin", "invalidate",
 	"lockWait", "lockRelease", "barrierWait", "handler",
+	"msgDrop", "msgRetransmit", "msgAck",
 }
 
 // String returns the stable wire name of the kind.
@@ -391,6 +401,31 @@ func (t *Tracer) Handler(start, end int64, proc int32, kind int64) {
 		return
 	}
 	t.emit(Event{At: start, Dur: end - start, Proc: proc, Kind: KHandler, Arg: kind})
+}
+
+// MsgDrop records a wire transmission lost by the fault plane (kind -1
+// marks a transport ack).
+func (t *Tracer) MsgDrop(at int64, proc int32, kind, seq int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: at, Proc: proc, Kind: KMsgDrop, Arg: kind, Arg2: seq})
+}
+
+// MsgRetransmit records a timeout-driven retransmission on the sender.
+func (t *Tracer) MsgRetransmit(at int64, proc int32, kind, attempt int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: at, Proc: proc, Kind: KMsgRetransmit, Arg: kind, Arg2: attempt})
+}
+
+// MsgAck records a cumulative transport ack leaving proc toward peer.
+func (t *Tracer) MsgAck(at int64, proc int32, peer, seq int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{At: at, Proc: proc, Kind: KMsgAck, Arg: peer, Arg2: seq})
 }
 
 // SampleNow snapshots the breakdown categories into the sampler, if one

@@ -45,6 +45,7 @@ import (
 	"swsm/internal/apps"
 	"swsm/internal/comm"
 	"swsm/internal/core"
+	"swsm/internal/fault"
 	"swsm/internal/harness"
 	"swsm/internal/harness/runner"
 	"swsm/internal/proto"
@@ -258,4 +259,34 @@ var (
 	WriteHotObjectsCSV        = harness.WriteHotObjectsCSV
 	TracedConfigSpecs         = harness.TracedConfigSpecs
 	TraceRuns                 = harness.TraceRuns
+)
+
+// Fault injection and graceful degradation: set RunSpec.Fault and the
+// machine routes every protocol message through a reliable transport
+// (sequence numbers, cumulative acks, timeout retransmission with capped
+// exponential backoff, duplicate suppression) over a deterministically
+// faulty fabric.  Faulted runs must still compute the fault-free
+// answers — Run verifies every result — so the fault plane doubles as a
+// correctness oracle for the protocol stack.
+type (
+	// FaultSpec configures the deterministic fault plane (drop /
+	// duplicate / delay rates in parts per million, node pause and NI
+	// stall windows, all keyed by a seed).  The zero value is the
+	// paper's perfectly reliable fabric.
+	FaultSpec = fault.Spec
+	// DegradationPoint is one slowdown-vs-drop-rate measurement.
+	DegradationPoint = harness.DegradationPoint
+)
+
+// FaultPPM is the fixed-point base of FaultSpec rates (parts per
+// million; 10_000 PPM = 1%).
+const FaultPPM = fault.PPM
+
+// Degradation-sweep helpers: FaultedSpec attaches a seeded drop-rate
+// plan to a spec; Session.DegradationSweep measures slowdown vs drop
+// rate across app x protocol; the formatters render/export the points.
+var (
+	FaultedSpec         = harness.FaultedSpec
+	FormatDegradation   = harness.FormatDegradation
+	WriteDegradationCSV = harness.WriteDegradationCSV
 )
