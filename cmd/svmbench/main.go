@@ -46,6 +46,10 @@ func main() {
 		degradation = flag.Bool("degradation", false, "run the slowdown-vs-drop-rate fault sweep")
 		dropsCS     = flag.String("drops", "0.5,1,2,5", "comma-separated drop rates in percent for -degradation")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for the -degradation fault plans")
+
+		litmusN     = flag.Int("litmus", 0, "run the litmus conformance sweep with N seeds across hlrc/lrc/sc")
+		litmusSeed  = flag.Uint64("litmus-seed", 1, "first seed of the -litmus sweep")
+		litmusDrops = flag.String("litmus-drops", "", "comma-separated drop percents for a faulted -litmus column (empty = clean fabric only)")
 	)
 	flag.Parse()
 
@@ -107,6 +111,13 @@ func main() {
 			}
 		})
 	}
+	if *litmusN > 0 {
+		sweep(ses, "litmus", func() {
+			if err := runLitmus(ses, sc, *procs, *litmusSeed, *litmusN, *litmusDrops, *csvPath); err != nil {
+				fatalf("litmus: %v", err)
+			}
+		})
+	}
 	if *validate {
 		res, err := harness.ValidateAll()
 		if err != nil {
@@ -118,9 +129,61 @@ func main() {
 		}
 		return
 	}
-	if *table == 0 && *figure == 0 && *traceOut == "" && *hotK == 0 && !*degradation {
+	if *table == 0 && *figure == 0 && *traceOut == "" && *hotK == 0 && !*degradation && *litmusN == 0 {
 		flag.Usage()
 	}
+}
+
+// runLitmus sweeps the litmus ladder (n seeds x every real protocol,
+// optionally with a faulted drop-rate column) with the conformance
+// checker on, printing per-point coverage and failing on any violation.
+func runLitmus(ses *swsm.Session, scale swsm.Scale, procs int, seed uint64, n int, dropsCS, csvPath string) error {
+	var dropPPMs []int64
+	if dropsCS != "" {
+		for _, s := range strings.Split(dropsCS, ",") {
+			pct, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("-litmus-drops %q: %v", dropsCS, err)
+			}
+			if pct < 0 || pct > 100 {
+				return fmt.Errorf("-litmus-drops rate %.2f outside [0, 100]", pct)
+			}
+			dropPPMs = append(dropPPMs, int64(pct*1e4))
+		}
+	}
+	protos := []swsm.ProtocolKind{swsm.HLRC, swsm.LRC, swsm.SC}
+	points, err := ses.LitmusSweep(seed, n, protos, scale, procs, dropPPMs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Litmus conformance sweep: seeds %d..%d x {hlrc, lrc, sc}, %d procs (checker on)\n",
+		seed, seed+uint64(n)-1, procs)
+	fmt.Print(swsm.FormatLitmus(points))
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := swsm.WriteLitmusCSV(f, points); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", csvPath)
+	}
+	bad := 0
+	for _, p := range points {
+		if !p.Conforms() {
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d points violated their consistency model", bad, len(points))
+	}
+	fmt.Printf("all %d points conform\n", len(points))
+	return nil
 }
 
 // runDegradation sweeps drop rate x app x protocol through the shared

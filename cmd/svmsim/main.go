@@ -7,6 +7,8 @@
 //	svmsim -app fft -protocol hlrc
 //	svmsim -app barnes -protocol sc -comm B -costs B -procs 8
 //	svmsim -app radix -protocol hlrc -comm W -scale large
+//	svmsim -app fft -protocol hlrc -check
+//	svmsim -litmus 32 -litmus-seed 1 -procs 4 -scale tiny
 //	svmsim -list
 package main
 
@@ -42,6 +44,10 @@ func main() {
 		timelineOut = flag.String("timeline", "", "write the sampled breakdown timeline CSV to this file")
 		hotK        = flag.Int("hot", 0, "print the top K hot pages/locks/barriers (requires tracing)")
 
+		check      = flag.Bool("check", false, "run the consistency conformance checker over the run")
+		litmusN    = flag.Int("litmus", 0, "run a litmus ladder of N seeds across hlrc/lrc/sc instead of -app")
+		litmusSeed = flag.Uint64("litmus-seed", 1, "first seed of the -litmus ladder")
+
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection")
 		dropPct   = flag.Float64("drop", 0, "message drop rate in percent (enables the reliable transport)")
 		dupPct    = flag.Float64("dup", 0, "message duplication rate in percent")
@@ -64,24 +70,18 @@ func main() {
 		return
 	}
 
-	spec := swsm.DefaultSpec(*app, swsm.ProtocolKind(*protocol))
-	spec.Procs = *procs
-	spec.SCBlockOverride = *scBlock
+	var sc swsm.Scale
 	switch *scale {
 	case "tiny":
-		spec.Scale = swsm.Tiny
+		sc = swsm.Tiny
 	case "base":
-		spec.Scale = swsm.Base
+		sc = swsm.Base
 	case "large":
-		spec.Scale = swsm.Large
+		sc = swsm.Large
 	default:
 		fatalf("unknown scale %q", *scale)
 	}
-	lc := swsm.LayerConfig{Comm: *commSet, Costs: *costSet}
-	if err := lc.Apply(&spec); err != nil {
-		fatalf("%v", err)
-	}
-	spec.Fault = swsm.FaultSpec{
+	fs := swsm.FaultSpec{
 		Seed:     *faultSeed,
 		DropPPM:  pctToPPM(*dropPct, "drop"),
 		DupPPM:   pctToPPM(*dupPct, "dup"),
@@ -94,11 +94,27 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		spec.Fault.PauseEvery, spec.Fault.PauseFor, spec.Fault.PauseMask = every, dur, mask
+		fs.PauseEvery, fs.PauseFor, fs.PauseMask = every, dur, mask
 	}
-	if err := spec.Fault.Validate(); err != nil {
+	if err := fs.Validate(); err != nil {
 		fatalf("%v", err)
 	}
+
+	if *litmusN > 0 {
+		runLitmus(*parallel, *litmusSeed, *litmusN, *procs, sc, fs)
+		return
+	}
+
+	spec := swsm.DefaultSpec(*app, swsm.ProtocolKind(*protocol))
+	spec.Procs = *procs
+	spec.SCBlockOverride = *scBlock
+	spec.Scale = sc
+	spec.Check = *check
+	lc := swsm.LayerConfig{Comm: *commSet, Costs: *costSet}
+	if err := lc.Apply(&spec); err != nil {
+		fatalf("%v", err)
+	}
+	spec.Fault = fs
 
 	tracing := *traceOut != "" || *traceJSONL != "" || *timelineOut != "" || *hotK > 0
 	if tracing {
@@ -137,6 +153,9 @@ func main() {
 	fmt.Printf("  protocol activity: %.1f%% of time (diff %.1f%%, handler %.1f%%)\n",
 		total, diffPct, handlerPct)
 	fmt.Printf("  counters: %s\n", res.Stats.CounterString())
+	if res.Consistency != nil {
+		fmt.Printf("  consistency: %s\n", res.Consistency)
+	}
 	fmt.Printf("  imbalance: data %.2fx, lock %.2fx, barrier %.2fx\n",
 		res.Stats.Imbalance(stats.DataWait),
 		res.Stats.Imbalance(stats.LockWait),
@@ -153,6 +172,50 @@ func main() {
 	st := ses.Stats()
 	fmt.Printf("[%.2fs wall, parallel=%d, %d runs, %d cache hits]\n",
 		elapsed.Seconds(), ses.Parallelism(), st.Runs, st.Hits+st.Waits)
+}
+
+// runLitmus executes the litmus ladder: n seeds x {hlrc, lrc, sc} with
+// the conformance checker on; with -drop set, a faulted column runs next
+// to the clean one.  Every violation is delta-debugged to a minimal
+// reproducer and the command exits nonzero.
+func runLitmus(parallel int, baseSeed uint64, n, procs int, scale swsm.Scale, fs swsm.FaultSpec) {
+	protos := []swsm.ProtocolKind{swsm.HLRC, swsm.LRC, swsm.SC}
+	var drops []int64
+	if fs.DropPPM > 0 {
+		drops = []int64{0, fs.DropPPM}
+	}
+	ses := swsm.NewSession(parallel)
+	start := time.Now()
+	points, err := ses.LitmusSweep(baseSeed, n, protos, scale, procs, drops)
+	if err != nil {
+		fatalf("litmus sweep: %v", err)
+	}
+	fmt.Printf("Litmus ladder: seeds %d..%d x {hlrc, lrc, sc}, %d procs\n",
+		baseSeed, baseSeed+uint64(n)-1, procs)
+	fmt.Print(swsm.FormatLitmus(points))
+	bad := 0
+	for _, p := range points {
+		if p.Conforms() {
+			continue
+		}
+		bad++
+		spec := swsm.LitmusSpec(p.Seed, p.Proto, scale, procs)
+		if p.DropPPM > 0 {
+			spec = swsm.FaultedSpec(spec, p.Seed, p.DropPPM)
+		}
+		prog := swsm.LitmusGenerate(p.Seed, procs, scale)
+		if min := swsm.ShrinkLitmus(spec, prog, nil); min != nil {
+			fmt.Printf("minimal reproducer for seed %d on %s (%d of %d ops):\n%s\n",
+				p.Seed, p.Proto, min.Ops(), prog.Ops(), min)
+		}
+	}
+	st := ses.Stats()
+	fmt.Printf("[%.2fs wall, parallel=%d, %d runs, %d cache hits]\n",
+		time.Since(start).Seconds(), ses.Parallelism(), st.Runs, st.Hits+st.Waits)
+	if bad > 0 {
+		fatalf("%d of %d litmus points violated their consistency model", bad, len(points))
+	}
+	fmt.Printf("all %d points conform\n", len(points))
 }
 
 // writeTraceOutputs serializes a traced run's observability products:

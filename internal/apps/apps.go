@@ -10,6 +10,7 @@ package apps
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"swsm/internal/core"
 )
@@ -64,18 +65,40 @@ type Info struct {
 	Factory        Factory
 }
 
-var registry = map[string]Info{}
+// The registry is mutex-guarded because litmus programs register
+// lazily, from whatever goroutine first names a seed — including the
+// parallel sweep runner's workers.  The static suite still registers
+// from init(), before any concurrency exists.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Info{}
+)
 
 // Register installs an application.
 func Register(info Info) {
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, dup := registry[info.Name]; dup {
 		panic(fmt.Sprintf("apps: duplicate registration %q", info.Name))
 	}
 	registry[info.Name] = info
 }
 
+// EnsureRegistered installs an application unless the name is already
+// taken, atomically — the idempotent form lazy registrars (litmus
+// seeds) need, where two racing callers of the same name are fine.
+func EnsureRegistered(info Info) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[info.Name]; !ok {
+		registry[info.Name] = info
+	}
+}
+
 // Names lists registered applications, sorted.
 func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
@@ -86,7 +109,9 @@ func Names() []string {
 
 // Lookup returns the Info for name.
 func Lookup(name string) (Info, error) {
+	regMu.RLock()
 	info, ok := registry[name]
+	regMu.RUnlock()
 	if !ok {
 		return Info{}, fmt.Errorf("apps: unknown application %q (have %v)", name, Names())
 	}

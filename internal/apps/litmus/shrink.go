@@ -1,0 +1,141 @@
+package litmus
+
+// Shrink minimizes a failing program by delta debugging: it repeatedly
+// tries structure-preserving removals — emptying a thread of everything
+// but its barriers, deleting a whole barrier (from every thread, so the
+// program stays barrier-uniform), deleting an acquire/release pair, and
+// deleting single data/compute ops — keeping a removal whenever
+// keep(candidate) still reports the failure, until no removal survives.
+// keep must be a pure predicate (typically: "re-run under the same spec
+// and the checker still reports a violation").
+//
+// The result is deterministic for a deterministic keep: moves are tried
+// in a fixed order, largest first.
+func Shrink(p *Program, keep func(*Program) bool) *Program {
+	cur := p.clone()
+	for {
+		improved := false
+		// 1. Empty one thread's data ops (barriers stay: removing them
+		// unilaterally would deadlock the others).
+		for t := range cur.Threads {
+			cand := cur.clone()
+			var kept []Op
+			for _, op := range cand.Threads[t] {
+				if op.Kind == OpBarrier {
+					kept = append(kept, op)
+				}
+			}
+			if len(kept) == len(cand.Threads[t]) {
+				continue
+			}
+			cand.Threads[t] = kept
+			if keep(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+		// 2. Remove one barrier id everywhere.
+		for _, bar := range cur.barIDs() {
+			cand := cur.clone()
+			for t := range cand.Threads {
+				var kept []Op
+				for _, op := range cand.Threads[t] {
+					if op.Kind == OpBarrier && op.Bar == bar {
+						continue
+					}
+					kept = append(kept, op)
+				}
+				cand.Threads[t] = kept
+			}
+			if keep(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+		// 3. Remove one acquire/release pair (the body stays).
+		for t := range cur.Threads {
+			for i := 0; i < len(cur.Threads[t]); i++ {
+				if cur.Threads[t][i].Kind != OpAcquire {
+					continue
+				}
+				j := matchingRelease(cur.Threads[t], i)
+				if j < 0 {
+					continue
+				}
+				cand := cur.clone()
+				ops := cand.Threads[t]
+				ops = append(ops[:j], ops[j+1:]...)
+				ops = append(ops[:i], ops[i+1:]...)
+				cand.Threads[t] = ops
+				if keep(cand) {
+					cur = cand
+					improved = true
+					break // indices shifted; rescan this thread next round
+				}
+			}
+		}
+		// 4. Remove single loads/stores/computes.
+		for t := range cur.Threads {
+			for i := 0; i < len(cur.Threads[t]); i++ {
+				switch cur.Threads[t][i].Kind {
+				case OpLoad, OpStore, OpCompute:
+				default:
+					continue
+				}
+				cand := cur.clone()
+				ops := cand.Threads[t]
+				cand.Threads[t] = append(ops[:i], ops[i+1:]...)
+				if keep(cand) {
+					cur = cand
+					improved = true
+					i-- // the next op slid into slot i
+				}
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// matchingRelease finds the release paired with the acquire at i
+// (litmus critical sections never nest, but scan defensively).
+func matchingRelease(ops []Op, i int) int {
+	lock := ops[i].Lock
+	for j := i + 1; j < len(ops); j++ {
+		if ops[j].Kind == OpAcquire && ops[j].Lock == lock {
+			return -1 // malformed: nested same-lock acquire
+		}
+		if ops[j].Kind == OpRelease && ops[j].Lock == lock {
+			return j
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy of the program, so shrink candidates and
+// repeated harness runs never share op slices.
+func (p *Program) Clone() *Program { return p.clone() }
+
+func (p *Program) clone() *Program {
+	q := *p
+	q.Threads = make([][]Op, len(p.Threads))
+	for i, ops := range p.Threads {
+		q.Threads[i] = append([]Op(nil), ops...)
+	}
+	return &q
+}
+
+func (p *Program) barIDs() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, ops := range p.Threads {
+		for _, op := range ops {
+			if op.Kind == OpBarrier && !seen[op.Bar] {
+				seen[op.Bar] = true
+				out = append(out, op.Bar)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,518 @@
+package consistency
+
+import (
+	"fmt"
+	"math"
+
+	"swsm/internal/proto"
+)
+
+// compactLimit bounds the retained write history per word: when a word
+// accumulates more writes, every write that is already covered below the
+// machine-wide vector-clock floor (and therefore can never again be a
+// legal read source or an uncovered frontier write) is discarded.
+const compactLimit = 192
+
+// Check replays the recorded history and verifies every load against
+// the declared model.  It returns the first violation in execution
+// order, or nil if the run conforms.  Check is idempotent; the first
+// call does the work.
+func (r *Recorder) Check() *Violation {
+	if r == nil {
+		return nil
+	}
+	if !r.done {
+		r.done = true
+		r.sum = Summary{Model: r.model}
+		switch r.model {
+		case proto.ModelSC:
+			r.viol = r.checkSC()
+		default:
+			r.viol = r.checkRC()
+		}
+	}
+	return r.viol
+}
+
+// CheckSummary reports what Check covered (valid after Check).
+func (r *Recorder) CheckSummary() Summary {
+	if r == nil {
+		return Summary{}
+	}
+	return r.sum
+}
+
+// --- release-consistency checking ---
+
+// writeRec is one word write with the writer's vector clock at the
+// instant of the store.
+type writeRec struct {
+	vc    []int32
+	time  int64
+	val   uint32
+	proc  int32
+	opIdx int32
+}
+
+type locState struct {
+	writes []writeRec
+	// compacted notes that covered writes were discarded, so a thin-air
+	// diagnosis may actually be a (hopelessly stale) dropped write.
+	compacted bool
+}
+
+// syncRec is one synchronization event kept for happens-before path
+// reconstruction.  seq (its index in the slice) is the global record
+// order.
+type syncRec struct {
+	obj     int64
+	time    int64
+	opIdx   int32
+	proc    int32
+	episode int32
+	kind    opKind
+}
+
+type barEpisode struct {
+	vc        []int32
+	remaining int
+}
+
+type barState struct {
+	forming  []int32
+	arrived  int
+	queue    []barEpisode
+	arriveEp int32
+	departEp int32
+}
+
+type checker struct {
+	procs  int
+	vcs    [][]int32
+	lockVC map[int64][]int32
+	bars   map[int64]*barState
+	locs   map[int64]*locState
+	syncs  []syncRec
+	inits  map[int64]uint32
+	sum    *Summary
+}
+
+func (r *Recorder) checkRC() *Violation {
+	c := &checker{
+		procs:  r.procs,
+		vcs:    make([][]int32, r.procs),
+		lockVC: make(map[int64][]int32),
+		bars:   make(map[int64]*barState),
+		locs:   make(map[int64]*locState),
+		inits:  r.inits,
+		sum:    &r.sum,
+	}
+	for i := range c.vcs {
+		c.vcs[i] = make([]int32, r.procs)
+	}
+	for i := range r.events {
+		e := &r.events[i]
+		p := int(e.proc)
+		// Every operation occupies its own position in its processor's
+		// clock; this is what makes "no sync in between" visible as
+		// vector-clock concurrency.
+		c.vcs[p][p]++
+		switch e.kind {
+		case opStore:
+			vc := append([]int32(nil), c.vcs[p]...)
+			c.addWrite(e.addr, uint32(e.val), e, vc)
+			if e.size == 8 {
+				c.addWrite(e.addr+4, uint32(e.val>>32), e, vc)
+			}
+		case opLoad:
+			if v := c.checkLoad(e.addr, uint32(e.val), e); v != nil {
+				return v
+			}
+			if e.size == 8 {
+				if v := c.checkLoad(e.addr+4, uint32(e.val>>32), e); v != nil {
+					return v
+				}
+			}
+		case opAcquire:
+			if lvc, ok := c.lockVC[e.addr]; ok {
+				joinInto(c.vcs[p], lvc)
+			}
+			c.recordSync(e, 0)
+		case opRelease:
+			lvc := c.lockVC[e.addr]
+			if lvc == nil {
+				lvc = make([]int32, c.procs)
+				c.lockVC[e.addr] = lvc
+			}
+			joinInto(lvc, c.vcs[p])
+			c.recordSync(e, 0)
+		case opBarArrive:
+			b := c.bar(e.addr)
+			if b.forming == nil {
+				b.forming = make([]int32, c.procs)
+			}
+			joinInto(b.forming, c.vcs[p])
+			c.recordSync(e, b.arriveEp)
+			b.arrived++
+			if b.arrived == c.procs {
+				b.queue = append(b.queue, barEpisode{vc: b.forming, remaining: c.procs})
+				b.forming = nil
+				b.arrived = 0
+				b.arriveEp++
+			}
+		case opBarDepart:
+			b := c.bar(e.addr)
+			if len(b.queue) == 0 {
+				// A depart with no completed episode means the recorder
+				// and protocol disagree about barrier structure — that is
+				// itself a violation of the contract.
+				return &Violation{
+					Model: proto.ModelRC, Proc: e.proc, Addr: e.addr, Cycle: e.time,
+					Want: fmt.Sprintf("proc %d departed barrier %d before all %d processors arrived",
+						e.proc, e.addr, c.procs),
+				}
+			}
+			ep := &b.queue[0]
+			joinInto(c.vcs[p], ep.vc)
+			c.recordSync(e, b.departEp)
+			ep.remaining--
+			if ep.remaining == 0 {
+				b.queue = b.queue[1:]
+				b.departEp++
+			}
+		}
+	}
+	c.sum.Locations = int64(len(c.locs))
+	return nil
+}
+
+func (c *checker) bar(id int64) *barState {
+	b := c.bars[id]
+	if b == nil {
+		b = &barState{}
+		c.bars[id] = b
+	}
+	return b
+}
+
+func (c *checker) recordSync(e *event, episode int32) {
+	c.sum.SyncOps++
+	c.syncs = append(c.syncs, syncRec{
+		obj: e.addr, time: e.time, opIdx: c.vcs[e.proc][e.proc],
+		proc: e.proc, episode: episode, kind: e.kind,
+	})
+}
+
+func (c *checker) addWrite(wa int64, v uint32, e *event, vc []int32) {
+	c.sum.Stores++
+	loc := c.locs[wa]
+	if loc == nil {
+		loc = &locState{}
+		c.locs[wa] = loc
+	}
+	loc.writes = append(loc.writes, writeRec{
+		vc: vc, time: e.time, val: v, proc: e.proc, opIdx: vc[e.proc],
+	})
+	if len(loc.writes) > compactLimit {
+		c.compact(loc)
+	}
+}
+
+// compact drops writes that can never matter again: a write covered by a
+// later write whose clock is below the floor (the componentwise minimum
+// of all processors' clocks) is covered for every future load.
+func (c *checker) compact(loc *locState) {
+	floor := make([]int32, c.procs)
+	for i := range floor {
+		floor[i] = math.MaxInt32
+	}
+	for _, vc := range c.vcs {
+		for i, x := range vc {
+			if x < floor[i] {
+				floor[i] = x
+			}
+		}
+	}
+	ws := loc.writes
+	kept := ws[:0]
+	for i := range ws {
+		drop := false
+		for j := i + 1; j < len(ws); j++ {
+			if leq(ws[i].vc, ws[j].vc) && leq(ws[j].vc, floor) {
+				drop = true
+				break
+			}
+		}
+		if drop {
+			loc.compacted = true
+		} else {
+			kept = append(kept, ws[i])
+		}
+	}
+	loc.writes = kept
+}
+
+// checkLoad verifies one word load under release consistency: the value
+// must come from a write concurrent with the load, from a happens-before
+// write not covered by a later happens-before write, or be the
+// initialization value when no write happens-before the load.
+func (c *checker) checkLoad(wa int64, v uint32, e *event) *Violation {
+	c.sum.Loads++
+	vcL := c.vcs[e.proc]
+	initVal := c.inits[wa]
+	loc := c.locs[wa]
+	if loc == nil || len(loc.writes) == 0 {
+		if v == initVal {
+			return nil
+		}
+		return c.thinAir(wa, v, e, initVal, nil)
+	}
+	ws := loc.writes
+	// The most recently recorded write is always a legal source: it is
+	// either concurrent with the load or the happens-before frontier.
+	if ws[len(ws)-1].val == v {
+		return nil
+	}
+	var stale, cover *writeRec
+	for i := range ws {
+		w := &ws[i]
+		if w.val != v {
+			continue
+		}
+		if !leq(w.vc, vcL) {
+			return nil // concurrent write: RC permits observing it
+		}
+		covered := false
+		for j := i + 1; j < len(ws); j++ {
+			w2 := &ws[j]
+			if leq(w.vc, w2.vc) && leq(w2.vc, vcL) {
+				covered = true
+				if stale == nil {
+					stale, cover = w, w2
+				}
+				break
+			}
+		}
+		if !covered {
+			return nil // uncovered happens-before write: frontier member
+		}
+	}
+	if v == initVal {
+		// The init value survives only while no write happens-before the
+		// load.
+		var hb *writeRec
+		for i := range ws {
+			if leq(ws[i].vc, vcL) {
+				hb = &ws[i]
+			}
+		}
+		if hb == nil && !loc.compacted {
+			return nil
+		}
+		viol := &Violation{
+			Model: proto.ModelRC, Proc: e.proc, Addr: wa, Cycle: e.time, Got: v,
+			Want: fmt.Sprintf("returned the initialization value 0x%x, but it was overwritten in happens-before before this load", initVal),
+		}
+		if hb != nil {
+			viol.Want += fmt.Sprintf(" (by the store of 0x%x by proc %d at cycle %d)", hb.val, hb.proc, hb.time)
+			viol.Path = c.hbPath(hb, wa, v, e)
+		}
+		return viol
+	}
+	if stale != nil {
+		return &Violation{
+			Model: proto.ModelRC, Proc: e.proc, Addr: wa, Cycle: e.time, Got: v,
+			Want: fmt.Sprintf("0x%x is stale: it matches the store by proc %d at cycle %d, which is covered by the store of 0x%x by proc %d at cycle %d that happens-before this load",
+				v, stale.proc, stale.time, cover.val, cover.proc, cover.time),
+			Path: c.hbPath(cover, wa, v, e),
+		}
+	}
+	return c.thinAir(wa, v, e, initVal, loc)
+}
+
+func (c *checker) thinAir(wa int64, v uint32, e *event, initVal uint32, loc *locState) *Violation {
+	want := fmt.Sprintf("0x%x was never written to this word (init 0x%x", v, initVal)
+	if loc != nil {
+		want += fmt.Sprintf(", %d retained stores", len(loc.writes))
+		if loc.compacted {
+			want += "; history compacted, value may be a long-dead store"
+		}
+	}
+	want += ")"
+	return &Violation{
+		Model: proto.ModelRC, Proc: e.proc, Addr: wa, Cycle: e.time, Got: v, Want: want,
+	}
+}
+
+// hbPath reconstructs the happens-before chain from write w to load e:
+// the store, the sync operations that order it before the load, and the
+// load itself.
+func (c *checker) hbPath(w *writeRec, wa int64, got uint32, e *event) []string {
+	path := []string{fmt.Sprintf("store 0x%x to 0x%x by proc %d @ cycle %d", w.val, wa, w.proc, w.time)}
+	if w.proc != e.proc {
+		loadIdx := c.vcs[e.proc][e.proc]
+		for _, i := range c.syncChain(w.proc, w.opIdx, e.proc, loadIdx) {
+			path = append(path, c.formatSync(&c.syncs[i]))
+		}
+	}
+	path = append(path, fmt.Sprintf("load of 0x%x by proc %d @ cycle %d returned 0x%x", wa, e.proc, e.time, got))
+	return path
+}
+
+// syncChain finds (by BFS, so fewest hops) a chain of sync events
+// carrying order from (srcProc, after srcIdx) to (dstProc, before
+// dstIdx).  Edges are program order, release→acquire on the same lock
+// (cumulative, in record order), and arrive→depart of the same barrier
+// episode.
+func (c *checker) syncChain(srcProc int32, srcIdx int32, dstProc int32, dstIdx int32) []int {
+	n := len(c.syncs)
+	parent := make([]int, n)
+	visited := make([]bool, n)
+	var queue []int
+	for i := range c.syncs {
+		s := &c.syncs[i]
+		if s.proc == srcProc && s.opIdx > srcIdx {
+			visited[i] = true
+			parent[i] = -1
+			queue = append(queue, i)
+		}
+	}
+	edge := func(a, b *syncRec, ai, bi int) bool {
+		if a.proc == b.proc {
+			return b.opIdx > a.opIdx
+		}
+		if a.kind == opRelease && b.kind == opAcquire {
+			return a.obj == b.obj && bi > ai
+		}
+		if a.kind == opBarArrive && b.kind == opBarDepart {
+			return a.obj == b.obj && a.episode == b.episode
+		}
+		return false
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		s := &c.syncs[i]
+		if s.proc == dstProc && s.opIdx < dstIdx {
+			var rev []int
+			for j := i; j != -1; j = parent[j] {
+				rev = append(rev, j)
+			}
+			chain := make([]int, 0, len(rev))
+			for k := len(rev) - 1; k >= 0; k-- {
+				chain = append(chain, rev[k])
+			}
+			return chain
+		}
+		for j := range c.syncs {
+			if !visited[j] && edge(s, &c.syncs[j], i, j) {
+				visited[j] = true
+				parent[j] = i
+				queue = append(queue, j)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) formatSync(s *syncRec) string {
+	switch s.kind {
+	case opAcquire:
+		return fmt.Sprintf("acquire(lock %d) by proc %d @ cycle %d", s.obj, s.proc, s.time)
+	case opRelease:
+		return fmt.Sprintf("release(lock %d) by proc %d @ cycle %d", s.obj, s.proc, s.time)
+	case opBarArrive:
+		return fmt.Sprintf("barrier %d arrive (episode %d) by proc %d @ cycle %d", s.obj, s.episode, s.proc, s.time)
+	case opBarDepart:
+		return fmt.Sprintf("barrier %d depart (episode %d) by proc %d @ cycle %d", s.obj, s.episode, s.proc, s.time)
+	}
+	return fmt.Sprintf("sync op by proc %d @ cycle %d", s.proc, s.time)
+}
+
+// --- sequential-consistency checking ---
+
+// checkSC verifies the linearizable contract: every load returns exactly
+// the most recent write to its word in execution order (or the
+// initialization value before any write).
+func (r *Recorder) checkSC() *Violation {
+	type scLoc struct {
+		time    int64
+		val     uint32
+		proc    int32
+		written bool
+	}
+	locs := map[int64]*scLoc{}
+	check := func(wa int64, v uint32, e *event) *Violation {
+		r.sum.Loads++
+		want := r.inits[wa]
+		src := "the initialization value"
+		var path []string
+		if l := locs[wa]; l != nil && l.written {
+			want = l.val
+			src = fmt.Sprintf("the most recent store, by proc %d at cycle %d", l.proc, l.time)
+			path = []string{
+				fmt.Sprintf("store 0x%x to 0x%x by proc %d @ cycle %d", l.val, wa, l.proc, l.time),
+				fmt.Sprintf("load of 0x%x by proc %d @ cycle %d returned 0x%x", wa, e.proc, e.time, v),
+			}
+		}
+		if v == want {
+			return nil
+		}
+		return &Violation{
+			Model: proto.ModelSC, Proc: e.proc, Addr: wa, Cycle: e.time, Got: v,
+			Want: fmt.Sprintf("SC permits only 0x%x here (%s)", want, src),
+			Path: path,
+		}
+	}
+	store := func(wa int64, v uint32, e *event) {
+		r.sum.Stores++
+		l := locs[wa]
+		if l == nil {
+			l = &scLoc{}
+			locs[wa] = l
+		}
+		l.val, l.proc, l.time, l.written = v, e.proc, e.time, true
+	}
+	for i := range r.events {
+		e := &r.events[i]
+		switch e.kind {
+		case opStore:
+			store(e.addr, uint32(e.val), e)
+			if e.size == 8 {
+				store(e.addr+4, uint32(e.val>>32), e)
+			}
+		case opLoad:
+			if v := check(e.addr, uint32(e.val), e); v != nil {
+				return v
+			}
+			if e.size == 8 {
+				if v := check(e.addr+4, uint32(e.val>>32), e); v != nil {
+					return v
+				}
+			}
+		default:
+			r.sum.SyncOps++
+		}
+	}
+	r.sum.Locations = int64(len(locs))
+	return nil
+}
+
+// --- vector-clock helpers ---
+
+func leq(a, b []int32) bool {
+	for i, x := range a {
+		if x > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinInto(dst, src []int32) {
+	for i, x := range src {
+		if x > dst[i] {
+			dst[i] = x
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package core
+
+import "fmt"
+
+// AccessError is the panic payload for an out-of-range shared reference.
+// The raw slice panic from internal/mem carries no context; wrapping the
+// range check here, before the protocol sees the access, attributes the
+// bad reference to a processor and cycle so litmus/shrinker output is
+// actionable.
+type AccessError struct {
+	Proc  int
+	Addr  int64
+	Size  int
+	Cycle int64
+	Write bool
+}
+
+func (e *AccessError) Error() string {
+	op := "load"
+	if e.Write {
+		op = "store"
+	}
+	return fmt.Sprintf("core: proc %d out-of-range %s of %d bytes at addr 0x%x, cycle %d",
+		e.Proc, op, e.Size, e.Addr, e.Cycle)
+}

@@ -13,6 +13,7 @@ import (
 
 	"swsm/internal/cache"
 	"swsm/internal/comm"
+	"swsm/internal/consistency"
 	"swsm/internal/fault"
 	"swsm/internal/mem"
 	"swsm/internal/proto"
@@ -64,6 +65,11 @@ type Config struct {
 	// tracing, interval breakdown sampling, and hot-object profiling.
 	// Nil (the default) keeps every hook a no-op on the hot paths.
 	Tracer *trace.Tracer
+	// Check enables the consistency conformance recorder when non-nil:
+	// every shared reference and sync operation is recorded for a
+	// post-run happens-before check.  Nil (the default) keeps the hooks
+	// free on the hot paths, like Tracer.
+	Check *consistency.Recorder
 }
 
 // DefaultConfig is the paper's base system: 16 processors, achievable
@@ -180,10 +186,14 @@ func (m *Machine) InitF64(a int64, v float64) {
 	u := math.Float64bits(v)
 	m.Prot.InitWrite(a, uint32(u))
 	m.Prot.InitWrite(a+4, uint32(u>>32))
+	m.Cfg.Check.Init(a, 8, u)
 }
 
 // InitWord initializes a shared 32-bit word before the parallel phase.
-func (m *Machine) InitWord(a int64, v uint32) { m.Prot.InitWrite(a, v) }
+func (m *Machine) InitWord(a int64, v uint32) {
+	m.Prot.InitWrite(a, v)
+	m.Cfg.Check.Init(a, 4, uint64(v))
+}
 
 // ReadResultF64 reads the authoritative value of a shared double after
 // Run (for verification).

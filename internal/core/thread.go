@@ -176,6 +176,11 @@ func (t *Thread) memFor() *mem.NodeMem {
 // protocol handlers (a recall, an invalidation) may run at the next poll
 // point and the granted access right is only guaranteed at this instant.
 func (t *Thread) pre(addr int64, size int, write bool) {
+	if addr < 0 || addr+int64(size) > t.m.Cfg.MemLimit {
+		panic(&AccessError{
+			Proc: t.node.ID, Addr: addr, Size: size, Cycle: t.Now(), Write: write,
+		})
+	}
 	t.tick(stats.Busy, 1+t.m.Cfg.AccessInstrCycles)
 	if write {
 		t.m.Stats.Inc(t.node.ID, stats.Stores, 1)
@@ -185,8 +190,12 @@ func (t *Thread) pre(addr int64, size int, write bool) {
 	t.m.Prot.Access(t, addr, size, write)
 }
 
-// post charges the node cache model for the reference just performed.
-func (t *Thread) post(addr int64, size int, write bool) {
+// post records the reference for the conformance checker and charges the
+// node cache model.  val is the raw value stored or observed, recorded
+// before cache stall time accrues so the checker sees the data
+// operation's own instant.
+func (t *Thread) post(addr int64, size int, write bool, val uint64) {
+	t.m.Cfg.Check.Access(int32(t.node.ID), addr, size, write, val, t.Now())
 	if c := t.node.Cache; c != nil {
 		stall, _, _ := c.Access(addr, size, write)
 		t.tick(stats.CacheStall, stall)
@@ -197,7 +206,7 @@ func (t *Thread) post(addr int64, size int, write bool) {
 func (t *Thread) Load32(a int64) uint32 {
 	t.pre(a, 4, false)
 	v := t.memFor().ReadWord(a)
-	t.post(a, 4, false)
+	t.post(a, 4, false, uint64(v))
 	return v
 }
 
@@ -205,7 +214,7 @@ func (t *Thread) Load32(a int64) uint32 {
 func (t *Thread) Store32(a int64, v uint32) {
 	t.pre(a, 4, true)
 	t.memFor().WriteWord(a, v)
-	t.post(a, 4, true)
+	t.post(a, 4, true, uint64(v))
 }
 
 // LoadI32 loads a shared int32.
@@ -218,7 +227,7 @@ func (t *Thread) StoreI32(a int64, v int32) { t.Store32(a, uint32(v)) }
 func (t *Thread) LoadF64(a int64) float64 {
 	t.pre(a, 8, false)
 	v := t.memFor().ReadF64(a)
-	t.post(a, 8, false)
+	t.post(a, 8, false, math.Float64bits(v))
 	return v
 }
 
@@ -226,7 +235,7 @@ func (t *Thread) LoadF64(a int64) float64 {
 func (t *Thread) StoreF64(a int64, v float64) {
 	t.pre(a, 8, true)
 	t.memFor().WriteF64(a, v)
-	t.post(a, 8, true)
+	t.post(a, 8, true, math.Float64bits(v))
 }
 
 // LoadF32 loads a shared float32 (stored as one word).
@@ -247,12 +256,18 @@ func (t *Thread) Acquire(l int) {
 	t.m.Stats.Inc(t.node.ID, stats.LockAcquires, 1)
 	start := t.co.Now()
 	t.m.Prot.Acquire(t, l)
+	// Recorded after the protocol-level acquire: every release whose
+	// interval this grant carries is already in the checker's history.
+	t.m.Cfg.Check.Acquire(int32(t.node.ID), l, t.co.Now())
 	t.m.Cfg.Tracer.LockWait(start, t.co.Now(), int32(t.node.ID), int64(l))
 }
 
 // Release releases lock l with release semantics.
 func (t *Thread) Release(l int) {
 	t.sync()
+	// Recorded before the protocol-level release: it precedes any
+	// acquire it enables.
+	t.m.Cfg.Check.Release(int32(t.node.ID), l, t.co.Now())
 	t.m.Prot.Release(t, l)
 	t.m.Cfg.Tracer.LockRelease(t.co.Now(), int32(t.node.ID), int64(l))
 }
@@ -262,6 +277,8 @@ func (t *Thread) Barrier(b int) {
 	t.sync()
 	t.m.Stats.Inc(t.node.ID, stats.BarriersCrossed, 1)
 	start := t.co.Now()
+	t.m.Cfg.Check.BarrierArrive(int32(t.node.ID), b, start)
 	t.m.Prot.Barrier(t, b, t.m.Cfg.Procs)
+	t.m.Cfg.Check.BarrierDepart(int32(t.node.ID), b, t.co.Now())
 	t.m.Cfg.Tracer.BarrierWait(start, t.co.Now(), int32(t.node.ID), int64(b))
 }

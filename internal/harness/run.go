@@ -9,6 +9,7 @@ import (
 
 	"swsm/internal/apps"
 	"swsm/internal/comm"
+	"swsm/internal/consistency"
 	"swsm/internal/core"
 	"swsm/internal/fault"
 	"swsm/internal/proto"
@@ -79,6 +80,13 @@ type RunSpec struct {
 	// fabric.  Part of the memo key: faulted and clean runs of the same
 	// point cache separately.
 	Fault fault.Spec
+	// Check runs the consistency conformance checker over the run: every
+	// load is verified against the writes the protocol's declared model
+	// (RC or SC) permits, and a violation fails the run with a
+	// *consistency.Violation error.  Part of the memo key: checked and
+	// unchecked runs cache separately (checking records the full access
+	// history).
+	Check bool
 }
 
 // DefaultSpec is the paper's base system (AO) for an application.
@@ -99,6 +107,9 @@ type Result struct {
 	// Trace holds the captured observability data when Spec.Trace was
 	// set: events, breakdown timeline samples, hot-object profile.
 	Trace *trace.Data
+	// Consistency summarizes what the conformance checker covered when
+	// Spec.Check was set (a violation fails the run instead).
+	Consistency *consistency.Summary
 }
 
 // Run executes a spec: build machine + protocol, set up the app, run all
@@ -108,6 +119,16 @@ func Run(spec RunSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return RunInstance(spec, inst, nil)
+}
+
+// RunInstance executes a spec against an explicit application instance,
+// optionally substituting the protocol (newProt non-nil) — the entry
+// point the litmus shrinker and the known-bad-protocol oracle tests
+// need, since neither the shrunken program nor a deliberately broken
+// protocol lives in a registry.  Run(spec) is RunInstance with the
+// registry app and the spec's protocol.
+func RunInstance(spec RunSpec, inst apps.Instance, newProt func() proto.Protocol) (*Result, error) {
 	cfg := core.DefaultConfig()
 	cfg.Procs = spec.Procs
 	cfg.Comm = spec.Comm
@@ -130,22 +151,41 @@ func Run(spec RunSpec) (*Result, error) {
 	}
 
 	var p proto.Protocol
-	switch spec.Protocol {
-	case HLRC:
-		p = hlrc.New(hlrc.Config{Costs: spec.Costs, UnitShift: spec.HLRCUnitShift})
-	case LRC:
-		p = lrc.New(lrc.Config{Costs: spec.Costs})
-	case SC:
-		bs := inst.SCBlock()
-		if spec.SCBlockOverride > 0 {
-			bs = spec.SCBlockOverride
+	if newProt != nil {
+		p = newProt()
+		if spec.Protocol == Ideal {
+			cfg.SharedMem = true
 		}
-		p = scfg.New(scfg.Config{Costs: spec.Costs, BlockSize: bs})
-	case Ideal:
-		p = ideal.New()
-		cfg.SharedMem = true
-	default:
-		return nil, fmt.Errorf("harness: unknown protocol %q", spec.Protocol)
+	} else {
+		switch spec.Protocol {
+		case HLRC:
+			p = hlrc.New(hlrc.Config{Costs: spec.Costs, UnitShift: spec.HLRCUnitShift})
+		case LRC:
+			p = lrc.New(lrc.Config{Costs: spec.Costs})
+		case SC:
+			bs := inst.SCBlock()
+			if spec.SCBlockOverride > 0 {
+				bs = spec.SCBlockOverride
+			}
+			p = scfg.New(scfg.Config{Costs: spec.Costs, BlockSize: bs})
+		case Ideal:
+			p = ideal.New()
+			cfg.SharedMem = true
+		default:
+			return nil, fmt.Errorf("harness: unknown protocol %q", spec.Protocol)
+		}
+	}
+
+	var rec *consistency.Recorder
+	if spec.Check {
+		// Check against the model the protocol declares; an undeclared
+		// protocol is held to the weakest supported contract.
+		model := proto.ModelRC
+		if md, ok := p.(proto.ModelDeclarer); ok {
+			model = md.ConsistencyModel()
+		}
+		rec = consistency.NewRecorder(model, cfg.Procs)
+		cfg.Check = rec
 	}
 
 	var tr *trace.Tracer
@@ -170,6 +210,13 @@ func Run(spec RunSpec) (*Result, error) {
 		return nil, fmt.Errorf("harness: %s on %s failed verification: %w", spec.App, spec.Protocol, err)
 	}
 	res := &Result{Spec: spec, Cycles: cycles, Stats: m.Stats, Machine: m}
+	if rec != nil {
+		if v := rec.Check(); v != nil {
+			return nil, fmt.Errorf("harness: %s on %s: %w", spec.App, spec.Protocol, v)
+		}
+		sum := rec.CheckSummary()
+		res.Consistency = &sum
+	}
 	if tr != nil {
 		res.Trace = tr.Data()
 		res.Trace.Procs = spec.Procs

@@ -64,6 +64,12 @@ type Config struct {
 	// page" — access control is then assumed to be hardware (free), as
 	// for SC.
 	UnitShift uint
+	// DropNthInvalidation, when n > 0, deliberately skips the n-th page
+	// invalidation a grant would perform while still merging the grant's
+	// vector clock — silent staleness that end-to-end verification can
+	// miss but the consistency checker must catch.  A known-bad shim for
+	// the checker's oracle tests; never set it outside tests.
+	DropNthInvalidation int
 }
 
 // nodeState is one node's view of the shared address space.
@@ -141,6 +147,10 @@ type Protocol struct {
 	vcScratch   []int32
 	unitFree    [][]byte
 	diffFree    [][]wordDiff
+
+	// invSeen counts invalidations considered by applyNotices, driving
+	// the Config.DropNthInvalidation oracle hook.
+	invSeen int
 }
 
 // New creates an HLRC protocol with the given cost set and defaults.
@@ -164,6 +174,10 @@ func (p *Protocol) Name() string {
 	}
 	return "hlrc"
 }
+
+// ConsistencyModel declares the contract the checker verifies: HLRC
+// provides (home-based lazy) release consistency.
+func (p *Protocol) ConsistencyModel() proto.Model { return proto.ModelRC }
 
 // unitOf maps an address to its coherence-unit number.
 func (p *Protocol) unitOf(a int64) int64 { return a >> p.unitShift }

@@ -100,6 +100,13 @@ func (p *Protocol) applyNotices(th proto.Thread, g *grantPayload) {
 				if ns.mode[pg] == modeInvalid {
 					continue
 				}
+				p.invSeen++
+				if p.invSeen == p.cfg.DropNthInvalidation {
+					// Deliberately-broken oracle mode: leave the stale copy
+					// mapped.  The vector clock still merges below, so the
+					// notice is never reapplied — silent staleness.
+					continue
+				}
 				if ns.mode[pg] == modeReadWrite {
 					// Concurrent writers: save our modifications first.
 					p.flushPageFromInvalidation(th, pg)

@@ -44,6 +44,10 @@ func New() *Protocol {
 // Name identifies the protocol.
 func (p *Protocol) Name() string { return "ideal" }
 
+// ConsistencyModel declares the contract the checker verifies: one
+// hardware-coherent shared memory is trivially sequentially consistent.
+func (p *Protocol) ConsistencyModel() proto.Model { return proto.ModelSC }
+
 // Attach wires the environment.
 func (p *Protocol) Attach(env proto.Env) { p.env = env }
 

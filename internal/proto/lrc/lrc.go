@@ -156,6 +156,10 @@ func New(cfg Config) *Protocol {
 // Name identifies the protocol.
 func (p *Protocol) Name() string { return "lrc" }
 
+// ConsistencyModel declares the contract the checker verifies: classic
+// LRC provides (lazy) release consistency.
+func (p *Protocol) ConsistencyModel() proto.Model { return proto.ModelRC }
+
 // Attach wires the environment and sizes per-node state.
 func (p *Protocol) Attach(env proto.Env) {
 	p.env = env

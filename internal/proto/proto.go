@@ -95,6 +95,45 @@ type Protocol interface {
 	InitWrite(addr int64, v uint32)
 }
 
+// Model names the memory-consistency contract a protocol implements.
+// The conformance checker (internal/consistency) selects its verification
+// rule from this declaration, so the table is load-bearing and pinned by
+// test:
+//
+//	hlrc  → ModelRC  (home-based lazy release consistency)
+//	lrc   → ModelRC  (classic distributed lazy release consistency)
+//	scfg  → ModelSC  (fine-grained directory-based sequential consistency)
+//	ideal → ModelSC  (hardware-coherent shared memory, trivially SC)
+type Model uint8
+
+const (
+	// ModelRC is (lazy) release consistency: a load may return any write
+	// not yet covered by a later write that happens-before the load;
+	// ordinary accesses with no intervening synchronization are
+	// unordered.
+	ModelRC Model = iota
+	// ModelSC is sequential consistency: every load returns the value of
+	// the most recent write in the single execution order.
+	ModelSC
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelRC:
+		return "RC"
+	case ModelSC:
+		return "SC"
+	}
+	return "unknown-model"
+}
+
+// ModelDeclarer is implemented by protocols that declare their
+// consistency contract.  Protocols that do not declare one are checked
+// against the weakest supported model (RC).
+type ModelDeclarer interface {
+	ConsistencyModel() Model
+}
+
 // Costs are the protocol-layer cost parameters (Table 3), in cycles.
 type Costs struct {
 	// PageProtect is the per-page cost of an mprotect call; a call over a

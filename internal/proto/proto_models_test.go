@@ -1,0 +1,47 @@
+package proto_test
+
+import (
+	"testing"
+
+	"swsm/internal/proto"
+	"swsm/internal/proto/hlrc"
+	"swsm/internal/proto/ideal"
+	"swsm/internal/proto/lrc"
+	"swsm/internal/proto/scfg"
+)
+
+// TestConsistencyModelTable pins the ordering-contract table the
+// conformance checker keys its per-protocol mode selection on: the lazy
+// release-consistency protocols declare RC, the fine-grained directory
+// protocol and the ideal machine declare SC.  A protocol silently
+// changing its declaration would silently weaken (or vacuously
+// strengthen) what the checker verifies.
+func TestConsistencyModelTable(t *testing.T) {
+	table := []struct {
+		name string
+		prot proto.Protocol
+		want proto.Model
+	}{
+		{"hlrc", hlrc.New(hlrc.Config{Costs: proto.OriginalCosts()}), proto.ModelRC},
+		{"lrc", lrc.New(lrc.Config{Costs: proto.OriginalCosts()}), proto.ModelRC},
+		{"scfg", scfg.New(scfg.Config{Costs: proto.OriginalCosts(), BlockSize: 64}), proto.ModelSC},
+		{"ideal", ideal.New(), proto.ModelSC},
+	}
+	for _, tc := range table {
+		md, ok := tc.prot.(proto.ModelDeclarer)
+		if !ok {
+			t.Errorf("%s does not declare a consistency model", tc.name)
+			continue
+		}
+		if got := md.ConsistencyModel(); got != tc.want {
+			t.Errorf("%s declares %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestModelStrings keeps the model names stable for reports and CSVs.
+func TestModelStrings(t *testing.T) {
+	if proto.ModelRC.String() != "RC" || proto.ModelSC.String() != "SC" {
+		t.Fatalf("model names changed: %v %v", proto.ModelRC, proto.ModelSC)
+	}
+}

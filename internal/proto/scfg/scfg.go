@@ -121,6 +121,11 @@ func (p *Protocol) Name() string { return fmt.Sprintf("sc-%d", p.cfg.BlockSize) 
 // BlockSize reports the coherence granularity.
 func (p *Protocol) BlockSize() int { return p.cfg.BlockSize }
 
+// ConsistencyModel declares the contract the checker verifies: the
+// fine-grained directory protocol provides sequential consistency —
+// every load must return the globally most recent write.
+func (p *Protocol) ConsistencyModel() proto.Model { return proto.ModelSC }
+
 // Attach wires the environment and sizes per-node state.
 func (p *Protocol) Attach(env proto.Env) {
 	p.env = env

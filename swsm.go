@@ -43,7 +43,9 @@ package swsm
 
 import (
 	"swsm/internal/apps"
+	"swsm/internal/apps/litmus"
 	"swsm/internal/comm"
+	"swsm/internal/consistency"
 	"swsm/internal/core"
 	"swsm/internal/fault"
 	"swsm/internal/harness"
@@ -289,4 +291,44 @@ var (
 	FaultedSpec         = harness.FaultedSpec
 	FormatDegradation   = harness.FormatDegradation
 	WriteDegradationCSV = harness.WriteDegradationCSV
+)
+
+// Consistency conformance checking: set RunSpec.Check and every load of
+// the run is verified against the writes the protocol's declared memory
+// model (release consistency for hlrc/lrc, sequential consistency for
+// sc) permits.  A conforming run carries a ConsistencySummary in the
+// Result; a violation fails the run with a *ConsistencyViolation error
+// naming the processor, word address, cycle and the happens-before path
+// that forbids the value read.
+type (
+	// ConsistencySummary is the checker's coverage record.
+	ConsistencySummary = consistency.Summary
+	// ConsistencyViolation is a checker failure (use errors.As).
+	ConsistencyViolation = consistency.Violation
+	// ConsistencyModel names the contract a protocol declares (RC or SC).
+	ConsistencyModel = proto.Model
+	// LitmusProgram is one generated random litmus workload.
+	LitmusProgram = litmus.Program
+	// LitmusPoint is one (seed, protocol, fault-rate) cell of a sweep.
+	LitmusPoint = harness.LitmusPoint
+)
+
+// The declared consistency models.
+const (
+	ModelRC = proto.ModelRC
+	ModelSC = proto.ModelSC
+)
+
+// Litmus workloads: seeded deterministic random programs of loads,
+// stores, lock sections and barriers, registered as ordinary
+// applications (LitmusSpec/LitmusEnsure) and swept across the protocol
+// and fault grid with the checker on (Session.LitmusSweep).
+// ShrinkLitmus delta-debugs a failing program to a minimal reproducer.
+var (
+	LitmusGenerate = litmus.Generate
+	LitmusEnsure   = litmus.Ensure
+	LitmusSpec     = harness.LitmusSpec
+	ShrinkLitmus   = harness.ShrinkLitmus
+	FormatLitmus   = harness.FormatLitmus
+	WriteLitmusCSV = harness.WriteLitmusCSV
 )
