@@ -12,19 +12,26 @@
 //
 //	svmbench -table 4
 //	svmbench -figure 3 -apps fft,lu -parallel 8
+//	svmbench -figure 3 -apps fft -json > fig3.json
+//	svmbench -figure 3 -server http://127.0.0.1:7099
 //	svmbench -all > results.txt
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"swsm"
 	"swsm/internal/harness"
+	"swsm/internal/server/api"
+	"swsm/internal/server/client"
 )
 
 func main() {
@@ -38,6 +45,8 @@ func main() {
 		scale    = flag.String("scale", "base", "problem scale: tiny, base, large")
 		csvPath  = flag.String("csv", "", "also write figure data as CSV to this file")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+		jsonOut  = flag.Bool("json", false, "with -figure 3: print the grid as machine-readable JSON rows instead of tables")
+		server   = flag.String("server", "", "with -figure 3: resolve the grid through a svmd daemon at this URL")
 
 		traceOut    = flag.String("trace", "", "write a multi-run Chrome trace of the figure-3 config ladder to this file")
 		traceSample = flag.Int64("trace-sample", 0, "sample the breakdown every N cycles in traced runs")
@@ -73,6 +82,25 @@ func main() {
 	}
 
 	ses := swsm.NewSession(*parallel)
+
+	if *server != "" {
+		if *figure != 3 || *table != 0 || *all {
+			fatalf("-server supports exactly -figure 3 (the speedup grid); run other sweeps locally")
+		}
+		if err := runFigure3Remote(*server, sel, sc, *procs, *jsonOut, *parallel); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if *jsonOut {
+		if *figure != 3 {
+			fatalf("-json renders the -figure 3 grid; combine them")
+		}
+		if err := runFigure3JSON(ses, sel, sc, *procs); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	if *all {
 		for t := 1; t <= 5; t++ {
@@ -132,6 +160,139 @@ func main() {
 	if *table == 0 && *figure == 0 && *traceOut == "" && *hotK == 0 && !*degradation && *litmusN == 0 {
 		flag.Usage()
 	}
+}
+
+// figureRow labels one cell of the Figure-3 grid for machine-readable
+// output: "ideal" or "<protocol>/<config>" plus the full result row.
+type figureRow struct {
+	App   string      `json:"app"`
+	Label string      `json:"label"`
+	Row   swsm.RunRow `json:"row"`
+}
+
+// figure3Rows expands the grid for the selected apps and pairs each
+// spec with its label, in deterministic output order.
+func figure3Rows(sel []string, scale swsm.Scale, procs int) ([]figureRow, []swsm.RunSpec, error) {
+	var rows []figureRow
+	var specs []swsm.RunSpec
+	for _, app := range sel {
+		ss, labels, err := harness.Figure3Specs(app, scale, procs, harness.Figure3Configs)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range ss {
+			rows = append(rows, figureRow{App: app, Label: labels[i]})
+			specs = append(specs, ss[i])
+		}
+	}
+	return rows, specs, nil
+}
+
+// runFigure3JSON runs the grid locally through the shared session and
+// prints it as JSON rows (speedups against each app's sequential
+// baseline included) — the same shape svmd returns remotely.
+func runFigure3JSON(ses *swsm.Session, sel []string, scale swsm.Scale, procs int) error {
+	rows, specs, err := figure3Rows(sel, scale, procs)
+	if err != nil {
+		return err
+	}
+	results, err := ses.RunAll(specs)
+	if err != nil {
+		return err
+	}
+	seq := map[string]int64{}
+	for i := range rows {
+		base, ok := seq[rows[i].App]
+		if !ok {
+			if base, err = ses.SequentialBaseline(rows[i].App, scale, true); err != nil {
+				return err
+			}
+			seq[rows[i].App] = base
+		}
+		rows[i].Row = swsm.NewRunRow(results[i]).WithSpeedup(base)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// runFigure3Remote resolves the grid through a running svmd daemon:
+// every point is submitted with speedup resolution and bounded client
+// fan-out, so warm daemons answer the whole figure from their result
+// store without simulating.  Points are submitted individually (not as
+// one sweep) so a grid larger than the daemon's admission queue
+// degrades to backoff-and-retry instead of rejection.
+func runFigure3Remote(baseURL string, sel []string, scale swsm.Scale, procs int, jsonOut bool, parallel int) error {
+	rows, specs, err := figure3Rows(sel, scale, procs)
+	if err != nil {
+		return err
+	}
+	if parallel <= 0 {
+		parallel = 4
+	}
+	c := client.New(baseURL)
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, parallel)
+		mu       sync.Mutex
+		firstErr error
+		cached   int
+	)
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			st, err := c.Run(context.Background(), api.RunRequest{Spec: specs[i], Speedup: true})
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil && (st.State != api.StateDone || st.Row == nil) {
+				err = fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s %s: %w", rows[i].App, rows[i].Label, err)
+				}
+				return
+			}
+			rows[i].Row = *st.Row
+			if st.Cached {
+				cached++
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+	fmt.Println("Figure 3: speedups across layer configurations (via svmd)")
+	for _, app := range sel {
+		bar := &harness.AppBar{App: app, HLRC: map[string]float64{}, SC: map[string]float64{}}
+		for _, r := range rows {
+			if r.App != app {
+				continue
+			}
+			switch {
+			case r.Label == "ideal":
+				bar.Ideal = r.Row.Speedup
+			case strings.HasPrefix(r.Label, "hlrc/"):
+				bar.HLRC[strings.TrimPrefix(r.Label, "hlrc/")] = r.Row.Speedup
+			case strings.HasPrefix(r.Label, "sc/"):
+				bar.SC[strings.TrimPrefix(r.Label, "sc/")] = r.Row.Speedup
+			}
+		}
+		fmt.Print(swsm.FormatFigure3(bar, swsm.Figure3Configs))
+	}
+	fmt.Printf("[remote: %.2fs wall, %d points, %d served from the daemon's result store]\n",
+		time.Since(start).Seconds(), len(rows), cached)
+	return nil
 }
 
 // runLitmus sweeps the litmus ladder (n seeds x every real protocol,

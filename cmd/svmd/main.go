@@ -1,0 +1,94 @@
+// Command svmd is the experiment service daemon: a long-lived HTTP/JSON
+// server that executes simulation runs on a bounded scheduler, coalesces
+// identical in-flight requests, and answers repeated configurations from
+// a persistent content-addressed result store — so a warm daemon serves
+// sweep reruns without re-simulating, across restarts.
+//
+// Examples:
+//
+//	svmd -addr :7099 -store /var/tmp/svmd-store
+//	curl -s localhost:7099/healthz
+//	curl -s -X POST 'localhost:7099/runs?wait=1' -d '{"spec":{...},"speedup":true}'
+//	curl -N localhost:7099/events
+//
+// SIGTERM/SIGINT drain gracefully: new submissions get 503, queued and
+// running jobs finish (bounded by -drain-timeout, after which queued
+// work is cancelled), and every computed result is already durable in
+// the store.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"swsm/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7099", "listen address")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+		storeDir = flag.String("store", defaultStoreDir(), "persistent result store directory (empty = no persistence)")
+		storeMax = flag.Int64("store-max", 256<<20, "result store size bound in bytes")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs before cancelling queued work")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Parallel:      *parallel,
+		QueueDepth:    *queue,
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMax,
+	})
+	if err != nil {
+		log.Fatalf("svmd: %v", err)
+	}
+	st := srv.StoreStats()
+	log.Printf("svmd: listening on %s (store %q: %d entries, %d bytes warm)",
+		*addr, *storeDir, st.Entries, st.Bytes)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("svmd: draining (timeout %s)", *drainTO)
+	case err := <-errc:
+		log.Fatalf("svmd: %v", err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("svmd: drain: %v (queued work cancelled)", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("svmd: shutdown: %v", err)
+	}
+	m := srv.Metrics()
+	log.Printf("svmd: stopped (%d simulations run, store hit ratio %.2f, %d evictions)",
+		m.Runner.Runs, m.StoreHitRatio, m.Store.Evictions)
+}
+
+// defaultStoreDir places the store under the user cache dir, falling
+// back to a temp path when none is known.
+func defaultStoreDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return fmt.Sprintf("%s/svmd/store", dir)
+	}
+	return fmt.Sprintf("%s/svmd-store", os.TempDir())
+}

@@ -8,13 +8,17 @@
 //	svmsim -app barnes -protocol sc -comm B -costs B -procs 8
 //	svmsim -app radix -protocol hlrc -comm W -scale large
 //	svmsim -app fft -protocol hlrc -check
+//	svmsim -app fft -protocol hlrc -json
+//	svmsim -app fft -protocol hlrc -server http://127.0.0.1:7099
 //	svmsim -litmus 32 -litmus-seed 1 -procs 4 -scale tiny
 //	svmsim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +26,8 @@ import (
 
 	"swsm"
 	"swsm/internal/harness"
+	"swsm/internal/server/api"
+	"swsm/internal/server/client"
 	"swsm/internal/stats"
 )
 
@@ -37,6 +43,8 @@ func main() {
 		list     = flag.Bool("list", false, "list applications and exit")
 		perProc  = flag.Bool("perproc", false, "print the per-processor breakdown table")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
+		jsonOut  = flag.Bool("json", false, "print the result as one machine-readable JSON row")
+		server   = flag.String("server", "", "execute on a running svmd daemon at this URL instead of in-process")
 
 		traceOut    = flag.String("trace", "", "write Chrome trace_event JSON (Perfetto-loadable) to this file")
 		traceJSONL  = flag.String("trace-jsonl", "", "write the event trace as compact JSONL to this file")
@@ -101,6 +109,9 @@ func main() {
 	}
 
 	if *litmusN > 0 {
+		if *server != "" {
+			fatalf("-litmus runs locally (the ladder needs in-process shrinking); drop -server")
+		}
 		runLitmus(*parallel, *litmusSeed, *litmusN, *procs, sc, fs)
 		return
 	}
@@ -125,6 +136,17 @@ func main() {
 		}
 	}
 
+	if *server != "" {
+		if tracing {
+			fatalf("trace capture is an in-process artifact; drop -server to trace")
+		}
+		if *perProc {
+			fatalf("-perproc needs in-process statistics; drop -server")
+		}
+		runRemote(*server, spec, *jsonOut)
+		return
+	}
+
 	// The session runs the spec and its sequential baseline concurrently
 	// (two independent simulations) and memoizes both.
 	ses := swsm.NewSession(*parallel)
@@ -137,6 +159,21 @@ func main() {
 	seq, err := ses.SequentialBaseline(*app, spec.Scale, spec.CacheEnabled)
 	if err != nil {
 		fatalf("sequential baseline: %v", err)
+	}
+
+	if *jsonOut {
+		row := swsm.NewRunRow(res).WithSpeedup(seq)
+		if err := swsm.WriteRunRowJSON(os.Stdout, row); err != nil {
+			fatalf("%v", err)
+		}
+		if tracing {
+			// Keep stdout pure JSON; file notices and hot-object reports go
+			// to stderr.
+			if err := writeTraceOutputs(os.Stderr, res, *traceOut, *traceJSONL, *timelineOut, *hotK); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		return
 	}
 
 	fmt.Printf("%s on %s, %d procs, config %s (scale %s)\n",
@@ -165,7 +202,7 @@ func main() {
 		fmt.Print(harness.PerProcBreakdown(res))
 	}
 	if tracing {
-		if err := writeTraceOutputs(res, *traceOut, *traceJSONL, *timelineOut, *hotK); err != nil {
+		if err := writeTraceOutputs(os.Stdout, res, *traceOut, *traceJSONL, *timelineOut, *hotK); err != nil {
 			fatalf("%v", err)
 		}
 	}
@@ -218,10 +255,52 @@ func runLitmus(parallel int, baseSeed uint64, n, procs int, scale swsm.Scale, fs
 	fmt.Printf("all %d points conform\n", len(points))
 }
 
+// runRemote executes the spec on an svmd daemon: the service resolves
+// it through its persistent store and memoized scheduler (always with
+// the sequential-baseline speedup) and returns the same RunRow the
+// local -json path prints.
+func runRemote(baseURL string, spec swsm.RunSpec, jsonOut bool) {
+	start := time.Now()
+	st, err := client.New(baseURL).Run(context.Background(), api.RunRequest{Spec: spec, Speedup: true})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if st.State != api.StateDone || st.Row == nil {
+		fatalf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	row := *st.Row
+	if jsonOut {
+		if err := swsm.WriteRunRowJSON(os.Stdout, row); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	source := "simulated remotely"
+	if st.Cached {
+		source = "served from result store"
+	}
+	fmt.Printf("%s on %s, %d procs (svmd %s, %s)\n",
+		spec.App, spec.Protocol, spec.Procs, baseURL, source)
+	fmt.Printf("  cycles:   %d (sequential %d)\n", row.Cycles, row.SeqCycles)
+	fmt.Printf("  speedup:  %.2f\n", row.Speedup)
+	fmt.Printf("  breakdown (avg cycles/proc):")
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		fmt.Printf(" %s %.0f", c, row.Breakdown[c.String()])
+	}
+	fmt.Println()
+	fmt.Printf("  protocol activity: %.1f%% of time (diff %.1f%%, handler %.1f%%)\n",
+		row.ProtocolPct.Total, row.ProtocolPct.Diff, row.ProtocolPct.Handler)
+	if row.Consistency != nil {
+		fmt.Printf("  consistency: %s\n", row.Consistency)
+	}
+	fmt.Printf("[%.2fs wall, job %s, key %s]\n",
+		time.Since(start).Seconds(), st.ID, row.Key)
+}
+
 // writeTraceOutputs serializes a traced run's observability products:
 // Chrome trace, JSONL trace, timeline CSV, and a hot-object report on
-// stdout.
-func writeTraceOutputs(res *swsm.Result, chromePath, jsonlPath, timelinePath string, hotK int) error {
+// the notice writer.
+func writeTraceOutputs(notices io.Writer, res *swsm.Result, chromePath, jsonlPath, timelinePath string, hotK int) error {
 	d := res.Trace
 	if d == nil {
 		return fmt.Errorf("run carried no trace data")
@@ -233,7 +312,7 @@ func writeTraceOutputs(res *swsm.Result, chromePath, jsonlPath, timelinePath str
 		}); err != nil {
 			return err
 		}
-		fmt.Printf("  trace: %s (%d events; load in Perfetto)\n", chromePath, len(d.Events))
+		fmt.Fprintf(notices, "  trace: %s (%d events; load in Perfetto)\n", chromePath, len(d.Events))
 	}
 	if jsonlPath != "" {
 		if err := writeFile(jsonlPath, func(w *os.File) error {
@@ -241,7 +320,7 @@ func writeTraceOutputs(res *swsm.Result, chromePath, jsonlPath, timelinePath str
 		}); err != nil {
 			return err
 		}
-		fmt.Printf("  trace-jsonl: %s\n", jsonlPath)
+		fmt.Fprintf(notices, "  trace-jsonl: %s\n", jsonlPath)
 	}
 	if timelinePath != "" {
 		if err := writeFile(timelinePath, func(w *os.File) error {
@@ -249,19 +328,19 @@ func writeTraceOutputs(res *swsm.Result, chromePath, jsonlPath, timelinePath str
 		}); err != nil {
 			return err
 		}
-		fmt.Printf("  timeline: %s (%d samples)\n", timelinePath, len(d.Samples))
+		fmt.Fprintf(notices, "  timeline: %s (%d samples)\n", timelinePath, len(d.Samples))
 	}
 	if hotK > 0 && d.Hot != nil {
-		fmt.Printf("  hot objects (top %d):\n", hotK)
+		fmt.Fprintf(notices, "  hot objects (top %d):\n", hotK)
 		for _, p := range d.Hot.TopPages(hotK) {
-			fmt.Printf("    page %6d: faults %d, fetches %d (wait %d cy), diffs %d (%d B), twins %d, invals %d\n",
+			fmt.Fprintf(notices, "    page %6d: faults %d, fetches %d (wait %d cy), diffs %d (%d B), twins %d, invals %d\n",
 				p.ID, p.Faults, p.Fetches, p.FetchWait, p.Diffs, p.DiffBytes, p.Twins, p.Invals)
 		}
 		for _, l := range d.Hot.TopLocks(hotK) {
-			fmt.Printf("    lock %6d: acquires %d, wait %d cy\n", l.ID, l.Count, l.Wait)
+			fmt.Fprintf(notices, "    lock %6d: acquires %d, wait %d cy\n", l.ID, l.Count, l.Wait)
 		}
 		for _, b := range d.Hot.TopBarriers(hotK) {
-			fmt.Printf("    barrier %4d: episodes %d, wait %d cy\n", b.ID, b.Count, b.Wait)
+			fmt.Fprintf(notices, "    barrier %4d: episodes %d, wait %d cy\n", b.ID, b.Count, b.Wait)
 		}
 	}
 	return nil

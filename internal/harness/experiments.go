@@ -119,6 +119,26 @@ func TraceRuns(labels []string, results []*Result) []trace.Run {
 	return runs
 }
 
+// Figure3Specs expands one application's Figure-3 grid — the parallel
+// ideal machine plus the protocol x configuration ladder — into
+// index-aligned specs and labels ("ideal", "hlrc/AO", "sc/B+B", ...).
+// This is the unit both svmbench -json renders locally and svmbench
+// -server submits to the experiment service; keeping one expansion
+// guarantees remote sweeps hit the same content keys as local runs.
+func Figure3Specs(app string, scale apps.Scale, procs int, configs []LayerConfig) ([]RunSpec, []string, error) {
+	gridSpecs, slots, err := configSpecs(app, scale, procs, configs)
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := append([]RunSpec{idealSpec(app, scale, procs)}, gridSpecs...)
+	labels := make([]string, 0, len(specs))
+	labels = append(labels, "ideal")
+	for _, sl := range slots {
+		labels = append(labels, string(sl.prot)+"/"+sl.label)
+	}
+	return specs, labels, nil
+}
+
 // Figure3 runs the speedup ladder for one application at the given
 // scale and processor count (one-off session; sweeps over several
 // figures should share a Session to reuse cached runs).

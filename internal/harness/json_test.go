@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"swsm/internal/apps"
+)
+
+// TestRunRowRoundTrip pins the wire format's fidelity: a row survives a
+// JSON round trip with its spec intact (so a service request rebuilt
+// from a stored row hits the same content key), and serialization is
+// byte-deterministic (so store payloads for one spec are identical).
+func TestRunRowRoundTrip(t *testing.T) {
+	spec := DefaultSpec("fft", HLRC)
+	spec.Scale = apps.Tiny
+	spec.Procs = 4
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := NewRunRow(res).WithSpeedup(3 * res.Cycles)
+
+	var buf1, buf2 bytes.Buffer
+	if err := WriteRunRowJSON(&buf1, row); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRunRowJSON(&buf2, row); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("RunRow serialization is not deterministic")
+	}
+
+	var back RunRow
+	if err := json.Unmarshal(buf1.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec != spec {
+		t.Fatalf("spec did not round-trip: got %+v, want %+v", back.Spec, spec)
+	}
+	if back.Spec.Key() != row.Key {
+		t.Fatalf("round-tripped spec key %s != recorded key %s", back.Spec.Key(), row.Key)
+	}
+	if back.Cycles != res.Cycles || back.SeqCycles != 3*res.Cycles {
+		t.Fatalf("cycles did not round-trip: %+v", back)
+	}
+	if back.Speedup != 3.0 {
+		t.Fatalf("speedup = %v, want 3.0", back.Speedup)
+	}
+	if back.Breakdown["busy"] <= 0 {
+		t.Fatalf("breakdown lost busy cycles: %v", back.Breakdown)
+	}
+	if back.Counters["msgsSent"] <= 0 {
+		t.Fatalf("counters lost msgsSent: %v", back.Counters)
+	}
+}

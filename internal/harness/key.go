@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+)
+
+// KeyVersion is the version of the RunSpec content-key encoding.  It
+// participates in every key, so bumping it invalidates every entry of
+// the persistent result store at once.  Bump it whenever the meaning of
+// an existing RunSpec changes — a field is added/removed/renamed, a
+// default shifts, or the simulation itself changes in a way that makes
+// previously stored results stale (cost-model fixes, protocol changes
+// that alter cycle counts, application restructurings).  The golden
+// values in key_test.go catch accidental encoding drift; the field-count
+// guard there forces this file to be revisited whenever RunSpec grows.
+const KeyVersion = 1
+
+// Key returns the stable, versioned content key of the spec: a
+// canonical byte encoding of every RunSpec field, hashed with SHA-256.
+// Two specs have equal keys iff they are equal as values (the same
+// property that makes RunSpec a sound memo key in-process), and the key
+// is stable across processes, platforms and daemon restarts — it is the
+// address of the spec's result in the persistent store.
+//
+// The encoding is deliberately explicit rather than reflective: each
+// field is written by name in a fixed order, so the compiler cannot
+// silently include a new field (changing old keys) or a refactor
+// silently drop one (aliasing distinct specs).
+func (s RunSpec) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "swsm/runspec v%d\n", KeyVersion)
+	fmt.Fprintf(&b, "app=%s\n", s.App)
+	fmt.Fprintf(&b, "scale=%d\n", int(s.Scale))
+	fmt.Fprintf(&b, "protocol=%s\n", string(s.Protocol))
+	fmt.Fprintf(&b, "procs=%d\n", s.Procs)
+	c := s.Comm
+	fmt.Fprintf(&b, "comm=%d,%d,%d,%d,%d/%d,%d\n",
+		c.HostOverhead, c.NIOccupancy, c.MsgHandling, c.LinkLatency,
+		c.IOBusBytesNum, c.IOBusBytesDen, c.MaxPacket)
+	k := s.Costs
+	fmt.Fprintf(&b, "costs=%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		k.PageProtect, k.PageProtectStartup, k.DiffCompareQ4, k.DiffWriteQ4,
+		k.DiffApplyQ4, k.TwinQ4, k.HandlerBase, k.HandlerPerItem, k.FaultBase)
+	fmt.Fprintf(&b, "scblock=%d\n", s.SCBlockOverride)
+	fmt.Fprintf(&b, "cache=%t\n", s.CacheEnabled)
+	fmt.Fprintf(&b, "pollq=%d\n", s.PollQuantum)
+	fmt.Fprintf(&b, "noplace=%t\n", s.DisablePlacement)
+	fmt.Fprintf(&b, "nopollute=%t\n", s.NoProtocolPollution)
+	fmt.Fprintf(&b, "swac=%t\n", s.SoftwareAccessControl)
+	fmt.Fprintf(&b, "hlrcshift=%d\n", s.HLRCUnitShift)
+	fmt.Fprintf(&b, "trace=%t,%d\n", s.Trace, s.TraceSample)
+	f := s.Fault
+	fmt.Fprintf(&b, "fault=%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%t\n",
+		f.Seed, f.DropPPM, f.DupPPM, f.DelayPPM, f.DelayMax,
+		f.PauseEvery, f.PauseFor, f.PauseMask, f.StallEvery, f.StallFor,
+		f.Reliable)
+	fmt.Fprintf(&b, "check=%t\n", s.Check)
+	sum := sha256.Sum256([]byte(b.String()))
+	return fmt.Sprintf("v%d-%x", KeyVersion, sum)
+}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"swsm/internal/apps"
+	"swsm/internal/comm"
+	"swsm/internal/fault"
+	"swsm/internal/proto"
+)
+
+// TestSpecKeyGolden pins the content key of three representative specs.
+// These values are the on-disk addresses of stored results: if any of
+// them changes, every warm store in the fleet silently goes cold.  A
+// failure here means the canonical encoding drifted — either revert the
+// drift, or (for a deliberate incompatible change) bump KeyVersion and
+// re-pin these values in the same commit.
+func TestSpecKeyGolden(t *testing.T) {
+	golden := []struct {
+		name string
+		spec RunSpec
+		want string
+	}{
+		{
+			name: "default-fft-hlrc",
+			spec: DefaultSpec("fft", HLRC),
+			want: "v1-1433e0ef3d5cfbcdfeb4aa63958af9f48e15894c497b7fc435e13da6260e86a8",
+		},
+		{
+			name: "faulted-barnes-sc",
+			spec: func() RunSpec {
+				s := DefaultSpec("barnes", SC)
+				s.Procs = 8
+				s.Scale = apps.Large
+				s.Fault.DropPPM = 10000
+				s.Fault.Seed = 7
+				s.Check = true
+				return s
+			}(),
+			want: "v1-f8f5eb2fa95b04aa0eb2e8f63ea178daed84fb588972dc0bd3413671b244a854",
+		},
+		{
+			name: "baseline-lu-tiny",
+			spec: BaselineSpec("lu", apps.Tiny, true),
+			want: "v1-66683cb70eeb5c5c741ed166702dcd1c7e2428dc95f360c8516e081899a6b954",
+		},
+	}
+	for _, g := range golden {
+		if got := g.spec.Key(); got != g.want {
+			t.Errorf("%s: key = %s, want %s (encoding drift — see KeyVersion doc)", g.name, got, g.want)
+		}
+	}
+}
+
+// TestSpecKeyShape pins the key format and the equality property: equal
+// specs agree, any single-field perturbation disagrees.
+func TestSpecKeyShape(t *testing.T) {
+	base := DefaultSpec("fft", HLRC)
+	if !strings.HasPrefix(base.Key(), "v1-") || len(base.Key()) != len("v1-")+64 {
+		t.Fatalf("key %q is not v1-<64 hex>", base.Key())
+	}
+	if base.Key() != DefaultSpec("fft", HLRC).Key() {
+		t.Fatal("equal specs produced different keys")
+	}
+	seen := map[string]string{base.Key(): "base"}
+	perturb := map[string]func(*RunSpec){
+		"App":                   func(s *RunSpec) { s.App = "lu" },
+		"Scale":                 func(s *RunSpec) { s.Scale = apps.Tiny },
+		"Protocol":              func(s *RunSpec) { s.Protocol = SC },
+		"Procs":                 func(s *RunSpec) { s.Procs = 8 },
+		"Comm":                  func(s *RunSpec) { s.Comm.MaxPacket++ },
+		"Costs":                 func(s *RunSpec) { s.Costs.HandlerBase++ },
+		"SCBlockOverride":       func(s *RunSpec) { s.SCBlockOverride = 256 },
+		"CacheEnabled":          func(s *RunSpec) { s.CacheEnabled = false },
+		"PollQuantum":           func(s *RunSpec) { s.PollQuantum = 500 },
+		"DisablePlacement":      func(s *RunSpec) { s.DisablePlacement = true },
+		"NoProtocolPollution":   func(s *RunSpec) { s.NoProtocolPollution = true },
+		"SoftwareAccessControl": func(s *RunSpec) { s.SoftwareAccessControl = true },
+		"HLRCUnitShift":         func(s *RunSpec) { s.HLRCUnitShift = 7 },
+		"Trace":                 func(s *RunSpec) { s.Trace = true },
+		"TraceSample":           func(s *RunSpec) { s.Trace = true; s.TraceSample = 1000 },
+		"Fault":                 func(s *RunSpec) { s.Fault.DropPPM = 1 },
+		"Check":                 func(s *RunSpec) { s.Check = true },
+	}
+	if want := reflect.TypeOf(RunSpec{}).NumField(); len(perturb) != want {
+		t.Fatalf("perturbation table covers %d fields, RunSpec has %d", len(perturb), want)
+	}
+	for name, f := range perturb {
+		s := base
+		f(&s)
+		k := s.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("perturbing %s collided with %s (field not encoded?)", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestSpecKeyFieldGuard fails when RunSpec or one of its embedded
+// parameter structs grows or shrinks, forcing whoever changes them to
+// update the canonical encoding in key.go, bump KeyVersion, and re-pin
+// the golden keys — the mechanism that turns silent cache-invalidation
+// regressions into compile-adjacent test failures.
+func TestSpecKeyFieldGuard(t *testing.T) {
+	for _, g := range []struct {
+		typ    reflect.Type
+		fields int
+	}{
+		{reflect.TypeOf(RunSpec{}), 17},
+		{reflect.TypeOf(comm.Params{}), 7},
+		{reflect.TypeOf(proto.Costs{}), 9},
+		{reflect.TypeOf(fault.Spec{}), 11},
+	} {
+		if got := g.typ.NumField(); got != g.fields {
+			t.Errorf("%s has %d fields, the key encoding covers %d — update RunSpec.Key, bump KeyVersion, re-pin goldens",
+				g.typ, got, g.fields)
+		}
+	}
+}

@@ -14,21 +14,24 @@
 package runner
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// Stats counts cache traffic in a pool.
+// Stats counts cache traffic in a pool.  The JSON tags are the
+// /metrics wire names of the svmd experiment service.
 type Stats struct {
 	// Runs is the number of function executions actually performed
 	// (cache misses).
-	Runs int64
+	Runs int64 `json:"runs"`
 	// Hits is the number of calls served from the completed-run cache.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Waits is the number of calls that found an identical key already
 	// in flight and waited for it (single-flight deduplication).
-	Waits int64
+	Waits int64 `json:"waits"`
 }
 
 // call is one memoized execution.  done is closed exactly once, after
@@ -72,31 +75,75 @@ func (p *Pool[K, V]) Parallelism() int { return cap(p.sem) }
 // callers with the same key wait for that execution, and later callers
 // get the cached result.  Errors are memoized like values.
 func (p *Pool[K, V]) Do(k K) (V, error) {
+	return p.DoCtx(context.Background(), k)
+}
+
+// DoCtx is Do with cancellation.  A context cancelled while the call is
+// queued behind the worker semaphore withdraws it before execution —
+// the cancellation error is NOT memoized, so a later caller re-executes
+// the key.  A context cancelled while waiting on another caller's
+// in-flight execution abandons only the wait (the execution itself
+// continues and is memoized normally).  A simulation that has already
+// started always runs to completion: each run is short relative to a
+// sweep, and an aborted engine would leave no reusable result.
+func (p *Pool[K, V]) DoCtx(ctx context.Context, k K) (V, error) {
+	var zero V
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
 	p.mu.Lock()
 	if c, ok := p.calls[k]; ok {
 		p.mu.Unlock()
 		select {
 		case <-c.done:
 			p.hits.Add(1)
+			return c.val, c.err
 		default:
-			p.waits.Add(1)
-			<-c.done
 		}
-		return c.val, c.err
+		p.waits.Add(1)
+		select {
+		case <-c.done:
+			return c.val, c.err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
 	}
 	c := &call[V]{done: make(chan struct{})}
 	p.calls[k] = c
 	p.mu.Unlock()
 
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		// Withdraw the queued call so the key can be retried; waiters
+		// already parked on c.done observe the cancellation error (the
+		// canonical execution they were waiting for never happened).
+		p.mu.Lock()
+		delete(p.calls, k)
+		p.mu.Unlock()
+		c.err = ctx.Err()
+		close(c.done)
+		return zero, c.err
+	}
 	p.runs.Add(1)
-	p.sem <- struct{}{}
 	defer func() {
 		<-p.sem
-		// Close after val/err are written (and even if fn panicked, so
-		// waiters are not stranded; the panic itself propagates).
+		// Close only after val/err are final so waiters never observe a
+		// half-written call.
 		close(c.done)
 	}()
-	c.val, c.err = p.fn(k)
+	func() {
+		// A panicking fn (apps reject impossible geometry that way) is
+		// memoized as an error like any other failure: long-lived callers
+		// such as the experiment service must not die — or hand waiters a
+		// nil result — because one key was unrunnable.
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("runner: panic executing key %v: %v", k, r)
+			}
+		}()
+		c.val, c.err = p.fn(k)
+	}()
 	return c.val, c.err
 }
 
@@ -105,6 +152,13 @@ func (p *Pool[K, V]) Do(k K) (V, error) {
 // of completion order).  The first error encountered in key order is
 // returned alongside the partial results.
 func (p *Pool[K, V]) DoAll(keys []K) ([]V, error) {
+	return p.DoAllCtx(context.Background(), keys)
+}
+
+// DoAllCtx is DoAll with cancellation: queued keys abort with the
+// context's error once it is cancelled, in-flight executions finish and
+// are memoized (see DoCtx).
+func (p *Pool[K, V]) DoAllCtx(ctx context.Context, keys []K) ([]V, error) {
 	out := make([]V, len(keys))
 	errs := make([]error, len(keys))
 	var wg sync.WaitGroup
@@ -112,7 +166,7 @@ func (p *Pool[K, V]) DoAll(keys []K) ([]V, error) {
 		wg.Add(1)
 		go func(i int, k K) {
 			defer wg.Done()
-			out[i], errs[i] = p.Do(k)
+			out[i], errs[i] = p.DoCtx(ctx, k)
 		}(i, k)
 	}
 	wg.Wait()

@@ -1,8 +1,10 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -137,5 +139,175 @@ func TestDefaultParallelism(t *testing.T) {
 	p := New(0, func(k int) (int, error) { return k, nil })
 	if p.Parallelism() < 1 {
 		t.Fatalf("Parallelism() = %d, want >= 1", p.Parallelism())
+	}
+}
+
+func TestDoCtxPreCancelled(t *testing.T) {
+	var execs atomic.Int64
+	p := New(1, func(k int) (int, error) { execs.Add(1); return k, nil })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.DoCtx(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoCtx on cancelled ctx err = %v, want Canceled", err)
+	}
+	if execs.Load() != 0 {
+		t.Fatal("fn executed despite pre-cancelled context")
+	}
+}
+
+// TestDoCtxCancelQueued pins the withdraw semantics: a call cancelled
+// while waiting for a worker slot never executes, its error is not
+// memoized, and a later un-cancelled caller re-executes the key.
+func TestDoCtxCancelQueued(t *testing.T) {
+	release := make(chan struct{})
+	var execs atomic.Int64
+	p := New(1, func(k int) (int, error) {
+		execs.Add(1)
+		if k == 0 {
+			<-release
+		}
+		return k * 10, nil
+	})
+	// Occupy the single worker slot.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); p.Do(0) }()
+	for p.Stats().Runs < 1 {
+		runtime.Gosched()
+	}
+
+	// Queue key 7 behind the occupied slot, then cancel it.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.DoCtx(ctx, 7)
+		errc <- err
+	}()
+	// Wait until the call is registered (in the calls map but not running).
+	for {
+		p.mu.Lock()
+		_, registered := p.calls[7]
+		p.mu.Unlock()
+		if registered {
+			break
+		}
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued DoCtx err = %v, want Canceled", err)
+	}
+	close(release)
+	wg.Wait()
+
+	// Cancellation must not be memoized: a fresh caller re-executes.
+	v, err := p.Do(7)
+	if err != nil || v != 70 {
+		t.Fatalf("Do(7) after cancelled attempt = %d, %v; want 70, nil", v, err)
+	}
+	if got := execs.Load(); got != 2 { // key 0 + key 7 retry; the cancelled attempt never ran
+		t.Fatalf("fn executed %d times, want 2", got)
+	}
+}
+
+// TestDoCtxCancelWait pins that abandoning a wait on another caller's
+// in-flight execution does not disturb the execution: it completes and
+// memoizes normally.
+func TestDoCtxCancelWait(t *testing.T) {
+	release := make(chan struct{})
+	var execs atomic.Int64
+	p := New(2, func(k int) (int, error) {
+		execs.Add(1)
+		<-release
+		return k + 1, nil
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); p.Do(5) }()
+	for p.Stats().Runs < 1 {
+		runtime.Gosched()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.DoCtx(ctx, 5)
+		errc <- err
+	}()
+	for p.Stats().Waits < 1 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiting DoCtx err = %v, want Canceled", err)
+	}
+
+	close(release)
+	wg.Wait()
+	v, err := p.Do(5)
+	if err != nil || v != 6 {
+		t.Fatalf("Do(5) = %d, %v; want 6, nil", v, err)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1 (abandoned wait must not re-execute)", got)
+	}
+}
+
+func TestDoAllCtxCancelled(t *testing.T) {
+	release := make(chan struct{})
+	// Every key blocks until release, so with one worker exactly one key
+	// runs and the rest stay queued on the semaphore until cancelled.
+	p := New(1, func(k int) (int, error) {
+		<-release
+		return k, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.DoAllCtx(ctx, []int{0, 1, 2, 3})
+		done <- err
+	}()
+	for p.Stats().Runs < 1 {
+		runtime.Gosched()
+	}
+	cancel()
+	// Wait for keys 1..3 to withdraw (only the running key 0 remains in
+	// the calls map) before releasing key 0, so no cancelled key can race
+	// onto the freed worker slot.
+	for {
+		p.mu.Lock()
+		n := len(p.calls)
+		p.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoAllCtx err = %v, want Canceled (queued keys abort)", err)
+	}
+}
+
+// TestPanicMemoizedAsError pins that a panicking fn becomes a memoized
+// error — waiters and later callers see the error, nobody sees a nil
+// result, and the process survives (long-lived daemons depend on this).
+func TestPanicMemoizedAsError(t *testing.T) {
+	var execs atomic.Int64
+	p := New(2, func(k int) (int, error) {
+		execs.Add(1)
+		panic("impossible geometry")
+	})
+	for i := 0; i < 2; i++ {
+		v, err := p.Do(7)
+		if err == nil || !strings.Contains(err.Error(), "impossible geometry") {
+			t.Fatalf("call %d: v=%d err=%v, want panic converted to error", i, v, err)
+		}
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("fn executed %d times, want 1 (panic memoized)", execs.Load())
+	}
+	if s := p.Stats(); s.Runs != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want Runs=1 Hits=1", s)
 	}
 }

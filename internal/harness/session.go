@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"swsm/internal/apps"
 	"swsm/internal/comm"
 	"swsm/internal/harness/runner"
@@ -39,10 +41,24 @@ func (s *Session) Stats() runner.Stats { return s.pool.Stats() }
 // Run executes spec through the session cache.
 func (s *Session) Run(spec RunSpec) (*Result, error) { return s.pool.Do(spec) }
 
+// RunCtx is Run with cancellation: a context cancelled while the spec
+// is queued behind the worker bound aborts it without executing (and
+// without memoizing the cancellation), which is how the experiment
+// service sheds work for disconnected requests and on shutdown.  A
+// simulation that already started runs to completion and is cached.
+func (s *Session) RunCtx(ctx context.Context, spec RunSpec) (*Result, error) {
+	return s.pool.DoCtx(ctx, spec)
+}
+
 // RunAll executes all specs over the worker pool and returns results in
 // spec order (index i corresponds to specs[i], regardless of completion
 // order — the property that keeps sweep output deterministic).
 func (s *Session) RunAll(specs []RunSpec) ([]*Result, error) { return s.pool.DoAll(specs) }
+
+// RunAllCtx is RunAll with cancellation (see RunCtx for the semantics).
+func (s *Session) RunAllCtx(ctx context.Context, specs []RunSpec) ([]*Result, error) {
+	return s.pool.DoAllCtx(ctx, specs)
+}
 
 // baselineSpec is the canonical sequential-baseline spec: the app
 // single-threaded on the ideal machine ("the same best sequential
@@ -53,6 +69,13 @@ func baselineSpec(app string, scale apps.Scale, cacheEnabled bool) RunSpec {
 		App: app, Scale: scale, Protocol: Ideal, Procs: 1,
 		Comm: comm.Best(), Costs: proto.BestCosts(), CacheEnabled: cacheEnabled,
 	}
+}
+
+// BaselineSpec exposes the canonical sequential-baseline spec so remote
+// callers (the experiment service and its clients) hit the same memo
+// key — and therefore the same persistent-store entry — as local sweeps.
+func BaselineSpec(app string, scale apps.Scale, cacheEnabled bool) RunSpec {
+	return baselineSpec(app, scale, cacheEnabled)
 }
 
 // idealSpec is the parallel ideal-machine spec used for algorithmic

@@ -1,0 +1,120 @@
+// Package api defines the wire types of the svmd experiment service —
+// the JSON bodies exchanged over /runs, /sweeps, /events and /metrics.
+// It is shared by the server and the thin client so both CLIs, the
+// daemon and the CI smoke tests speak one format, and it builds on the
+// harness's own types: requests carry RunSpec verbatim, responses carry
+// harness.RunRow (the same shape svmsim -json prints and the persistent
+// store holds).
+package api
+
+import (
+	"swsm/internal/harness"
+	"swsm/internal/harness/runner"
+	"swsm/internal/store"
+)
+
+// Job states, in lifecycle order.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// RunRequest submits one simulation.  The spec is the harness's own
+// RunSpec; unset fields keep their zero values, so a minimal request is
+// `{"spec":{"App":"fft","Protocol":"hlrc","Procs":16,...}}` — clients
+// typically start from harness.DefaultSpec.  Traced specs are rejected:
+// trace capture is an in-process artifact the service cannot return.
+type RunRequest struct {
+	Spec harness.RunSpec `json:"spec"`
+	// Speedup additionally resolves the app's canonical sequential
+	// baseline (cached like any other spec) and annotates the result row
+	// with SeqCycles and Speedup.
+	Speedup bool `json:"speedup,omitempty"`
+}
+
+// RunStatus describes a submitted job.
+type RunStatus struct {
+	// ID is the job handle for GET/DELETE /runs/{id}.  Identical
+	// concurrent requests coalesce onto one job and share an ID.
+	ID string `json:"id"`
+	// Key is the spec's stable content key (the persistent-store address).
+	Key   string `json:"key"`
+	State string `json:"state"`
+	// Cached reports that the result was served from the persistent
+	// store without simulating.
+	Cached bool `json:"cached,omitempty"`
+	// Row is the result, present once State is "done".
+	Row *harness.RunRow `json:"row,omitempty"`
+	// Error is the failure message, present once State is "failed".
+	Error string `json:"error,omitempty"`
+	// WallMS is the job's wall-clock execution time in milliseconds
+	// (queue wait excluded), present once the job left the queue.
+	WallMS int64 `json:"wallMs,omitempty"`
+}
+
+// SweepRequest submits a batch of points that execute as one tracked
+// unit over the daemon's scheduler.  Points deduplicate against
+// everything else in flight exactly like individual runs.
+type SweepRequest struct {
+	Points []RunRequest `json:"points"`
+}
+
+// SweepStatus describes a sweep and its per-point jobs, in submission
+// order.
+type SweepStatus struct {
+	ID     string      `json:"id"`
+	Total  int         `json:"total"`
+	Done   int         `json:"done"`
+	Failed int         `json:"failed"`
+	Points []RunStatus `json:"points"`
+}
+
+// Event is one frame of the /events SSE stream: every job lifecycle
+// transition, with the completed row (stats-layer breakdown included)
+// on "jobDone" frames, plus sweep progress ticks.
+type Event struct {
+	// Seq is a monotonically increasing frame number (per daemon).
+	Seq int64 `json:"seq"`
+	// Type is one of jobQueued, jobStarted, jobDone, jobFailed,
+	// jobCanceled, sweepProgress, drain.
+	Type string `json:"type"`
+	// Job carries the job's status for job* events.
+	Job *RunStatus `json:"job,omitempty"`
+	// Sweep carries progress for sweepProgress events.
+	Sweep *SweepStatus `json:"sweep,omitempty"`
+}
+
+// Metrics is the GET /metrics body.
+type Metrics struct {
+	UptimeSec float64 `json:"uptimeSec"`
+	Draining  bool    `json:"draining"`
+	// QueueDepth/QueueCap describe the admission queue; InFlight counts
+	// jobs currently executing on workers.
+	QueueDepth int `json:"queueDepth"`
+	QueueCap   int `json:"queueCap"`
+	InFlight   int `json:"inFlight"`
+	Workers    int `json:"workers"`
+	// Jobs counts jobs by state over the daemon's lifetime.
+	Jobs map[string]int `json:"jobs"`
+	// Store reports the persistent result store's traffic and residency;
+	// StoreHitRatio is Hits/(Hits+Misses).
+	Store         store.Stats `json:"store"`
+	StoreHitRatio float64     `json:"storeHitRatio"`
+	// Runner reports the in-process memoization pool underneath the
+	// scheduler (simulations actually executed, memo hits, coalesced
+	// waits).
+	Runner runner.Stats `json:"runner"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	OK       bool   `json:"ok"`
+	Draining bool   `json:"draining"`
+	Version  string `json:"version"`
+	// KeyVersion is the RunSpec content-key version the daemon computes;
+	// clients comparing stored keys across daemons should check it.
+	KeyVersion int `json:"keyVersion"`
+}

@@ -1,0 +1,205 @@
+// Package client is the thin HTTP client for the svmd experiment
+// service: the piece both CLIs use in -server mode.  It speaks the
+// api package's wire types, honors the daemon's explicit backpressure
+// (429 + Retry-After triggers a bounded, context-aware retry), and
+// otherwise stays deliberately dumb — spec construction, speedup math
+// and formatting all live with the caller, exactly as in local mode.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"swsm/internal/server/api"
+)
+
+// Client talks to one svmd daemon.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:7099".
+	BaseURL string
+	// HTTP is the transport (http.DefaultClient if nil).
+	HTTP *http.Client
+	// Retries bounds re-submissions after 429 responses (default 10).
+	Retries int
+}
+
+// New builds a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError is a non-2xx response.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("svmd: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+// do performs one request, decoding a JSON body into out (ignored when
+// nil) and mapping non-2xx responses to *apiError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		ae := &apiError{Status: resp.StatusCode, Msg: msg}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+				return &backoffError{apiError: ae, after: time.Duration(sec) * time.Second}
+			}
+			return &backoffError{apiError: ae, after: time.Second}
+		}
+		return ae
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// backoffError wraps a 429 with the daemon's requested delay.
+type backoffError struct {
+	*apiError
+	after time.Duration
+}
+
+// withBackoff retries fn after daemon-directed backoff, bounded by
+// Retries and ctx.
+func (c *Client) withBackoff(ctx context.Context, fn func() error) error {
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 10
+	}
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		be, ok := err.(*backoffError)
+		if !ok || attempt >= retries {
+			return err
+		}
+		select {
+		case <-time.After(be.after):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Run submits a run and blocks until it reaches a terminal state,
+// retrying on backpressure.
+func (c *Client) Run(ctx context.Context, req api.RunRequest) (*api.RunStatus, error) {
+	var st api.RunStatus
+	err := c.withBackoff(ctx, func() error {
+		return c.do(ctx, http.MethodPost, "/runs?wait=1", req, &st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Submit enqueues a run without waiting.
+func (c *Client) Submit(ctx context.Context, req api.RunRequest) (*api.RunStatus, error) {
+	var st api.RunStatus
+	err := c.withBackoff(ctx, func() error {
+		return c.do(ctx, http.MethodPost, "/runs", req, &st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Get fetches a job's status; wait blocks until it is terminal.
+func (c *Client) Get(ctx context.Context, id string, wait bool) (*api.RunStatus, error) {
+	path := "/runs/" + url.PathEscape(id)
+	if wait {
+		path += "?wait=1"
+	}
+	var st api.RunStatus
+	if err := c.do(ctx, http.MethodGet, path, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) (*api.RunStatus, error) {
+	var st api.RunStatus
+	if err := c.do(ctx, http.MethodDelete, "/runs/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Sweep submits a batch and blocks until every point is terminal,
+// retrying whole-batch admission on backpressure.
+func (c *Client) Sweep(ctx context.Context, req api.SweepRequest) (*api.SweepStatus, error) {
+	var st api.SweepStatus
+	err := c.withBackoff(ctx, func() error {
+		return c.do(ctx, http.MethodPost, "/sweeps?wait=1", req, &st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Metrics fetches the daemon's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (*api.Metrics, error) {
+	var m api.Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Health fetches the daemon's liveness/drain state.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"sync"
+
+	"swsm/internal/server/api"
+)
+
+// eventBus fans job/sweep lifecycle events out to SSE subscribers.
+// Publishing never blocks the scheduler: a subscriber whose buffer is
+// full loses frames (each frame carries a sequence number, so a
+// consumer can detect the gap and reconcile via GET /runs).
+type eventBus struct {
+	mu     sync.Mutex
+	seq    int64
+	subs   map[chan api.Event]struct{}
+	closed bool
+}
+
+func newEventBus() *eventBus {
+	return &eventBus{subs: make(map[chan api.Event]struct{})}
+}
+
+// subscribe registers a consumer; the returned cancel must be called
+// exactly once (idempotence is not needed: the SSE handler defers it).
+func (b *eventBus) subscribe() (<-chan api.Event, func()) {
+	ch := make(chan api.Event, 64)
+	b.mu.Lock()
+	if b.closed {
+		close(ch)
+		b.mu.Unlock()
+		return ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+}
+
+func (b *eventBus) publish(e api.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.seq++
+	e.Seq = b.seq
+	for ch := range b.subs {
+		select {
+		case ch <- e:
+		default: // slow consumer: drop, the seq gap tells them
+		}
+	}
+}
+
+// close terminates every subscriber stream (end of drain).
+func (b *eventBus) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		delete(b.subs, ch)
+		close(ch)
+	}
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"swsm/internal/harness"
+	"swsm/internal/server/api"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /runs            submit a run ({"spec":{...},"speedup":true}); ?wait=1 blocks until terminal
+//	GET    /runs            list job statuses (newest first)
+//	GET    /runs/{id}       one job's status/result; ?wait=1 blocks until terminal
+//	DELETE /runs/{id}       cancel a job
+//	POST   /sweeps          submit a batch ({"points":[...]}); ?wait=1 blocks until all terminal
+//	GET    /sweeps/{id}     sweep progress with per-point statuses
+//	GET    /events          SSE stream of job/sweep lifecycle events
+//	GET    /metrics         queue depth, in-flight, store hit ratio, runner counters
+//	GET    /healthz         liveness + drain state + key version
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", s.handleSubmitRun)
+	mux.HandleFunc("GET /runs", s.handleListRuns)
+	mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
+	mux.HandleFunc("DELETE /runs/{id}", s.handleCancelRun)
+	mux.HandleFunc("POST /sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleGetSweep)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// httpError is the uniform JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// submitError maps scheduler admission errors to status codes: 503 while
+// draining, 429 + Retry-After on a full queue (explicit backpressure —
+// the client should back off, not the daemon buffer without bound).
+func submitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func wantWait(r *http.Request) bool {
+	switch r.URL.Query().Get("wait") {
+	case "", "0", "false":
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req api.RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := validateRequest(req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	wait := wantWait(r)
+	j, _, err := s.submit(req, !wait)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	if wait {
+		if err := s.waitJob(r.Context(), j); err != nil {
+			// The client is gone; nothing useful to write.
+			return
+		}
+	}
+	s.mu.Lock()
+	st := statusLocked(j)
+	s.mu.Unlock()
+	code := http.StatusAccepted
+	if st.State == api.StateDone || st.State == api.StateFailed || st.State == api.StateCanceled {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]api.RunStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *statusLocked(j))
+	}
+	s.mu.Unlock()
+	// Job IDs are "j<seq>"; sort newest first by numeric part.
+	sort.Slice(out, func(i, k int) bool {
+		return len(out[i].ID) > len(out[k].ID) ||
+			(len(out[i].ID) == len(out[k].ID) && out[i].ID > out[k].ID)
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) jobByID(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	return j, ok
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	if wantWait(r) {
+		if err := s.waitJob(r.Context(), j); err != nil {
+			return
+		}
+	}
+	s.mu.Lock()
+	st := statusLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	live := s.cancelLocked(j)
+	st := statusLocked(j)
+	s.mu.Unlock()
+	if !live && st.State != api.StateCanceled {
+		httpError(w, http.StatusConflict, "job %s already %s", st.ID, st.State)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		httpError(w, http.StatusBadRequest, "sweep has no points")
+		return
+	}
+	for i, p := range req.Points {
+		if err := validateRequest(p); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid point %d: %v", i, err)
+			return
+		}
+	}
+	// Admit every point (deduplicated against in-flight work) before
+	// registering the sweep; a full queue rejects the whole batch so the
+	// client never receives a half-admitted sweep.  Rollback cancels only
+	// jobs this sweep created — never jobs coalesced from other clients.
+	jobs := make([]*job, 0, len(req.Points))
+	var ours []*job
+	for i, p := range req.Points {
+		j, created, err := s.submit(p, true)
+		if err != nil {
+			s.mu.Lock()
+			for _, mine := range ours {
+				if mine.state == api.StateQueued {
+					s.cancelLocked(mine)
+				}
+			}
+			s.mu.Unlock()
+			if errors.Is(err, ErrQueueFull) {
+				err = fmt.Errorf("%w admitting point %d of %d", err, i, len(req.Points))
+			}
+			submitError(w, err)
+			return
+		}
+		jobs = append(jobs, j)
+		if created {
+			ours = append(ours, j)
+		}
+	}
+	s.mu.Lock()
+	s.nextSweep++
+	sw := &sweepState{id: fmt.Sprintf("s%d", s.nextSweep), jobs: jobs}
+	s.sweeps[sw.id] = sw
+	for _, j := range jobs {
+		j.sweeps = append(j.sweeps, sw)
+	}
+	s.mu.Unlock()
+
+	if wantWait(r) {
+		for _, j := range jobs {
+			if err := s.waitJob(r.Context(), j); err != nil {
+				return
+			}
+		}
+	}
+	s.mu.Lock()
+	st := sweepStatusLocked(sw, true)
+	s.mu.Unlock()
+	code := http.StatusAccepted
+	if st.Done+st.Failed == st.Total {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sw, ok := s.sweeps[r.PathValue("id")]
+	var st *api.SweepStatus
+	if ok {
+		st = sweepStatusLocked(sw, true)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel := s.bus.subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": %s connected\n\n", Version)
+	fl.Flush()
+
+	ping := time.NewTicker(15 * time.Second)
+	defer ping.Stop()
+	for {
+		select {
+		case e, open := <-ch:
+			if !open { // bus closed: drain finished
+				return
+			}
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+			fl.Flush()
+		case <-ping.C:
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, api.Health{
+		OK: true, Draining: draining,
+		Version: Version, KeyVersion: harness.KeyVersion,
+	})
+}

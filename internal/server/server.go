@@ -1,0 +1,491 @@
+// Package server implements svmd, the experiment service: a long-lived
+// HTTP/JSON daemon that executes simulation runs the way an inference
+// server executes requests — admitted through a bounded queue,
+// deduplicated against identical in-flight work, answered from a
+// persistent content-addressed result store when warm, and observable
+// through SSE progress events and a metrics endpoint.
+//
+// The daemon layers three caches, cheapest first:
+//
+//  1. The persistent store (internal/store), keyed by the stable
+//     versioned RunSpec content key — survives restarts.
+//  2. The in-process memoization pool (harness/runner) underneath the
+//     session — deduplicates everything the daemon computed this
+//     lifetime, including sequential baselines shared across requests.
+//  3. Single-flight job coalescing at the HTTP layer — N identical
+//     concurrent POSTs attach to one job and therefore one simulation.
+//
+// Admission control is explicit: when the bounded queue is full the
+// daemon answers 429 with Retry-After rather than buffering without
+// bound, and during drain it answers 503 while in-flight work finishes.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"swsm/internal/apps"
+	"swsm/internal/harness"
+	"swsm/internal/harness/runner"
+	"swsm/internal/server/api"
+	"swsm/internal/store"
+
+	// The daemon serves the full application suite.
+	_ "swsm/internal/apps/barnes"
+	_ "swsm/internal/apps/fft"
+	_ "swsm/internal/apps/lu"
+	_ "swsm/internal/apps/ocean"
+	_ "swsm/internal/apps/radix"
+	_ "swsm/internal/apps/raytrace"
+	_ "swsm/internal/apps/volrend"
+	_ "swsm/internal/apps/water"
+)
+
+// Version identifies the service wire protocol; it is reported by
+// /healthz and is independent of harness.KeyVersion.
+const Version = "svmd/1"
+
+// Config parameterizes a Server.
+type Config struct {
+	// Parallel bounds concurrently executing simulations (0 = one per
+	// CPU, via the harness session default).
+	Parallel int
+	// QueueDepth bounds admitted-but-not-running jobs; a full queue
+	// rejects submissions with 429 (0 = 4x the worker count).
+	QueueDepth int
+	// StoreDir is the persistent result store's directory ("" disables
+	// persistence — useful in tests, pointless in production).
+	StoreDir string
+	// StoreMaxBytes bounds the store's payload bytes (0 = store default).
+	StoreMaxBytes int64
+}
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrDraining rejects submissions while the daemon drains (503).
+	ErrDraining = errors.New("server draining")
+	// ErrQueueFull rejects submissions when the admission queue is at
+	// capacity (429 + Retry-After).
+	ErrQueueFull = errors.New("job queue full")
+)
+
+// job is one scheduled simulation (or store lookup).  Mutable fields
+// are guarded by Server.mu; done is closed exactly once when the job
+// reaches a terminal state.
+type job struct {
+	id   string
+	key  string // spec content key (store address)
+	ckey string // coalescing key (content key + request shape)
+	req  api.RunRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	state    string
+	cached   bool
+	row      *harness.RunRow
+	err      error
+	watchers int  // wait=1 requests currently parked on done
+	detached bool // survives watcher disconnects (async submit, sweeps)
+	started  time.Time
+	wall     time.Duration
+
+	sweeps []*sweepState
+}
+
+type sweepState struct {
+	id   string
+	jobs []*job
+}
+
+// Server is the experiment service.  Construct with New, serve
+// Handler(), stop with Drain.
+type Server struct {
+	cfg Config
+	ses *harness.Session
+	st  *store.Store
+	bus *eventBus
+	// runFn executes one spec; tests substitute it to make scheduling
+	// behavior (backpressure, cancellation) deterministic.
+	runFn func(context.Context, harness.RunSpec) (*harness.Result, error)
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu         sync.Mutex
+	jobs       map[string]*job
+	inflight   map[string]*job // coalescing key -> queued/running job
+	sweeps     map[string]*sweepState
+	stateCount map[string]int
+	nextJob    int64
+	nextSweep  int64
+	inFlight   int // jobs currently executing on a worker
+	draining   bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+	start time.Time
+}
+
+// New builds a Server and starts its workers.
+func New(cfg Config) (*Server, error) {
+	ses := harness.NewSession(cfg.Parallel)
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * ses.Parallelism()
+	}
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		if st, err = store.Open(cfg.StoreDir, cfg.StoreMaxBytes); err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		ses:        ses,
+		st:         st,
+		bus:        newEventBus(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+		sweeps:     make(map[string]*sweepState),
+		stateCount: make(map[string]int),
+		queue:      make(chan *job, cfg.QueueDepth),
+		start:      time.Now(),
+	}
+	s.runFn = func(ctx context.Context, spec harness.RunSpec) (*harness.Result, error) {
+		return s.ses.RunCtx(ctx, spec)
+	}
+	for i := 0; i < ses.Parallelism(); i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.exec(j)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// RunnerStats exposes the in-process memoization counters (simulations
+// actually executed, memo hits, coalesced waits).
+func (s *Server) RunnerStats() runner.Stats { return s.ses.Stats() }
+
+// StoreStats exposes the persistent store's counters (zero value when
+// persistence is disabled).
+func (s *Server) StoreStats() store.Stats {
+	if s.st == nil {
+		return store.Stats{}
+	}
+	return s.st.Stats()
+}
+
+// validateRequest rejects requests the daemon cannot (or will not)
+// serve before they consume a queue slot.
+func validateRequest(req api.RunRequest) error {
+	spec := req.Spec
+	if _, err := apps.Lookup(spec.App); err != nil {
+		return err
+	}
+	switch spec.Protocol {
+	case harness.HLRC, harness.LRC, harness.SC, harness.Ideal:
+	default:
+		return fmt.Errorf("unknown protocol %q", spec.Protocol)
+	}
+	if spec.Procs < 1 || spec.Procs > 64 {
+		return fmt.Errorf("procs %d outside [1, 64]", spec.Procs)
+	}
+	if spec.Scale < apps.Tiny || spec.Scale > apps.Large {
+		return fmt.Errorf("unknown scale %d", spec.Scale)
+	}
+	if err := spec.Comm.Validate(); err != nil {
+		return err
+	}
+	if err := spec.Fault.Validate(); err != nil {
+		return err
+	}
+	if spec.Trace {
+		return errors.New("traced runs are not served remotely: trace capture is an in-process artifact (run svmsim -trace locally)")
+	}
+	return nil
+}
+
+// submit admits a request: coalesce onto an identical in-flight job, or
+// create and enqueue a new one (created reports which).  detached jobs
+// survive watcher disconnects (async submissions, sweep points).
+func (s *Server) submit(req api.RunRequest, detached bool) (j *job, created bool, err error) {
+	key := req.Spec.Key()
+	ckey := key
+	if req.Speedup {
+		ckey += "+speedup"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	if j, ok := s.inflight[ckey]; ok {
+		if detached {
+			j.detached = true
+		}
+		return j, false, nil
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j = &job{
+		key: key, ckey: ckey, req: req,
+		ctx: ctx, cancel: cancel,
+		done:     make(chan struct{}),
+		state:    api.StateQueued,
+		detached: detached,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		return nil, false, ErrQueueFull
+	}
+	s.nextJob++
+	j.id = fmt.Sprintf("j%d", s.nextJob)
+	s.jobs[j.id] = j
+	s.inflight[ckey] = j
+	s.stateCount[api.StateQueued]++
+	s.bus.publish(api.Event{Type: "jobQueued", Job: statusLocked(j)})
+	return j, true, nil
+}
+
+// exec runs one job on a worker: store lookup, then simulation through
+// the memoized session, then store write-back.
+func (s *Server) exec(j *job) {
+	s.mu.Lock()
+	if j.state != api.StateQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		s.finishLocked(j, nil, false, err)
+		s.mu.Unlock()
+		return
+	}
+	s.setStateLocked(j, api.StateRunning)
+	s.inFlight++
+	j.started = time.Now()
+	s.bus.publish(api.Event{Type: "jobStarted", Job: statusLocked(j)})
+	s.mu.Unlock()
+
+	row, cached, err := s.resolve(j.ctx, j.req.Spec)
+	if err == nil && j.req.Speedup {
+		spec := j.req.Spec
+		var base *harness.RunRow
+		base, _, err = s.resolve(j.ctx, harness.BaselineSpec(spec.App, spec.Scale, spec.CacheEnabled))
+		if err == nil {
+			r := row.WithSpeedup(base.Cycles)
+			row = &r
+		}
+	}
+
+	s.mu.Lock()
+	s.inFlight--
+	j.wall = time.Since(j.started)
+	s.finishLocked(j, row, cached, err)
+	s.mu.Unlock()
+}
+
+// resolve produces the row for one spec: persistent store first, then
+// the memoized session, writing fresh results back to the store.
+func (s *Server) resolve(ctx context.Context, spec harness.RunSpec) (*harness.RunRow, bool, error) {
+	key := spec.Key()
+	if s.st != nil {
+		if payload, ok := s.st.Get(key); ok {
+			var row harness.RunRow
+			// A decodable row whose spec disagrees with the requested one
+			// would mean a key collision or encoder drift; recompute.
+			if err := json.Unmarshal(payload, &row); err == nil && row.Spec == spec {
+				return &row, true, nil
+			}
+		}
+	}
+	res, err := s.runFn(ctx, spec)
+	if err != nil {
+		return nil, false, err
+	}
+	row := harness.NewRunRow(res)
+	if s.st != nil {
+		if payload, err := json.Marshal(row); err == nil {
+			// Store damage must not fail the run; the next daemon just
+			// recomputes.
+			_ = s.st.Put(key, payload)
+		}
+	}
+	return &row, false, nil
+}
+
+// finishLocked moves a job to its terminal state, publishes the
+// transition and unparks watchers.  Caller holds s.mu.
+func (s *Server) finishLocked(j *job, row *harness.RunRow, cached bool, err error) {
+	switch {
+	case err == nil:
+		j.row = row
+		j.cached = cached
+		s.setStateLocked(j, api.StateDone)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.err = err
+		s.setStateLocked(j, api.StateCanceled)
+	default:
+		j.err = err
+		s.setStateLocked(j, api.StateFailed)
+	}
+	delete(s.inflight, j.ckey)
+	j.cancel()
+	close(j.done)
+	typ := map[string]string{
+		api.StateDone:     "jobDone",
+		api.StateFailed:   "jobFailed",
+		api.StateCanceled: "jobCanceled",
+	}[j.state]
+	s.bus.publish(api.Event{Type: typ, Job: statusLocked(j)})
+	for _, sw := range j.sweeps {
+		s.bus.publish(api.Event{Type: "sweepProgress", Sweep: sweepStatusLocked(sw, false)})
+	}
+}
+
+// cancelLocked cancels a queued job immediately; a running job has its
+// context cancelled and reaches a terminal state through exec.  Caller
+// holds s.mu; reports whether the job was still live.
+func (s *Server) cancelLocked(j *job) bool {
+	switch j.state {
+	case api.StateQueued:
+		s.finishLocked(j, nil, false, context.Canceled)
+		return true
+	case api.StateRunning:
+		j.cancel()
+		return true
+	}
+	return false
+}
+
+func (s *Server) setStateLocked(j *job, state string) {
+	s.stateCount[j.state]--
+	j.state = state
+	s.stateCount[state]++
+}
+
+// waitJob parks until the job finishes or the watcher's request
+// context is cancelled.  A queued job abandoned by its last watcher is
+// cancelled — the client that wanted it is gone — unless it is detached.
+func (s *Server) waitJob(ctx context.Context, j *job) error {
+	s.mu.Lock()
+	j.watchers++
+	s.mu.Unlock()
+	select {
+	case <-j.done:
+		s.mu.Lock()
+		j.watchers--
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		j.watchers--
+		if j.watchers == 0 && !j.detached && j.state == api.StateQueued {
+			s.cancelLocked(j)
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// statusLocked snapshots a job.  Caller holds s.mu.
+func statusLocked(j *job) *api.RunStatus {
+	st := &api.RunStatus{
+		ID: j.id, Key: j.key, State: j.state, Cached: j.cached, Row: j.row,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.wall > 0 {
+		st.WallMS = j.wall.Milliseconds()
+	}
+	return st
+}
+
+func sweepStatusLocked(sw *sweepState, includePoints bool) *api.SweepStatus {
+	st := &api.SweepStatus{ID: sw.id, Total: len(sw.jobs)}
+	for _, j := range sw.jobs {
+		switch j.state {
+		case api.StateDone:
+			st.Done++
+		case api.StateFailed, api.StateCanceled:
+			st.Failed++
+		}
+		if includePoints {
+			st.Points = append(st.Points, *statusLocked(j))
+		}
+	}
+	return st
+}
+
+// Metrics snapshots the daemon's observable state.
+func (s *Server) Metrics() api.Metrics {
+	s.mu.Lock()
+	jobs := make(map[string]int, len(s.stateCount))
+	for k, v := range s.stateCount {
+		if v != 0 {
+			jobs[k] = v
+		}
+	}
+	m := api.Metrics{
+		UptimeSec:  time.Since(s.start).Seconds(),
+		Draining:   s.draining,
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+		InFlight:   s.inFlight,
+		Workers:    s.ses.Parallelism(),
+		Jobs:       jobs,
+	}
+	s.mu.Unlock()
+	m.Store = s.StoreStats()
+	m.StoreHitRatio = m.Store.HitRatio()
+	m.Runner = s.RunnerStats()
+	return m
+}
+
+// Drain gracefully stops the daemon: new submissions are rejected with
+// ErrDraining, queued and running jobs finish normally, and if ctx
+// expires first the remaining job contexts are cancelled (queued work
+// aborts; a simulation that already started completes and is stored).
+// Drain returns once all workers have exited; the store needs no
+// explicit flush — every Put is already durable via temp-file + rename.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	if !already {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	if already {
+		return errors.New("server: already draining")
+	}
+	s.bus.publish(api.Event{Type: "drain"})
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	s.bus.close()
+	return err
+}

@@ -1,0 +1,274 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, dir string, max int64) *Store {
+	t.Helper()
+	s, err := Open(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	payload := []byte(`{"cycles":12345}`)
+	if err := s.Put("v1-abc", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("v1-abc")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+
+	// A second Open over the same directory — the daemon-restart path —
+	// must serve the entry without help from the writer process.
+	s2 := openT(t, dir, 1<<20)
+	got, ok = s2.Get("v1-abc")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("after reopen: Get = %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Hits != 1 || st.Entries != 1 || st.Bytes != int64(len(payload)) {
+		t.Fatalf("stats after reopen = %+v", st)
+	}
+}
+
+func TestGetMissingIsMiss(t *testing.T) {
+	s := openT(t, t.TempDir(), 1<<20)
+	if _, ok := s.Get("v1-nope"); ok {
+		t.Fatal("Get of absent key reported a hit")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 miss", st)
+	}
+}
+
+// TestCrashLeftoverTempFile simulates a writer dying mid-Put: the
+// orphaned temp file must be swept on Open and never surface as an
+// entry.
+func TestCrashLeftoverTempFile(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, ".tmp-crashed")
+	if err := os.WriteFile(tmp, []byte("svmstore1\npartial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir, 1<<20)
+	if s.Len() != 0 {
+		t.Fatalf("store indexed %d entries from temp garbage", s.Len())
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("leftover temp file not swept: %v", err)
+	}
+}
+
+// TestTruncatedEntry pins the partial-write story for a committed file
+// that was later truncated (filesystem damage): detected, treated as a
+// miss, and deleted.
+func TestTruncatedEntry(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	payload := []byte("the full result row, long enough to truncate meaningfully")
+	if err := s.Put("v1-trunc", payload); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path("v1-trunc")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("v1-trunc"); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("truncated entry not deleted")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt=1", st)
+	}
+	// The key is recomputable: a fresh Put must succeed and serve again.
+	if err := s.Put("v1-trunc", payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("v1-trunc"); !ok || !bytes.Equal(got, payload) {
+		t.Fatal("re-put after corruption did not serve")
+	}
+}
+
+func TestChecksumMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	if err := s.Put("v1-flip", []byte("payload under checksum")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path("v1-flip")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01 // flip one payload bit
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("v1-flip"); ok {
+		t.Fatal("bit-flipped entry served as a hit")
+	}
+	if st := s.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want Corrupt=1 Misses=1", st)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	if err := s.Put("v1-magic", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path("v1-magic")
+	raw, _ := os.ReadFile(path)
+	raw[0] = 'X'
+	os.WriteFile(path, raw, 0o644)
+	if _, ok := s.Get("v1-magic"); ok {
+		t.Fatal("entry with damaged magic served as a hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 100)
+	s := openT(t, dir, 250) // room for two 100-byte entries
+	for _, k := range []string{"v1-a", "v1-b"} {
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b is the LRU victim.
+	if _, ok := s.Get("v1-a"); !ok {
+		t.Fatal("v1-a missing before eviction")
+	}
+	if err := s.Put("v1-c", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("v1-b"); ok {
+		t.Fatal("LRU entry v1-b survived eviction")
+	}
+	for _, k := range []string{"v1-a", "v1-c"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("%s evicted out of LRU order", k)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 2 || st.Bytes != 200 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOversizedEntryResides(t *testing.T) {
+	s := openT(t, t.TempDir(), 10)
+	big := bytes.Repeat([]byte("y"), 100)
+	if err := s.Put("v1-big", big); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("v1-big"); !ok || !bytes.Equal(got, big) {
+		t.Fatal("oversized entry must still serve (sole resident)")
+	}
+}
+
+// TestEvictionUnderConcurrentRead hammers Get on a working set that
+// concurrent Puts continuously evict: no panic, no torn read — every
+// hit must return exactly the bytes stored for that key.  Run with
+// -race in CI.
+func TestEvictionUnderConcurrentRead(t *testing.T) {
+	s := openT(t, t.TempDir(), 600) // ~6 of the 16 keys resident
+	content := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i)}, 100)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (i + r) % 16
+				if got, ok := s.Get(fmt.Sprintf("v1-%02d", k)); ok {
+					if !bytes.Equal(got, content(k)) {
+						t.Errorf("torn read for key %d: %q", k, got[:8])
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	for round := 0; round < 20; round++ {
+		for k := 0; k < 16; k++ {
+			if err := s.Put(fmt.Sprintf("v1-%02d", k), content(k)); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("test exercised no evictions: %+v", st)
+	}
+}
+
+// TestLRUOrderSurvivesRestart pins the mtime-based recency
+// reconstruction: the entry touched last is the one that survives an
+// eviction after reopen.
+func TestLRUOrderSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("z"), 100)
+	s := openT(t, dir, 1<<20)
+	for _, k := range []string{"v1-old", "v1-new"} {
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Make the recency distinguishable to coarse filesystem clocks.
+	old := time.Now().Add(-time.Hour)
+	os.Chtimes(s.path("v1-old"), old, old)
+
+	s2 := openT(t, dir, 250)
+	if err := s2.Put("v1-third", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("v1-old"); ok {
+		t.Fatal("stale entry survived restart eviction")
+	}
+	if _, ok := s2.Get("v1-new"); !ok {
+		t.Fatal("fresh entry evicted before stale one after restart")
+	}
+}
+
+func TestOpenEvictsOverCap(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("w"), 100)
+	s := openT(t, dir, 1<<20)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("v1-%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := openT(t, dir, 250)
+	if st := s2.Stats(); st.Entries != 2 || st.Bytes > 250 {
+		t.Fatalf("reopen with smaller cap kept %+v", st)
+	}
+}

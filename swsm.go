@@ -172,6 +172,22 @@ func DefaultSpec(app string, prot ProtocolKind) RunSpec {
 // Run executes a spec end to end (setup, simulate, verify).
 func Run(spec RunSpec) (*Result, error) { return harness.Run(spec) }
 
+// RunRow is the machine-readable form of a Result: the one JSON shape
+// shared by svmsim/svmbench -json output, the experiment service's
+// (cmd/svmd) responses, and the persistent result store's payloads.
+type RunRow = harness.RunRow
+
+// KeyVersion is the version of RunSpec's content-key encoding
+// (RunSpec.Key, the address results are stored under); it is bumped
+// whenever the canonical encoding changes.
+const KeyVersion = harness.KeyVersion
+
+// RunRow constructors and serialization.
+var (
+	NewRunRow       = harness.NewRunRow
+	WriteRunRowJSON = harness.WriteRunRowJSON
+)
+
 // Session is a sweep session: it fans independent runs over a bounded
 // worker pool and memoizes every run by its RunSpec, so a configuration
 // executes at most once per session no matter how many figures and
