@@ -240,6 +240,15 @@ func (l *LU) Verify(m *core.Machine) error {
 			lu[i*n+j] = l.a.Result(m, l.idx(I, J, ii, jj))
 		}
 	}
+	// Column-major copy of the factor: the k-loop below reads column j,
+	// which in row-major order is a stride-n walk that thrashes the host
+	// cache at Base sizes and beyond.
+	luT := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			luT[j*n+i] = lu[i*n+j]
+		}
+	}
 	// Spot-check rows (all rows at Tiny/Base sizes are cheap enough).
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -256,7 +265,7 @@ func (l *LU) Verify(m *core.Machine) error {
 				if k > i {
 					lv = 0
 				}
-				sum += lv * lu[k*n+j]
+				sum += lv * luT[j*n+k]
 			}
 			diff := math.Abs(sum - l.orig[i*n+j])
 			if diff > 1e-6*(1+math.Abs(l.orig[i*n+j])) {

@@ -41,23 +41,35 @@ func DefaultConfig() Config {
 	}
 }
 
-// line is one cache line's tag state.
-type line struct {
-	tag   int64
-	valid bool
-	dirty bool
-	lru   uint64
-}
+// noMRU is the most-recently-used tag sentinel; no line address shifts
+// down to it.
+const noMRU = int64(-1) << 62
 
-// level is one set-associative array.
+// freeTag marks an invalid line.  Real tags are non-negative (simulated
+// addresses are), so -1 never collides.
+const freeTag = int64(-1)
+
+// level is one set-associative array, stored structure-of-arrays: the
+// hit scan compares against a dense row of tags (one 64-byte line holds
+// a whole 8-way set), and the LRU/dirty metadata — packed as tick<<1 |
+// dirty — is touched only on the hit way or during victim selection.
+// Validity is encoded in the tag itself (freeTag).  A one-entry MRU
+// filter short-circuits the very common case of consecutive references
+// to the same line (sequential word accesses within a 32-byte line)
+// without perturbing the LRU bookkeeping: the filtered path performs
+// exactly the tick/lru/dirty updates the full probe would.
 type level struct {
-	sets     [][]line
+	tags     []int64  // per line: tag, or freeTag when invalid
+	meta     []uint64 // per line: lru tick<<1 | dirty bit
+	assoc    int
 	setMask  int64
 	lineBits uint
 	tick     uint64
+	mruIdx   int32
+	mruTag   int64 // noMRU when the filter is empty
 }
 
-func newLevel(size, assoc, lineSize int) *level {
+func (l *level) init(size, assoc, lineSize int) {
 	nLines := size / lineSize
 	if nLines < assoc {
 		assoc = nLines
@@ -74,66 +86,92 @@ func newLevel(size, assoc, lineSize int) *level {
 	for 1<<lineBits < lineSize {
 		lineBits++
 	}
-	sets := make([][]line, nSets)
-	for i := range sets {
-		sets[i] = make([]line, assoc)
+	l.tags = make([]int64, nSets*assoc)
+	for i := range l.tags {
+		l.tags[i] = freeTag
 	}
-	return &level{sets: sets, setMask: int64(nSets - 1), lineBits: lineBits}
+	l.meta = make([]uint64, nSets*assoc)
+	l.assoc = assoc
+	l.setMask = int64(nSets - 1)
+	l.lineBits = lineBits
+	l.mruTag = noMRU
 }
 
 // access probes the level; on miss it installs the line, returning the
 // victim's dirtiness.  hit reports whether the tag was present.
 func (l *level) access(addr int64, write bool) (hit, victimDirty bool) {
 	l.tick++
-	lineAddr := addr >> l.lineBits
-	set := l.sets[lineAddr&l.setMask]
-	tag := lineAddr
-	victim := 0
-	for i := range set {
-		ln := &set[i]
-		if ln.valid && ln.tag == tag {
-			ln.lru = l.tick
-			if write {
-				ln.dirty = true
-			}
+	var w uint64
+	if write {
+		w = 1
+	}
+	tag := addr >> l.lineBits
+	if tag == l.mruTag {
+		i := l.mruIdx
+		l.meta[i] = l.tick<<1 | l.meta[i]&1 | w
+		return true, false
+	}
+	base := int(tag&l.setMask) * l.assoc
+	tags := l.tags[base : base+l.assoc]
+	for i := range tags {
+		if tags[i] == tag {
+			idx := base + i
+			l.meta[idx] = l.tick<<1 | l.meta[idx]&1 | w
+			l.mruIdx, l.mruTag = int32(idx), tag
 			return true, false
 		}
-		if !set[i].valid {
-			victim = i
-		} else if set[victim].valid && set[i].lru < set[victim].lru {
-			victim = i
+	}
+	// Miss: pick the victim exactly as the paper's simulator did — the
+	// last invalid way if any, else the first way with the minimum LRU
+	// tick (strict < keeps earlier ways on ties).
+	victim := 0
+	vFree := tags[0] == freeTag
+	vLRU := l.meta[base] >> 1
+	for i := 1; i < len(tags); i++ {
+		if tags[i] == freeTag {
+			victim, vFree = i, true
+		} else if !vFree {
+			if lru := l.meta[base+i] >> 1; lru < vLRU {
+				victim, vLRU = i, lru
+			}
 		}
 	}
-	v := &set[victim]
-	victimDirty = v.valid && v.dirty
-	v.tag = tag
-	v.valid = true
-	v.dirty = write
-	v.lru = l.tick
+	idx := base + victim
+	victimDirty = tags[victim] != freeTag && l.meta[idx]&1 != 0
+	tags[victim] = tag
+	l.meta[idx] = l.tick<<1 | w
+	l.mruIdx, l.mruTag = int32(idx), tag
 	return false, victimDirty
 }
 
 // invalidate drops the line containing addr if present, reporting whether
 // it was dirty.
 func (l *level) invalidate(addr int64) (present, dirty bool) {
-	lineAddr := addr >> l.lineBits
-	set := l.sets[lineAddr&l.setMask]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			present, dirty = true, set[i].dirty
-			set[i].valid = false
-			set[i].dirty = false
-			return present, dirty
+	tag := addr >> l.lineBits
+	base := int(tag&l.setMask) * l.assoc
+	tags := l.tags[base : base+l.assoc]
+	for i := range tags {
+		if tags[i] == tag {
+			idx := base + i
+			dirty = l.meta[idx]&1 != 0
+			tags[i] = freeTag
+			l.meta[idx] = 0
+			if l.mruTag == tag {
+				l.mruTag = noMRU
+			}
+			return true, dirty
 		}
 	}
 	return false, false
 }
 
-// Cache is one node's two-level hierarchy.
+// Cache is one node's two-level hierarchy.  The levels are embedded by
+// value: probing goes straight from the Cache pointer to the flat line
+// arrays with no intermediate allocation.
 type Cache struct {
 	cfg Config
-	l1  *level
-	l2  *level
+	l1  level
+	l2  level
 
 	// Accumulated counters.
 	Accesses int64
@@ -143,11 +181,10 @@ type Cache struct {
 
 // New builds a hierarchy from the config.
 func New(cfg Config) *Cache {
-	return &Cache{
-		cfg: cfg,
-		l1:  newLevel(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
-		l2:  newLevel(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
-	}
+	c := &Cache{cfg: cfg}
+	c.l1.init(cfg.L1Size, cfg.L1Assoc, cfg.LineSize)
+	c.l2.init(cfg.L2Size, cfg.L2Assoc, cfg.LineSize)
+	return c
 }
 
 // LineSize reports the configured line size.
@@ -216,15 +253,14 @@ func (c *Cache) InvalidateRange(addr int64, size int) {
 
 // Contains reports whether addr is present in either level (for tests).
 func (c *Cache) Contains(addr int64) bool {
-	lineAddr1 := addr >> c.l1.lineBits
-	for _, ln := range c.l1.sets[lineAddr1&c.l1.setMask] {
-		if ln.valid && ln.tag == lineAddr1 {
-			return true
-		}
-	}
-	lineAddr2 := addr >> c.l2.lineBits
-	for _, ln := range c.l2.sets[lineAddr2&c.l2.setMask] {
-		if ln.valid && ln.tag == lineAddr2 {
+	return c.l1.contains(addr) || c.l2.contains(addr)
+}
+
+func (l *level) contains(addr int64) bool {
+	tag := addr >> l.lineBits
+	base := int(tag&l.setMask) * l.assoc
+	for _, t := range l.tags[base : base+l.assoc] {
+		if t == tag {
 			return true
 		}
 	}

@@ -33,7 +33,17 @@ type Message struct {
 	// reliable transport sets this; application-visible messages are
 	// delivered exactly once or not at all.
 	DropOnWire bool
+
+	// nw is set by Send so the message itself can serve as the receiver
+	// for its packet-arrival and delivery events (see HandleEvent),
+	// keeping the per-packet hot path closure-free.
+	nw *Network
 }
+
+// HandleEvent arg encodings for the closure-free packet pipeline: a
+// non-negative arg is a packet arrival carrying pktBytes<<1 | last; a
+// negative arg is final delivery.
+const argDeliver = -1
 
 // HeaderBytes is the fixed per-message header charged on the wire.
 const HeaderBytes = 32
@@ -88,10 +98,11 @@ func (nw *Network) Send(m *Message) {
 	nw.checkEndpoints(m)
 	now := nw.eng.Now()
 	m.SendTime = now
+	m.nw = nw
 	if m.Src == m.Dst {
 		// Loopback: no network resources; deliver after a fixed small
 		// local cost (protocols mostly avoid this path).
-		nw.eng.After(1, func() { nw.deliver(m) })
+		nw.eng.AtHandler(now+1, m, argDeliver)
 		return
 	}
 	nw.MsgCount++
@@ -114,8 +125,10 @@ func (nw *Network) Send(m *Message) {
 		_, ioEnd := src.ioBus.Reserve(now, pkt)
 		_, niEnd := src.niOut.Reserve(ioEnd, nw.p.NIOccupancy)
 		arrive := niEnd + nw.p.LinkLatency
-		last := remaining == 0
-		pktBytes := pkt
+		var lastBit int64
+		if remaining == 0 {
+			lastBit = 1
+		}
 		if m.DropOnWire {
 			// Lost in the fabric: source-side resources were consumed,
 			// nothing reaches the destination.
@@ -123,15 +136,27 @@ func (nw *Network) Send(m *Message) {
 		}
 		// Receiver-side resources are reserved at arrival time (in an
 		// event) so that packets from different senders contend in true
-		// arrival order.
-		nw.eng.At(arrive, func() {
-			dst := nw.eps[m.Dst]
-			_, inEnd := dst.niIn.Reserve(nw.eng.Now(), nw.p.NIOccupancy)
-			_, depEnd := dst.ioBus.Reserve(inEnd, pktBytes)
-			if last {
-				nw.eng.At(depEnd, func() { nw.deliver(m) })
-			}
-		})
+		// arrival order.  The message itself is the event receiver; the
+		// arg packs the packet size and last-packet flag, so the hot
+		// per-packet path schedules no closures.
+		nw.eng.AtHandler(arrive, m, pkt<<1|lastBit)
+	}
+}
+
+// HandleEvent is the closure-free event entry for this message's wire
+// lifecycle: packet arrival at the destination NI (arg >= 0, carrying
+// pktBytes<<1 | last) and final delivery (argDeliver).
+func (m *Message) HandleEvent(now sim.Time, arg int64) {
+	nw := m.nw
+	if arg < 0 {
+		nw.deliver(m)
+		return
+	}
+	dst := nw.eps[m.Dst]
+	_, inEnd := dst.niIn.Reserve(now, nw.p.NIOccupancy)
+	_, depEnd := dst.ioBus.Reserve(inEnd, arg>>1)
+	if arg&1 != 0 {
+		nw.eng.AtHandler(depEnd, m, argDeliver)
 	}
 }
 

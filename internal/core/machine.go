@@ -120,6 +120,11 @@ type Machine struct {
 	arena  *mem.Arena
 	finish []sim.Time
 	ran    bool
+	// pendBuf is the struct-of-arrays backing for every thread's pending
+	// ledger: Procs contiguous windows of stats.NumCategories counters,
+	// so the hottest per-reference state lives in one block instead of
+	// scattered across Thread allocations.
+	pendBuf []int64
 	// live counts application threads that have not finished; the
 	// breakdown sampler keeps rescheduling itself only while live > 0 so
 	// the event queue can drain and Run can terminate.
@@ -214,9 +219,11 @@ func (m *Machine) Run(body func(t *Thread)) (sim.Time, error) {
 	}
 	m.ran = true
 	m.live = len(m.Nodes)
+	nc := int(stats.NumCategories)
+	m.pendBuf = make([]int64, len(m.Nodes)*nc)
 	for i := range m.Nodes {
 		n := m.Nodes[i]
-		t := newThread(m, n)
+		t := newThread(m, n, m.pendBuf[i*nc:(i+1)*nc:(i+1)*nc])
 		n.thread = t
 		m.Eng.Spawn(fmt.Sprintf("proc%d", i), 0, func(co *sim.Coro) {
 			t.co = co

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"swsm/internal/comm"
+	"swsm/internal/consistency"
 	"swsm/internal/mem"
 	"swsm/internal/proto"
 	"swsm/internal/sim"
@@ -25,12 +26,58 @@ type Thread struct {
 	node *Node
 	co   *sim.Coro
 
-	pending      [stats.NumCategories]int64
+	// Hot-path state, flattened.  The pending ledger is this thread's
+	// window into the machine-owned backing array (struct-of-arrays
+	// across threads: one contiguous block instead of a counter array
+	// inside every Thread), and the per-access constants are resolved
+	// once at construction so tick/pre never chase Cfg pointers.
+	pending      []int64 // len stats.NumCategories, machine-owned backing
 	pendingTotal int64
+	mem          *mem.NodeMem // data target: node-local, or node 0 when SharedMem
+	quantum      int64        // Cfg.PollQuantum
+	accessInstr  int64        // 1 + Cfg.AccessInstrCycles
+	memLimit     int64        // Cfg.MemLimit
+
+	// Load/store counts accumulate thread-locally and flush to the
+	// stats machine at sync points, like the pending time ledger (the
+	// counters are only read after the run, so lazy flushing is
+	// invisible).
+	loads, stores int64
+
+	// chk caches Cfg.Check so the per-access path can skip the recorder
+	// call entirely when conformance checking is off (the common case).
+	chk *consistency.Recorder
+
+	// Access-check fast path (proto.TableProtocol): acc[addr>>accShift]
+	// holds the coherence-unit mode in the uniform 0/1/2 encoding, and a
+	// granted check skips the protocol Access call entirely.  accFree
+	// marks hardware-coherent protocols whose Access is a no-op.
+	acc      []uint8
+	accShift uint
+	accFree  bool
 }
 
-func newThread(m *Machine, n *Node) *Thread {
-	return &Thread{m: m, node: n}
+func newThread(m *Machine, n *Node, ledger []int64) *Thread {
+	t := &Thread{
+		m:           m,
+		node:        n,
+		pending:     ledger,
+		mem:         n.Mem,
+		quantum:     m.Cfg.PollQuantum,
+		accessInstr: 1 + m.Cfg.AccessInstrCycles,
+		memLimit:    m.Cfg.MemLimit,
+		chk:         m.Cfg.Check,
+	}
+	if m.Cfg.SharedMem {
+		t.mem = m.Nodes[0].Mem
+	}
+	if tp, ok := m.Prot.(proto.TableProtocol); ok {
+		t.acc, t.accShift = tp.AccessTable(n.ID)
+	}
+	if _, ok := m.Prot.(proto.FreeAccessProtocol); ok {
+		t.accFree = true
+	}
+	return t
 }
 
 // Proc reports this thread's processor id.
@@ -57,7 +104,7 @@ func (t *Thread) tick(cat stats.Category, cycles int64) {
 	}
 	t.pending[cat] += cycles
 	t.pendingTotal += cycles
-	if t.pendingTotal >= t.m.Cfg.PollQuantum || len(t.node.pendingH) > 0 {
+	if t.pendingTotal >= t.quantum || len(t.node.pendingH) > 0 {
 		t.sync()
 	}
 }
@@ -66,11 +113,19 @@ func (t *Thread) tick(cat stats.Category, cycles int64) {
 // running them inline on this processor (charged to the Handler
 // category), exactly as instrumentation-based back-edge polling would.
 func (t *Thread) sync() {
+	if t.loads != 0 {
+		t.m.Stats.Inc(t.node.ID, stats.Loads, t.loads)
+		t.loads = 0
+	}
+	if t.stores != 0 {
+		t.m.Stats.Inc(t.node.ID, stats.Stores, t.stores)
+		t.stores = 0
+	}
 	if t.pendingTotal > 0 {
 		total := t.pendingTotal
-		for c := stats.Category(0); c < stats.NumCategories; c++ {
-			if t.pending[c] != 0 {
-				t.m.Stats.Add(t.node.ID, c, t.pending[c])
+		for c, v := range t.pending {
+			if v != 0 {
+				t.m.Stats.Add(t.node.ID, stats.Category(c), v)
 				t.pending[c] = 0
 			}
 		}
@@ -149,7 +204,7 @@ var _ proto.Thread = (*Thread)(nil)
 // Compute charges busy cycles of pure computation (the 1-IPC model's
 // instruction time for work between shared-memory references).
 func (t *Thread) Compute(cycles int64) {
-	q := t.m.Cfg.PollQuantum
+	q := t.quantum
 	for cycles > 0 {
 		step := cycles
 		if step > q {
@@ -160,15 +215,6 @@ func (t *Thread) Compute(cycles int64) {
 	}
 }
 
-// memFor returns the memory this thread addresses (node-local, or node
-// 0's on the ideal shared-memory machine).
-func (t *Thread) memFor() *mem.NodeMem {
-	if t.m.Cfg.SharedMem {
-		return t.m.Nodes[0].Mem
-	}
-	return t.node.Mem
-}
-
 // pre performs the timing work that must precede the data operation of
 // one shared reference: one busy cycle (a poll point) and the protocol
 // access check, which may fault and block.  The caller must perform the
@@ -176,18 +222,50 @@ func (t *Thread) memFor() *mem.NodeMem {
 // protocol handlers (a recall, an invalidation) may run at the next poll
 // point and the granted access right is only guaranteed at this instant.
 func (t *Thread) pre(addr int64, size int, write bool) {
-	if addr < 0 || addr+int64(size) > t.m.Cfg.MemLimit {
+	if addr < 0 || addr+int64(size) > t.memLimit {
 		panic(&AccessError{
 			Proc: t.node.ID, Addr: addr, Size: size, Cycle: t.Now(), Write: write,
 		})
 	}
-	t.tick(stats.Busy, 1+t.m.Cfg.AccessInstrCycles)
 	if write {
-		t.m.Stats.Inc(t.node.ID, stats.Stores, 1)
+		t.stores++
 	} else {
-		t.m.Stats.Inc(t.node.ID, stats.Loads, 1)
+		t.loads++
+	}
+	// tick(stats.Busy, t.accessInstr), open-coded: this is the hottest
+	// line in the simulator (once per shared reference).
+	t.pending[stats.Busy] += t.accessInstr
+	t.pendingTotal += t.accessInstr
+	if t.pendingTotal >= t.quantum || len(t.node.pendingH) > 0 {
+		t.sync()
+	}
+	if t.acc != nil {
+		if t.accGranted(addr, size, write) {
+			return
+		}
+	} else if t.accFree {
+		return
 	}
 	t.m.Prot.Access(t, addr, size, write)
+}
+
+// accGranted consults the protocol's exported access table; a granted
+// check is exactly equivalent to Prot.Access returning without protocol
+// activity.  Any denial falls back to the full (fault) path.
+func (t *Thread) accGranted(addr int64, size int, write bool) bool {
+	first := addr >> t.accShift
+	last := (addr + int64(size) - 1) >> t.accShift
+	for u := first; u <= last; u++ {
+		m := t.acc[u]
+		if write {
+			if m != proto.TableWrite {
+				return false
+			}
+		} else if m == proto.TableInvalid {
+			return false
+		}
+	}
+	return true
 }
 
 // post records the reference for the conformance checker and charges the
@@ -195,17 +273,26 @@ func (t *Thread) pre(addr int64, size int, write bool) {
 // before cache stall time accrues so the checker sees the data
 // operation's own instant.
 func (t *Thread) post(addr int64, size int, write bool, val uint64) {
-	t.m.Cfg.Check.Access(int32(t.node.ID), addr, size, write, val, t.Now())
+	if t.chk != nil {
+		t.chk.Access(int32(t.node.ID), addr, size, write, val, t.Now())
+	}
 	if c := t.node.Cache; c != nil {
 		stall, _, _ := c.Access(addr, size, write)
-		t.tick(stats.CacheStall, stall)
+		if stall > 0 {
+			// tick(stats.CacheStall, stall), open-coded.
+			t.pending[stats.CacheStall] += stall
+			t.pendingTotal += stall
+			if t.pendingTotal >= t.quantum || len(t.node.pendingH) > 0 {
+				t.sync()
+			}
+		}
 	}
 }
 
 // Load32 loads a shared 32-bit word.
 func (t *Thread) Load32(a int64) uint32 {
 	t.pre(a, 4, false)
-	v := t.memFor().ReadWord(a)
+	v := t.mem.ReadWord(a)
 	t.post(a, 4, false, uint64(v))
 	return v
 }
@@ -213,7 +300,7 @@ func (t *Thread) Load32(a int64) uint32 {
 // Store32 stores a shared 32-bit word.
 func (t *Thread) Store32(a int64, v uint32) {
 	t.pre(a, 4, true)
-	t.memFor().WriteWord(a, v)
+	t.mem.WriteWord(a, v)
 	t.post(a, 4, true, uint64(v))
 }
 
@@ -226,7 +313,7 @@ func (t *Thread) StoreI32(a int64, v int32) { t.Store32(a, uint32(v)) }
 // LoadF64 loads a shared float64.
 func (t *Thread) LoadF64(a int64) float64 {
 	t.pre(a, 8, false)
-	v := t.memFor().ReadF64(a)
+	v := t.mem.ReadF64(a)
 	t.post(a, 8, false, math.Float64bits(v))
 	return v
 }
@@ -234,7 +321,7 @@ func (t *Thread) LoadF64(a int64) float64 {
 // StoreF64 stores a shared float64.
 func (t *Thread) StoreF64(a int64, v float64) {
 	t.pre(a, 8, true)
-	t.memFor().WriteF64(a, v)
+	t.mem.WriteF64(a, v)
 	t.post(a, 8, true, math.Float64bits(v))
 }
 

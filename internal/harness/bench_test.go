@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchReport(benches ...BenchResult) BenchReport {
+	return BenchReport{Rev: "test", GoOS: "linux", GoArch: "amd64", Benches: benches}
+}
+
+func TestCompareBenchGate(t *testing.T) {
+	base := benchReport(
+		BenchResult{Name: "engine/chain-events", CyclesPerSec: 100e6, AllocsPerOp: 0},
+		BenchResult{Name: "fig3/fft-tiny-4p", CyclesPerSec: 200e6, AllocsPerOp: 870},
+		BenchResult{Name: "retired/old-bench", CyclesPerSec: 1e6, AllocsPerOp: 0},
+	)
+
+	cases := []struct {
+		name     string
+		cur      BenchReport
+		wantFail []string // substrings that must each appear in some failure
+	}{
+		{
+			name: "identical passes",
+			cur: benchReport(
+				BenchResult{Name: "engine/chain-events", CyclesPerSec: 100e6, AllocsPerOp: 0},
+				BenchResult{Name: "fig3/fft-tiny-4p", CyclesPerSec: 200e6, AllocsPerOp: 870},
+			),
+		},
+		{
+			name: "9 percent slowdown within tolerance",
+			cur: benchReport(
+				BenchResult{Name: "engine/chain-events", CyclesPerSec: 91e6, AllocsPerOp: 0}),
+		},
+		{
+			name: "11 percent slowdown fails",
+			cur: benchReport(
+				BenchResult{Name: "engine/chain-events", CyclesPerSec: 89e6, AllocsPerOp: 0}),
+			wantFail: []string{"engine/chain-events", "cycles/sec regressed"},
+		},
+		{
+			name: "speedup passes",
+			cur: benchReport(
+				BenchResult{Name: "engine/chain-events", CyclesPerSec: 300e6, AllocsPerOp: 0}),
+		},
+		{
+			name: "single allocation on zero baseline fails",
+			cur: benchReport(
+				BenchResult{Name: "engine/chain-events", CyclesPerSec: 100e6, AllocsPerOp: 1}),
+			wantFail: []string{"engine/chain-events", "allocs/op grew"},
+		},
+		{
+			name: "one alloc of jitter on whole-run bench passes",
+			cur: benchReport(
+				BenchResult{Name: "fig3/fft-tiny-4p", CyclesPerSec: 200e6, AllocsPerOp: 871}),
+		},
+		{
+			name: "real alloc regression on whole-run bench fails",
+			cur: benchReport(
+				BenchResult{Name: "fig3/fft-tiny-4p", CyclesPerSec: 200e6, AllocsPerOp: 1200}),
+			wantFail: []string{"fig3/fft-tiny-4p", "allocs/op grew"},
+		},
+		{
+			name: "bench absent from baseline never fails",
+			cur: benchReport(
+				BenchResult{Name: "engine/brand-new", CyclesPerSec: 1, AllocsPerOp: 9999}),
+		},
+		{
+			name: "bench absent from current never fails",
+			cur:  benchReport(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			failures := CompareBench(base, tc.cur)
+			if len(tc.wantFail) == 0 {
+				if len(failures) != 0 {
+					t.Fatalf("unexpected failures: %v", failures)
+				}
+				return
+			}
+			joined := strings.Join(failures, "\n")
+			for _, want := range tc.wantFail {
+				if !strings.Contains(joined, want) {
+					t.Fatalf("failures %q missing %q", joined, want)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadBenchReportRoundTrip(t *testing.T) {
+	want := benchReport(
+		BenchResult{Name: "engine/chain-events", Iters: 1000, NsPerOp: 5.5,
+			OpsPerSec: 2e8, SimCycles: 1000, CyclesPerSec: 2e8,
+			AllocsPerOp: 0.25, WallSeconds: 0.01})
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rev != want.Rev || len(got.Benches) != 1 || got.Benches[0] != want.Benches[0] {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+}

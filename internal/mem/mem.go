@@ -46,14 +46,21 @@ func (m *NodeMem) Limit() Addr { return m.limit }
 // Frame returns the page frame for page pn, allocating it zeroed on first
 // use.
 func (m *NodeMem) Frame(pn int64) *[PageSize]byte {
-	if pn < 0 || pn >= int64(len(m.frames)) {
-		panic(fmt.Sprintf("mem: page %d out of range (limit %d)", pn, m.limit))
-	}
+	// The slice index carries the range check (an out-of-range or
+	// negative page is an internal protocol bug and panics either way);
+	// first-touch allocation is outlined.  Both keep Frame inlinable,
+	// and every simulated load and store funnels through here.
 	f := m.frames[pn]
 	if f == nil {
-		f = new([PageSize]byte)
-		m.frames[pn] = f
+		f = m.newFrame(pn)
 	}
+	return f
+}
+
+//go:noinline
+func (m *NodeMem) newFrame(pn int64) *[PageSize]byte {
+	f := new([PageSize]byte)
+	m.frames[pn] = f
 	return f
 }
 
@@ -62,23 +69,45 @@ func (m *NodeMem) Allocated(pn int64) bool {
 	return pn >= 0 && pn < int64(len(m.frames)) && m.frames[pn] != nil
 }
 
+// The word and double accessors below are the data plane of every
+// simulated load and store.  Each keeps a minimal hot body — one frame
+// pointer load, one offset mask, one fixed-width move — and outlines
+// the rare cases (first touch of a page, a double straddling a page
+// boundary) so the hot body stays small.
+
 // ReadWord loads the 32-bit word at a (must be word-aligned within one page).
 func (m *NodeMem) ReadWord(a Addr) uint32 {
-	f := m.Frame(PageOf(a))
+	f := m.frames[a>>PageShift]
+	if f == nil {
+		f = m.newFrame(a >> PageShift)
+	}
 	off := a & (PageSize - 1)
 	return binary.LittleEndian.Uint32(f[off : off+4])
 }
 
 // WriteWord stores a 32-bit word at a.
 func (m *NodeMem) WriteWord(a Addr, v uint32) {
-	f := m.Frame(PageOf(a))
+	f := m.frames[a>>PageShift]
+	if f == nil {
+		f = m.newFrame(a >> PageShift)
+	}
 	off := a & (PageSize - 1)
 	binary.LittleEndian.PutUint32(f[off:off+4], v)
 }
 
-// ReadU64 loads a 64-bit value; a must not cross a page boundary.
+// ReadU64 loads a 64-bit value; straddling a page boundary is allowed
+// but slow.
 func (m *NodeMem) ReadU64(a Addr) uint64 {
-	f := m.Frame(PageOf(a))
+	f := m.frames[a>>PageShift]
+	off := a & (PageSize - 1)
+	if f == nil || off > PageSize-8 {
+		return m.readU64Slow(a)
+	}
+	return binary.LittleEndian.Uint64(f[off : off+8])
+}
+
+//go:noinline
+func (m *NodeMem) readU64Slow(a Addr) uint64 {
 	off := a & (PageSize - 1)
 	if off+8 > PageSize {
 		// Assemble across the boundary.
@@ -86,18 +115,30 @@ func (m *NodeMem) ReadU64(a Addr) uint64 {
 		hi := uint64(m.ReadWord(a + 4))
 		return lo | hi<<32
 	}
+	f := m.Frame(PageOf(a))
 	return binary.LittleEndian.Uint64(f[off : off+8])
 }
 
 // WriteU64 stores a 64-bit value.
 func (m *NodeMem) WriteU64(a Addr, v uint64) {
-	f := m.Frame(PageOf(a))
+	f := m.frames[a>>PageShift]
+	off := a & (PageSize - 1)
+	if f == nil || off > PageSize-8 {
+		m.writeU64Slow(a, v)
+		return
+	}
+	binary.LittleEndian.PutUint64(f[off:off+8], v)
+}
+
+//go:noinline
+func (m *NodeMem) writeU64Slow(a Addr, v uint64) {
 	off := a & (PageSize - 1)
 	if off+8 > PageSize {
 		m.WriteWord(a, uint32(v))
 		m.WriteWord(a+4, uint32(v>>32))
 		return
 	}
+	f := m.Frame(PageOf(a))
 	binary.LittleEndian.PutUint64(f[off:off+8], v)
 }
 

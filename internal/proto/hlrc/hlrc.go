@@ -34,7 +34,9 @@ import (
 )
 
 // Page access modes.
-type pageMode uint8
+// pageMode is a plain uint8 (alias) so the per-node mode array can be
+// handed to the thread fast path as the proto.TableProtocol table.
+type pageMode = uint8
 
 const (
 	modeInvalid pageMode = iota
@@ -290,11 +292,29 @@ func (p *Protocol) home(pg int64) int { return int(p.homes[pg]) }
 
 // --- access-fault side (thread context) ---
 
-// Access implements the page access check and fault path.
+// Access implements the page access check and fault path.  The mode
+// check is open-coded here so the granted-access common case never
+// leaves this frame; ensure re-checks under its own fault handling.
+// AccessTable exposes the per-proc page-mode array for the thread fast
+// path (proto.TableProtocol): the mode encoding already matches the
+// uniform 0/1/2 convention.
+func (p *Protocol) AccessTable(proc int) ([]uint8, uint) {
+	return p.nodes[proc].mode, p.unitShift
+}
+
 func (p *Protocol) Access(th proto.Thread, addr int64, size int, write bool) {
 	first := p.unitOf(addr)
 	last := p.unitOf(addr + int64(size) - 1)
+	mode := p.nodes[th.Proc()].mode
 	for pg := first; pg <= last; pg++ {
+		m := mode[pg]
+		if write {
+			if m == modeReadWrite {
+				continue
+			}
+		} else if m != modeInvalid {
+			continue
+		}
 		p.ensure(th, pg, write)
 	}
 }

@@ -54,6 +54,10 @@ func (p *Protocol) Attach(env proto.Env) { p.env = env }
 // Access is free on the ideal machine.
 func (p *Protocol) Access(th proto.Thread, addr int64, size int, write bool) {}
 
+// AccessFree marks hardware-coherent access checks as free
+// (proto.FreeAccessProtocol), letting threads skip Access entirely.
+func (p *Protocol) AccessFree() {}
+
 // Acquire takes the lock, waiting (at zero protocol cost) if held.
 func (p *Protocol) Acquire(th proto.Thread, lock int) {
 	l := p.locks[lock]

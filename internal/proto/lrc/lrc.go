@@ -34,7 +34,9 @@ import (
 	"swsm/internal/trace"
 )
 
-type pageMode uint8
+// pageMode is a plain uint8 (alias) so the per-node mode array can be
+// handed to the thread fast path as the proto.TableProtocol table.
+type pageMode = uint8
 
 const (
 	modeInvalid pageMode = iota
@@ -221,10 +223,26 @@ func (ns *nodeState) appliedFor(pg int64, nprocs int) []int32 {
 
 // Access implements the page access check and the distributed-diff
 // fault path.
+// AccessTable exposes the per-proc page-mode array for the thread fast
+// path (proto.TableProtocol): the mode encoding already matches the
+// uniform 0/1/2 convention.
+func (p *Protocol) AccessTable(proc int) ([]uint8, uint) {
+	return p.nodes[proc].mode, mem.PageShift
+}
+
 func (p *Protocol) Access(th proto.Thread, addr int64, size int, write bool) {
 	first := mem.PageOf(addr)
 	last := mem.PageOf(addr + int64(size) - 1)
+	mode := p.nodes[th.Proc()].mode
 	for pg := first; pg <= last; pg++ {
+		m := mode[pg]
+		if write {
+			if m == modeReadWrite {
+				continue
+			}
+		} else if m != modeInvalid {
+			continue
+		}
 		p.ensure(th, pg, write)
 	}
 }

@@ -95,6 +95,31 @@ type Protocol interface {
 	InitWrite(addr int64, v uint32)
 }
 
+// TableProtocol is an optional fast path a protocol may implement: a
+// per-processor access-permission table the thread hot path consults
+// before paying the full Access call.  table[addr>>shift] holds the
+// coherence-unit mode under a uniform encoding — 0 denies everything
+// (invalid), 1 allows reads (read-only / shared), 2 allows reads and
+// writes (read-write / exclusive).  The protocol mutates the table in
+// place as units change state; a granted check must be exactly
+// equivalent to Access returning without side effects.
+type TableProtocol interface {
+	AccessTable(proc int) (table []uint8, shift uint)
+}
+
+// Table entry values for TableProtocol (shared 0/1/2 encoding).
+const (
+	TableInvalid uint8 = iota // no access
+	TableRead                 // read-only / shared
+	TableWrite                // read-write / exclusive
+)
+
+// FreeAccessProtocol marks a protocol whose Access is a no-op (hardware
+// coherence): the thread hot path skips the call entirely.
+type FreeAccessProtocol interface {
+	AccessFree()
+}
+
 // Model names the memory-consistency contract a protocol implements.
 // The conformance checker (internal/consistency) selects its verification
 // rule from this declaration, so the table is load-bearing and pinned by

@@ -27,7 +27,9 @@ import (
 )
 
 // Block states at each node.
-type blockState uint8
+// blockState is a plain uint8 (alias) so the per-node state array can
+// be handed to the thread fast path as the proto.TableProtocol table.
+type blockState = uint8
 
 const (
 	stInvalid blockState = iota
@@ -197,10 +199,26 @@ func (p *Protocol) dirFor(b int64) *dirEntry {
 
 // Access implements the fine-grained access check; hardware access
 // control is free, so only actual misses cost anything.
+// AccessTable exposes the per-proc block-state array for the thread
+// fast path (proto.TableProtocol): the state encoding already matches
+// the uniform 0/1/2 convention.
+func (p *Protocol) AccessTable(proc int) ([]uint8, uint) {
+	return p.state[proc], p.blockBits
+}
+
 func (p *Protocol) Access(th proto.Thread, addr int64, size int, write bool) {
 	first := p.blockOf(addr)
 	last := p.blockOf(addr + int64(size) - 1)
+	state := p.state[th.Proc()]
 	for b := first; b <= last; b++ {
+		st := state[b]
+		if write {
+			if st == stExclusive {
+				continue
+			}
+		} else if st != stInvalid {
+			continue
+		}
 		p.ensure(th, b, write)
 	}
 }

@@ -7,32 +7,25 @@ import (
 )
 
 // Coro is a simulated thread of control.  Its body runs on a real
-// goroutine, but exactly one coroutine (or the engine itself) executes at
-// any instant: the engine and the coroutine hand control back and forth
-// through a pair of unbuffered channels, so the simulation is sequential
-// and deterministic despite using goroutines for stack management.
+// goroutine, but exactly one coroutine (or the engine itself) executes
+// at any instant: control moves between stacks by direct handoff — the
+// current holder of control pops the next step event and resumes that
+// coroutine with a single channel send — so the simulation is sequential
+// and deterministic despite using goroutines for stack management.  The
+// coroutine's mutable scheduling state (started/done/blocked/pending
+// wakes) lives in the engine's struct-of-arrays, indexed by tid.
 type Coro struct {
 	eng  *Engine
 	name string
-	// tid is the coroutine's spawn index; the tracer uses it as the track
-	// id for thread-state transitions.
+	// tid is the coroutine's spawn index: the index into the engine's
+	// bookkeeping arrays and the track id the tracer uses for
+	// thread-state transitions.
 	tid int32
 
+	// resume carries control to this coroutine: at most one sender
+	// (whichever stack pops its step event) and one receiver (the
+	// coroutine itself, parked).
 	resume chan struct{}
-	yield  chan struct{}
-
-	// stepFn is the method value c.step, bound once at spawn so that
-	// every Sleep/Wake schedules the same closure instead of allocating
-	// a fresh one per event.
-	stepFn func()
-
-	started bool
-	done    bool
-	blocked bool
-	// pendingWakes counts Wake calls that arrived while the coroutine was
-	// not blocked; Block consumes one instead of yielding, so wakeups are
-	// never lost.
-	pendingWakes int
 }
 
 // Spawn creates a coroutine and schedules its body to start at virtual
@@ -41,46 +34,33 @@ func (e *Engine) Spawn(name string, start Time, body func(*Coro)) *Coro {
 	c := &Coro{
 		eng:    e,
 		name:   name,
+		tid:    int32(len(e.coros)),
 		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
 	}
-	c.stepFn = c.step
-	c.tid = int32(len(e.coros))
 	e.coros = append(e.coros, c)
-	e.At(start, func() {
-		c.started = true
-		e.tracer.ThreadState(e.now, c.tid, trace.StateStarted)
-		go func() {
-			<-c.resume
-			defer func() {
-				// A panic in simulated code surfaces as an engine error
-				// instead of killing the host process.
-				if r := recover(); r != nil {
-					e.fail(fmt.Errorf("sim: coroutine %s panicked: %v", name, r))
-				}
-				c.done = true
-				c.eng.tracer.ThreadState(c.eng.now, c.tid, trace.StateDone)
-				c.yield <- struct{}{}
-			}()
-			body(c)
+	e.coroStarted = append(e.coroStarted, false)
+	e.coroDone = append(e.coroDone, false)
+	e.coroBlocked = append(e.coroBlocked, false)
+	e.coroWakes = append(e.coroWakes, 0)
+	go func() {
+		<-c.resume
+		defer func() {
+			// A panic in simulated code surfaces as an engine error
+			// instead of killing the host process.
+			if r := recover(); r != nil {
+				e.fail(fmt.Errorf("sim: coroutine %s panicked: %v", name, r))
+			}
+			e.coroDone[c.tid] = true
+			e.tracer.ThreadState(e.now, c.tid, trace.StateDone)
+			// The body returned while this goroutine held control; keep
+			// the event loop going on this stack until control is handed
+			// to the next coroutine or back to Run.
+			e.exitPump()
 		}()
-		c.step()
-	})
+		body(c)
+	}()
+	e.atStep(start, c)
 	return c
-}
-
-// step transfers control to the coroutine and waits for it to yield or
-// finish.  Must only be called from engine (event) context.
-func (c *Coro) step() {
-	c.resume <- struct{}{}
-	<-c.yield
-}
-
-// yieldToEngine suspends the coroutine; control returns to the engine's
-// event loop.  The coroutine resumes when some event calls step.
-func (c *Coro) yieldToEngine() {
-	c.yield <- struct{}{}
-	<-c.resume
 }
 
 // Name reports the coroutine's name (used in deadlock reports).
@@ -94,6 +74,14 @@ func (c *Coro) Now() Time { return c.eng.now }
 
 // Sleep advances virtual time by d cycles for this coroutine.  Other
 // events and coroutines run in the interim.
+//
+// Fast path: when every queued event lies strictly after the wake-up
+// time, nothing in the simulation can observe the interim, so the clock
+// advances in place — no event, no yield, no context switch.  The
+// boundary case (an event at exactly the wake-up time) must take the
+// slow path: that event carries a smaller seq, so it runs first under
+// the (at, seq) order, and skipping the queue would reorder same-cycle
+// FIFO reservations.
 func (c *Coro) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: coroutine %s sleeping negative %d", c.name, d))
@@ -101,8 +89,16 @@ func (c *Coro) Sleep(d Time) {
 	if d == 0 {
 		return
 	}
-	c.eng.After(d, c.stepFn)
-	c.yieldToEngine()
+	e := c.eng
+	t := e.now + d
+	if !e.stopped {
+		if at, ok := e.peekTime(); !ok || at > t {
+			e.now = t
+			return
+		}
+	}
+	e.atStep(t, c)
+	e.pump(c, false)
 }
 
 // SleepUntil advances this coroutine's virtual time to absolute time t.
@@ -117,15 +113,16 @@ func (c *Coro) SleepUntil(t Time) {
 // arrived since the last Block, it is consumed and Block returns
 // immediately (no time passes).
 func (c *Coro) Block() {
-	if c.pendingWakes > 0 {
-		c.pendingWakes--
+	e := c.eng
+	if e.coroWakes[c.tid] > 0 {
+		e.coroWakes[c.tid]--
 		return
 	}
-	c.blocked = true
-	c.eng.tracer.ThreadState(c.eng.now, c.tid, trace.StateBlocked)
-	c.yieldToEngine()
-	c.blocked = false
-	c.eng.tracer.ThreadState(c.eng.now, c.tid, trace.StateRunning)
+	e.coroBlocked[c.tid] = true
+	e.tracer.ThreadState(e.now, c.tid, trace.StateBlocked)
+	e.pump(c, false)
+	e.coroBlocked[c.tid] = false
+	e.tracer.ThreadState(e.now, c.tid, trace.StateRunning)
 }
 
 // Wake resumes a blocked coroutine at the current virtual time.  If the
@@ -133,13 +130,14 @@ func (c *Coro) Block() {
 // by its next Block.  Wake must be called from engine/event context or
 // from another (currently running) coroutine.
 func (c *Coro) Wake() {
-	if c.blocked {
-		c.blocked = false
-		c.eng.At(c.eng.now, c.stepFn)
+	e := c.eng
+	if e.coroBlocked[c.tid] {
+		e.coroBlocked[c.tid] = false
+		e.atStep(e.now, c)
 		return
 	}
-	c.pendingWakes++
+	e.coroWakes[c.tid]++
 }
 
 // Done reports whether the coroutine body has returned.
-func (c *Coro) Done() bool { return c.done }
+func (c *Coro) Done() bool { return c.eng.coroDone[c.tid] }

@@ -7,6 +7,19 @@
 // view.  Coroutines execute one at a time, handing control back to the
 // engine whenever they need virtual time to pass, so every run with the
 // same inputs produces bit-identical timing.
+//
+// The event loop is built for raw speed.  Events are value-typed records
+// in a calendar/bucket queue (see queue.go) instead of heap-allocated
+// closures; the dominant kinds — coroutine steps, timers, network
+// packets — are closure-free.  The loop itself ("the pump") is
+// re-entrant: whichever stack currently holds control (Run, a coroutine
+// inside Sleep/Block, or a finished coroutine on its way out) pops and
+// dispatches events in place, handing off directly to the next coroutine
+// with a single channel operation instead of bouncing every event
+// through a central scheduler goroutine.  Coroutine sleeps whose wake-up
+// precedes every queued event skip the queue entirely and advance the
+// clock in place, so compute bursts between synchronization points cost
+// a compare, not a context switch.
 package sim
 
 import (
@@ -18,29 +31,50 @@ import (
 // Time is a point in virtual time, measured in processor cycles.
 type Time = int64
 
-// event is a scheduled callback.  Events with equal timestamps fire in
-// scheduling order (seq), which keeps runs deterministic.  Event objects
-// are recycled through the engine's free list: simulations schedule one
-// event per message hop and per thread sleep, so the steady-state event
-// rate is the engine's hottest allocation site.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+// EventHandler receives closure-free scheduled callbacks.  Hot
+// subsystems (the network's packet pipeline) implement it so that
+// scheduling an event stores a receiver pointer and one integer argument
+// instead of allocating a closure per event.
+type EventHandler interface {
+	HandleEvent(now Time, arg int64)
 }
 
 // Engine is the discrete-event core.  It owns the virtual clock and the
 // event queue, and it is the only entity that resumes coroutines.
 type Engine struct {
-	now    Time
-	events []*event // binary min-heap ordered by (at, seq)
-	seq    uint64
-	coros  []*Coro
-	free   []*event // recycled event objects
+	now Time
+	seq uint64
 
-	// Stopped is set by Stop; Run drains no further events once set.
+	// reg is a single-event register in front of the calendar: when the
+	// queue is otherwise empty the next event parks here, so the
+	// ubiquitous pop-one-schedule-one chain (a lone coroutine sleeping,
+	// a self-rescheduling sampler) never touches a bucket.  regSet
+	// implies reg is the only queued event: a second schedule flushes
+	// reg into the calendar first, so ordering is preserved.
+	reg    event
+	regSet bool
+
+	q calQueue
+
+	// Coroutine bookkeeping lives here as struct-of-arrays indexed by
+	// tid rather than as fields on Coro: the pump and Sleep/Block/Wake
+	// touch these flags constantly, and flat slices keep them on a few
+	// shared cache lines instead of scattered across per-coroutine
+	// allocations.
+	coros       []*Coro
+	coroStarted []bool
+	coroDone    []bool
+	coroBlocked []bool
+	coroWakes   []int32
+
+	// mainCh parks Run while a coroutine holds control.  A coroutine
+	// that drains the queue (or observes Stop) signals it so Run can
+	// finish the run-level bookkeeping.
+	mainCh chan struct{}
+
+	// stopped is set by Stop; the pump drains no further events once set.
 	stopped bool
-	// failure records a coroutine panic; Run returns it.
+	// failure records a coroutine panic or Fail call; Run returns it.
 	failure error
 
 	// tracer is nil unless observability is enabled; every hook method on
@@ -51,7 +85,9 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{mainCh: make(chan struct{})}
+	e.q.init()
+	return e
 }
 
 // Now reports the current virtual time.
@@ -63,58 +99,52 @@ func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
 // Tracer returns the installed tracer; nil means tracing is disabled.
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
-// less orders heap entries by (at, seq).
-func (e *Engine) less(i, j int) bool {
-	a, b := e.events[i], e.events[j]
-	if a.at != b.at {
-		return a.at < b.at
+// schedule files an event record at absolute time at.  The body is a
+// thin inlinable shell: the common chain case (queue otherwise empty)
+// stores field-wise into the register — no struct copy, no bucket — and
+// everything else defers to scheduleSlow.
+func (e *Engine) schedule(at Time, kind uint8, obj any, arg int64) {
+	e.seq++
+	if !e.regSet && e.q.count == 0 && len(e.q.overflow) == 0 {
+		e.reg.at = at
+		e.reg.seq = e.seq
+		e.reg.arg = arg
+		e.reg.obj = obj
+		e.reg.kind = kind
+		e.regSet = true
+		return
 	}
-	return a.seq < b.seq
+	e.scheduleSlow(at, kind, obj, arg)
 }
 
-// siftUp restores the heap property from leaf i upward.
-func (e *Engine) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(i, parent) {
-			break
-		}
-		e.events[i], e.events[parent] = e.events[parent], e.events[i]
-		i = parent
+// scheduleSlow files into the calendar, first flushing the register so
+// the queue's (at, seq) order covers every pending event.
+func (e *Engine) scheduleSlow(at Time, kind uint8, obj any, arg int64) {
+	if e.regSet {
+		e.regSet = false
+		e.q.insert(e.reg, e.now)
 	}
+	e.q.insert(event{at: at, seq: e.seq, arg: arg, obj: obj, kind: kind}, e.now)
 }
 
-// siftDown restores the heap property from root i downward.
-func (e *Engine) siftDown(i int) {
-	n := len(e.events)
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < n && e.less(l, min) {
-			min = l
-		}
-		if r < n && e.less(r, min) {
-			min = r
-		}
-		if min == i {
-			return
-		}
-		e.events[i], e.events[min] = e.events[min], e.events[i]
-		i = min
+// popEvent removes the earliest queued event and returns a pointer to
+// it.  The pointed-to record (the register, a bucket slot, or the
+// queue's overflow scratch) is only guaranteed until the next schedule
+// or pop: callers must read every field they need before dispatching.
+func (e *Engine) popEvent() (*event, bool) {
+	if e.regSet {
+		e.regSet = false
+		return &e.reg, true
 	}
+	return e.q.popNext()
 }
 
-// pop removes and returns the earliest event.
-func (e *Engine) pop() *event {
-	top := e.events[0]
-	n := len(e.events) - 1
-	e.events[0] = e.events[n]
-	e.events[n] = nil
-	e.events = e.events[:n]
-	if n > 0 {
-		e.siftDown(0)
+// peekTime reports the earliest queued timestamp, if any.
+func (e *Engine) peekTime() (Time, bool) {
+	if e.regSet {
+		return e.reg.at, true
 	}
-	return top
+	return e.q.peekAt()
 }
 
 // At schedules fn to run at absolute virtual time t.  Scheduling in the
@@ -123,17 +153,7 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
-	e.seq++
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free = e.free[:n-1]
-	} else {
-		ev = new(event)
-	}
-	ev.at, ev.seq, ev.fn = t, e.seq, fn
-	e.events = append(e.events, ev)
-	e.siftUp(len(e.events) - 1)
+	e.schedule(t, evFunc, fn, 0)
 }
 
 // After schedules fn to run d cycles from now.
@@ -141,7 +161,24 @@ func (e *Engine) After(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	e.At(e.now+d, fn)
+	e.schedule(e.now+d, evFunc, fn, 0)
+}
+
+// AtHandler schedules h.HandleEvent(t, arg) at absolute virtual time t
+// without allocating a closure.  Scheduling in the past panics.
+func (e *Engine) AtHandler(t Time, h EventHandler, arg int64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.schedule(t, evHandler, h, arg)
+}
+
+// atStep schedules coroutine c to resume at absolute time t.
+func (e *Engine) atStep(t Time, c *Coro) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.schedule(t, evStep, c, 0)
 }
 
 // Stop terminates Run after the current event completes.
@@ -155,47 +192,152 @@ func (e *Engine) fail(err error) {
 	e.stopped = true
 }
 
-// Run processes events until the queue drains, Stop is called, or a
-// deadlock is detected (live coroutines but no scheduled events).  It
-// returns the final virtual time.
-func (e *Engine) Run() (Time, error) {
-	for !e.stopped && len(e.events) > 0 {
-		ev := e.pop()
+// pump is the event loop, re-entrant on any stack.  Exactly one pump
+// frame is live at a time across all goroutines; it pops and dispatches
+// events until one of:
+//
+//   - it pops the step event for its own coroutine (self): it simply
+//     returns, resuming self with zero channel operations;
+//   - it pops a step event for another coroutine: it transfers control
+//     directly (one channel send) and parks — or, when dying, returns so
+//     the finished coroutine's goroutine can exit;
+//   - the queue drains or Stop/Fail is observed: a coroutine-held pump
+//     hands control back to Run via mainCh; Run's own pump just returns.
+//
+// self is the coroutine whose stack this pump runs on (nil for Run and
+// for exiting coroutines); dying marks the pump run by a coroutine whose
+// body has returned.
+func (e *Engine) pump(self *Coro, dying bool) {
+	for !e.stopped {
+		var ev *event
+		if e.regSet {
+			e.regSet = false
+			ev = &e.reg
+		} else {
+			var ok bool
+			ev, ok = e.q.popNext()
+			if !ok {
+				break
+			}
+		}
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
 		e.now = ev.at
-		// Recycle before dispatch: ev is off the heap and nothing else
-		// references it, so the callback may schedule into its slot.
-		fn := ev.fn
-		ev.fn = nil
-		e.free = append(e.free, ev)
-		fn()
+		switch ev.kind {
+		case evFunc:
+			ev.obj.(func())()
+		case evStep:
+			c := ev.obj.(*Coro)
+			if !e.coroStarted[c.tid] {
+				e.coroStarted[c.tid] = true
+				e.tracer.ThreadState(e.now, c.tid, trace.StateStarted)
+			}
+			if c == self {
+				return
+			}
+			c.resume <- struct{}{}
+			if dying {
+				return
+			}
+			if self != nil {
+				<-self.resume
+				return
+			}
+			<-e.mainCh
+		case evTimer:
+			t := ev.obj.(*Timer)
+			if !t.stopped {
+				t.fired = true
+				t.fn()
+			}
+		case evHandler:
+			ev.obj.(EventHandler).HandleEvent(e.now, ev.arg)
+		}
 	}
+	if self == nil && !dying {
+		return // Run's own pump: Run finishes the bookkeeping
+	}
+	// A coroutine drained the queue or observed Stop/Fail while holding
+	// control: hand it back to Run, which is parked on mainCh.
+	e.mainCh <- struct{}{}
+	if !dying {
+		// The run is over but this coroutine is suspended mid-Sleep or
+		// mid-Block.  Park; a later Run that pops its step event will
+		// resume it, and otherwise the goroutine is reclaimed when the
+		// process exits (same leak discipline as the deadlock case has
+		// always had).
+		<-self.resume
+	}
+}
+
+// exitPump continues the event loop on the stack of a coroutine whose
+// body has returned.  Its recover wrapper exists because the spawn
+// wrapper's own recover has already fired by this point: a panic out of
+// a dispatched event here would otherwise kill the process instead of
+// failing the run.
+func (e *Engine) exitPump() {
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(fmt.Errorf("sim: event dispatch panicked during coroutine exit: %v", r))
+			e.mainCh <- struct{}{}
+		}
+	}()
+	e.pump(nil, true)
+}
+
+// Run processes events until the queue drains, Stop is called, or a
+// deadlock is detected (live coroutines but no scheduled events).  It
+// returns the final virtual time.
+func (e *Engine) Run() (Time, error) {
+	e.pump(nil, false)
 	if e.failure != nil {
 		return e.now, e.failure
 	}
 	if !e.stopped {
-		if blocked := e.blockedCoros(); len(blocked) > 0 {
-			return e.now, fmt.Errorf("sim: deadlock at cycle %d; blocked coroutines: %v", e.now, blocked)
+		if desc := e.blockedCoros(); desc != "" {
+			return e.now, fmt.Errorf("sim: deadlock at cycle %d; %s", e.now, desc)
 		}
 	}
 	return e.now, nil
 }
 
-func (e *Engine) blockedCoros() []string {
-	var names []string
+// blockedCoros describes every unfinished coroutine for the deadlock
+// report.  It separates coroutines genuinely parked in Block — waiting
+// for a Wake that never came, an application-level deadlock — from
+// coroutines that are runnable but starved: not blocked, yet never
+// stepped again.  The latter indicates a scheduler bug (a runnable
+// coroutine always has a step event queued), so the report says so.
+// Tids are included so entries line up with trace track ids.
+func (e *Engine) blockedCoros() string {
+	var blocked, starved []string
 	for _, c := range e.coros {
-		if !c.done && c.started {
-			names = append(names, c.name)
+		if e.coroDone[c.tid] || !e.coroStarted[c.tid] {
+			continue
+		}
+		desc := fmt.Sprintf("%s(tid %d)", c.name, c.tid)
+		if e.coroBlocked[c.tid] {
+			blocked = append(blocked, desc)
+		} else {
+			starved = append(starved, desc)
 		}
 	}
-	return names
+	switch {
+	case len(blocked) > 0 && len(starved) > 0:
+		return fmt.Sprintf("blocked coroutines: %v; runnable-but-starved coroutines (scheduler bug): %v", blocked, starved)
+	case len(starved) > 0:
+		return fmt.Sprintf("runnable-but-starved coroutines (scheduler bug): %v", starved)
+	case len(blocked) > 0:
+		return fmt.Sprintf("blocked coroutines: %v", blocked)
+	}
+	return ""
 }
 
 // PendingEvents reports how many events are queued (for tests).
-func (e *Engine) PendingEvents() int { return len(e.events) }
-
-// FreeEvents reports how many event objects are pooled for reuse (for
-// tests).
-func (e *Engine) FreeEvents() int { return len(e.free) }
+func (e *Engine) PendingEvents() int {
+	n := e.q.len()
+	if e.regSet {
+		n++
+	}
+	return n
+}

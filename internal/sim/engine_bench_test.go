@@ -24,6 +24,45 @@ func BenchmarkEngineEvents(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSleepFast measures the in-place Sleep fast path: a lone
+// coroutine advancing the clock with no queued events, the common shape
+// of a compute burst between synchronization points.  One compare and an
+// add — no event, no context switch, no allocation.
+func BenchmarkEngineSleepFast(b *testing.B) {
+	e := NewEngine()
+	n := b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Spawn("s", 0, func(c *Coro) {
+		for i := 0; i < n; i++ {
+			c.Sleep(100)
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCoroSwitch measures the slow sleep path with a direct
+// coroutine handoff: two coroutines ping-ponging 1-cycle sleeps, so every
+// sleep files a step event and transfers control with one channel send.
+func BenchmarkCoroSwitch(b *testing.B) {
+	e := NewEngine()
+	n := b.N/2 + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for w := 0; w < 2; w++ {
+		e.Spawn("p", 0, func(c *Coro) {
+			for i := 0; i < n; i++ {
+				c.Sleep(1)
+			}
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkEngineEventsFanout schedules bursts of 64 simultaneous
 // events, exercising heap sift costs alongside pooling.
 func BenchmarkEngineEventsFanout(b *testing.B) {

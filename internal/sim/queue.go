@@ -1,0 +1,236 @@
+package sim
+
+import "math/bits"
+
+// Event kinds.  The queue stores value-typed records instead of heap
+// closures; the kind selects how (obj, arg) are interpreted at dispatch,
+// so the dominant step/timer/message events carry a receiver pointer and
+// an integer instead of a fresh closure per event.
+const (
+	evFunc    uint8 = iota // obj = func()
+	evStep    uint8 = iota // obj = *Coro to resume
+	evTimer   uint8 = iota // obj = *Timer whose fn runs unless stopped
+	evHandler uint8 = iota // obj = EventHandler, receives arg
+)
+
+// event is one scheduled record.  Events with equal timestamps fire in
+// scheduling order (seq), which keeps runs deterministic.  obj holds a
+// pointer-shaped value (func, *Coro, *Timer, or an interface backed by a
+// pointer), so storing it in the `any` never allocates.
+type event struct {
+	at   Time
+	seq  uint64
+	arg  int64
+	obj  any
+	kind uint8
+}
+
+// before orders events by (at, seq) — the engine's total order.
+func (ev *event) before(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
+	}
+	return ev.seq < o.seq
+}
+
+const (
+	// calBuckets is the calendar window width in cycles.  Simulated
+	// latencies (cache misses, packet hops, poll quanta) are a few cycles
+	// to a few thousand, so nearly every insert lands inside the window;
+	// only far-future timers (retransmission timeouts) hit the overflow
+	// heap.  Must be a multiple of 64 for the occupancy bitmap.
+	calBuckets = 4096
+	calWords   = calBuckets / 64
+)
+
+// calQueue is a calendar/bucket priority queue specialised for a
+// discrete-event clock.  Width-1 buckets cover the window
+// [base, base+calBuckets); each bucket holds the events for exactly one
+// timestamp in append order, which IS seq order, so insert and
+// pop-earliest are O(1) plus a bitmap scan.  Events at or beyond the
+// window horizon go to a conventional (at, seq) min-heap and migrate
+// into the calendar when it drains and rebases.
+//
+// Invariants:
+//   - every queued event has at >= the engine clock, and base <= the
+//     engine clock whenever an insert can occur (rebase targets the
+//     current clock on the insert path; the pop path may rebase ahead of
+//     the clock, but the caller advances the clock to the popped event's
+//     timestamp before any new insert).
+//   - overflow only holds events with at >= base+calBuckets.
+//   - no occupied bucket lies below offset hint.
+type calQueue struct {
+	base  Time
+	hint  int // scan floor: no occupied bucket below this offset
+	count int // events currently in buckets
+
+	buckets [][]event
+	heads   []int32 // per-bucket consumed prefix (events already popped)
+	occ     [calWords]uint64
+
+	// pool recycles drained bucket slices so the steady-state event loop
+	// allocates nothing even as the window slides across fresh offsets.
+	pool [][]event
+
+	overflow []event // min-heap by (at, seq): the far-future tier
+}
+
+func (q *calQueue) init() {
+	q.buckets = make([][]event, calBuckets)
+	q.heads = make([]int32, calBuckets)
+	q.hint = calBuckets
+}
+
+func (q *calQueue) len() int { return q.count + len(q.overflow) }
+
+// insert files ev.  now is the engine clock, used as the rebase target
+// when the calendar is empty and ev lies beyond the stale window.
+func (q *calQueue) insert(ev event, now Time) {
+	d := ev.at - q.base
+	if d >= calBuckets {
+		if q.count == 0 {
+			// Window is empty and stale; slide it up to the clock so the
+			// common near-future insert stays in the calendar.
+			q.rebase(now)
+			d = ev.at - q.base
+		}
+		if d >= calBuckets {
+			q.pushOverflow(ev)
+			return
+		}
+	}
+	q.put(int(d), ev)
+}
+
+// put appends ev to bucket i and marks it occupied.
+func (q *calQueue) put(i int, ev event) {
+	b := q.buckets[i]
+	if b == nil {
+		if n := len(q.pool); n > 0 {
+			b = q.pool[n-1]
+			q.pool = q.pool[:n-1]
+		} else {
+			b = make([]event, 0, 4)
+		}
+	}
+	q.buckets[i] = append(b, ev)
+	q.occ[i>>6] |= 1 << uint(i&63)
+	q.count++
+	if i < q.hint {
+		q.hint = i
+	}
+}
+
+// scan returns the offset of the earliest occupied bucket.  Requires
+// count > 0.
+func (q *calQueue) scan() int {
+	i := q.hint
+	w := i >> 6
+	word := q.occ[w] &^ (1<<uint(i&63) - 1)
+	for word == 0 {
+		w++
+		word = q.occ[w]
+	}
+	i = w<<6 | bits.TrailingZeros64(word)
+	q.hint = i
+	return i
+}
+
+// popNext removes the earliest event and returns a pointer to it,
+// migrating from the overflow tier when the calendar is empty.  The
+// pointed-to slot (a bucket element or the scratch register) stays
+// intact until the next insert or pop: callers must consume the fields
+// before mutating the queue.
+func (q *calQueue) popNext() (*event, bool) {
+	for {
+		if q.count > 0 {
+			i := q.scan()
+			b := q.buckets[i]
+			h := q.heads[i]
+			ev := &b[h]
+			h++
+			if int(h) == len(b) {
+				// Bucket drained: recycle its storage and clear the bit.
+				// The popped slot's memory stays readable until a later
+				// insert reuses the pooled slice.
+				q.buckets[i] = nil
+				q.heads[i] = 0
+				q.pool = append(q.pool, b[:0])
+				q.occ[i>>6] &^= 1 << uint(i&63)
+			} else {
+				q.heads[i] = h
+			}
+			q.count--
+			return ev, true
+		}
+		if len(q.overflow) == 0 {
+			return nil, false
+		}
+		// Calendar empty, overflow not: slide the window to the overflow
+		// minimum.  Safe even though this may move base past the engine
+		// clock — the caller advances the clock to the returned event's
+		// timestamp before the next insert.
+		q.rebase(q.overflow[0].at)
+	}
+}
+
+// peekAt reports the earliest queued timestamp without removing anything.
+func (q *calQueue) peekAt() (Time, bool) {
+	if q.count > 0 {
+		return q.base + Time(q.scan()), true
+	}
+	if len(q.overflow) > 0 {
+		return q.overflow[0].at, true
+	}
+	return 0, false
+}
+
+// rebase slides the empty calendar window to start at newBase and pulls
+// every overflow event that now fits into its bucket.  Requires
+// count == 0.
+func (q *calQueue) rebase(newBase Time) {
+	q.base = newBase
+	q.hint = calBuckets
+	horizon := newBase + calBuckets
+	for len(q.overflow) > 0 && q.overflow[0].at < horizon {
+		ev := q.popOverflow()
+		q.put(int(ev.at-q.base), ev)
+	}
+}
+
+func (q *calQueue) pushOverflow(ev event) {
+	q.overflow = append(q.overflow, ev)
+	i := len(q.overflow) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.overflow[i].before(&q.overflow[parent]) {
+			break
+		}
+		q.overflow[i], q.overflow[parent] = q.overflow[parent], q.overflow[i]
+		i = parent
+	}
+}
+
+func (q *calQueue) popOverflow() event {
+	top := q.overflow[0]
+	n := len(q.overflow) - 1
+	q.overflow[0] = q.overflow[n]
+	q.overflow[n] = event{}
+	q.overflow = q.overflow[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.overflow[l].before(&q.overflow[min]) {
+			min = l
+		}
+		if r < n && q.overflow[r].before(&q.overflow[min]) {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		q.overflow[i], q.overflow[min] = q.overflow[min], q.overflow[i]
+		i = min
+	}
+}

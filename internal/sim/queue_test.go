@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestEqualTimestampSeqOrder pins the determinism contract at the queue
+// level: events sharing a timestamp fire in scheduling order, no matter
+// how they are interleaved with other timestamps, how wide the burst is,
+// or whether they pass through the register, a calendar bucket, or the
+// overflow tier.
+func TestEqualTimestampSeqOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var fired []rec
+		want := make([]rec, len(raw))
+		for i, r := range raw {
+			// Cluster timestamps hard so most share a bucket, and push a
+			// slice of them beyond the calendar horizon.
+			at := Time(r % 7)
+			if r%11 == 0 {
+				at += calBuckets * 3
+			}
+			i := i
+			e.At(at, func() { fired = append(fired, rec{e.Now(), i}) })
+			want[i] = rec{at, i}
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFarFutureOverflowTier drives events through the overflow heap and
+// its migration into the calendar: timestamps far beyond the window must
+// still fire in (at, seq) order, including ties that straddle a rebase.
+func TestFarFutureOverflowTier(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(42))
+	var fired []Time
+	n := 500
+	ats := make([]Time, n)
+	for i := 0; i < n; i++ {
+		// Spread across ~40 calendar windows with heavy duplication.
+		ats[i] = Time(rng.Intn(40)) * calBuckets * Time(rng.Intn(3)+1)
+		e.At(ats[i], func() { fired = append(fired, e.Now()) })
+	}
+	if got := e.PendingEvents(); got != n {
+		t.Fatalf("PendingEvents() = %d, want %d", got, n)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(ats, func(a, b int) bool { return ats[a] < ats[b] })
+	if len(fired) != n {
+		t.Fatalf("fired %d events, want %d", len(fired), n)
+	}
+	for i := range ats {
+		if fired[i] != ats[i] {
+			t.Fatalf("firing %d at cycle %d, want %d", i, fired[i], ats[i])
+		}
+	}
+}
+
+// TestOverflowRebaseDuringRun schedules from inside callbacks so the
+// calendar window has to slide repeatedly mid-run, with near and far
+// events mixed at every step.
+func TestOverflowRebaseDuringRun(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	hops := 0
+	var chain func()
+	chain = func() {
+		fired = append(fired, e.Now())
+		hops++
+		if hops < 50 {
+			e.After(3, func() { fired = append(fired, e.Now()) })      // near
+			e.After(calBuckets+7, chain)                               // beyond horizon
+			e.After(calBuckets*5, func() { fired = append(fired, e.Now()) }) // deep overflow
+		}
+	}
+	e.At(0, chain)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(fired, func(a, b int) bool { return fired[a] < fired[b] }) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != 1+49*3 {
+		t.Fatalf("fired %d events, want %d", len(fired), 1+49*3)
+	}
+}
+
+// TestSameTimeSchedulingFromCallback pins the subtle recycling-era
+// ordering case: a callback that schedules more events at the current
+// timestamp must see them fire after everything already queued at that
+// timestamp, in scheduling order.
+func TestSameTimeSchedulingFromCallback(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(5, func() {
+		order = append(order, 0)
+		e.At(5, func() { order = append(order, 2) })
+		e.After(0, func() { order = append(order, 3) })
+	})
+	e.At(5, func() { order = append(order, 1) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (same-time events fire in scheduling order)", order, want)
+		}
+	}
+}
+
+// TestRunTwice checks that a drained engine accepts a second batch of
+// events and a second Run: the register, calendar, and overflow tiers
+// must all survive a drain.
+func TestRunTwice(t *testing.T) {
+	e := NewEngine()
+	const n = 64
+	count := 0
+	for i := 0; i < n; i++ {
+		e.At(Time(i%7), func() { count++ })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("fired %d events, want %d", count, n)
+	}
+	if got := e.PendingEvents(); got != 0 {
+		t.Fatalf("PendingEvents() = %d after drain, want 0", got)
+	}
+	for i := 0; i < n; i++ {
+		e.At(e.Now()+Time(i), func() { count++ })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2*n {
+		t.Fatalf("fired %d events total, want %d", count, 2*n)
+	}
+}
+
+// TestCalQueueRandomizedOrder hammers the raw queue with random
+// insert/pop interleavings and checks the popped sequence is exactly the
+// (at, seq) sort of what went in.
+func TestCalQueueRandomizedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var q calQueue
+		q.init()
+		now := Time(0)
+		var seq uint64
+		var expect []event
+		var got []event
+		for op := 0; op < 400; op++ {
+			if rng.Intn(3) > 0 || q.len() == 0 {
+				// Insert at now + skewed offset: mostly near, sometimes
+				// far beyond the horizon.
+				var d Time
+				switch rng.Intn(10) {
+				case 0:
+					d = Time(rng.Intn(20)) * calBuckets
+				case 1, 2:
+					d = Time(rng.Intn(calBuckets * 2))
+				default:
+					d = Time(rng.Intn(16))
+				}
+				seq++
+				ev := event{at: now + d, seq: seq}
+				expect = append(expect, ev)
+				q.insert(ev, now)
+			} else {
+				ev, ok := q.popNext()
+				if !ok {
+					t.Fatalf("trial %d: popNext empty with len %d", trial, q.len())
+				}
+				if ev.at < now {
+					t.Fatalf("trial %d: time went backwards: %d < %d", trial, ev.at, now)
+				}
+				now = ev.at
+				got = append(got, *ev)
+			}
+		}
+		for {
+			ev, ok := q.popNext()
+			if !ok {
+				break
+			}
+			now = ev.at
+			got = append(got, *ev)
+		}
+		sort.Slice(expect, func(a, b int) bool { return expect[a].before(&expect[b]) })
+		if len(got) != len(expect) {
+			t.Fatalf("trial %d: popped %d events, inserted %d", trial, len(got), len(expect))
+		}
+		for i := range expect {
+			if got[i].at != expect[i].at || got[i].seq != expect[i].seq {
+				t.Fatalf("trial %d: pop %d = (%d,%d), want (%d,%d)",
+					trial, i, got[i].at, got[i].seq, expect[i].at, expect[i].seq)
+			}
+		}
+	}
+}

@@ -1,11 +1,16 @@
 package sim
 
+import "fmt"
+
 // Timer is a cancellable one-shot timer, the primitive the reliable
-// transport's retransmission timeouts are built on.  The engine's event
-// heap has no removal operation (events are pooled and recycled), so a
-// stopped timer leaves its event in place and the event's thunk checks
-// the stopped flag when it fires — O(1) cancellation, no heap surgery.
+// transport's retransmission timeouts are built on.  The event queue has
+// no removal operation, so a stopped timer leaves its event record in
+// place and dispatch checks the stopped flag when it fires — O(1)
+// cancellation, no queue surgery.  The callback lives on the Timer
+// itself (an evTimer event carries only the *Timer), so scheduling one
+// allocates the Timer and nothing else.
 type Timer struct {
+	fn      func()
 	stopped bool
 	fired   bool
 }
@@ -13,14 +18,11 @@ type Timer struct {
 // NewTimer schedules fn to run d cycles from now unless Stop is called
 // first.
 func (e *Engine) NewTimer(d Time, fn func()) *Timer {
-	t := &Timer{}
-	e.After(d, func() {
-		if t.stopped {
-			return
-		}
-		t.fired = true
-		fn()
-	})
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	t := &Timer{fn: fn}
+	e.schedule(e.now+d, evTimer, t, 0)
 	return t
 }
 
