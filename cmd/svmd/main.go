@@ -10,6 +10,14 @@
 //	curl -s localhost:7099/healthz
 //	curl -s -X POST 'localhost:7099/runs?wait=1' -d '{"spec":{...},"speedup":true}'
 //	curl -N localhost:7099/events
+//	curl -s localhost:7099/metrics                 # Prometheus exposition
+//	curl -s 'localhost:7099/metrics?format=json'   # JSON snapshot
+//
+// Observability: structured leveled logs go to stderr (-log-level,
+// -log-json), every job's records carry its ID from enqueue to store
+// write, /metrics serves Prometheus text by default, /debug/pprof/* is
+// mounted, and -slo-ms arms a latency objective whose breaches (and any
+// job failure) dump the flight recorder into -debug-dir.
 //
 // SIGTERM/SIGINT drain gracefully: new submissions get 503, queued and
 // running jobs finish (bounded by -drain-timeout, after which queued
@@ -22,13 +30,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"swsm/internal/comm"
+	"swsm/internal/obs"
 	"swsm/internal/server"
 )
 
@@ -40,21 +49,40 @@ func main() {
 		storeDir = flag.String("store", defaultStoreDir(), "persistent result store directory (empty = no persistence)")
 		storeMax = flag.Int64("store-max", 256<<20, "result store size bound in bytes")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs before cancelling queued work")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON lines instead of human-readable text")
+		sloMS    = flag.Int64("slo-ms", 0, "per-job latency objective in milliseconds; breaches dump the flight recorder (0 = disabled)")
+		debugDir = flag.String("debug-dir", "", "directory for flight-recorder dumps on job failure or SLO breach (empty = in-memory ring only)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svmd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
+	// The simulated transport logs terminal delivery failures through the
+	// same process-wide logger (the cold path right before a run fails).
+	comm.SetLogger(logger)
 
 	srv, err := server.New(server.Config{
 		Parallel:      *parallel,
 		QueueDepth:    *queue,
 		StoreDir:      *storeDir,
 		StoreMaxBytes: *storeMax,
+		Logger:        logger,
+		SLO:           time.Duration(*sloMS) * time.Millisecond,
+		DebugDir:      *debugDir,
 	})
 	if err != nil {
-		log.Fatalf("svmd: %v", err)
+		logger.Error("startup failed", "error", err)
+		os.Exit(1)
 	}
 	st := srv.StoreStats()
-	log.Printf("svmd: listening on %s (store %q: %d entries, %d bytes warm)",
-		*addr, *storeDir, st.Entries, st.Bytes)
+	logger.Info("listening",
+		"addr", *addr, "store", *storeDir,
+		"warmEntries", st.Entries, "warmBytes", st.Bytes)
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -64,24 +92,27 @@ func main() {
 	defer stop()
 	select {
 	case <-ctx.Done():
-		log.Printf("svmd: draining (timeout %s)", *drainTO)
+		logger.Info("draining", "timeout", *drainTO)
 	case err := <-errc:
-		log.Fatalf("svmd: %v", err)
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	}
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		log.Printf("svmd: drain: %v (queued work cancelled)", err)
+		logger.Warn("drain incomplete, queued work cancelled", "error", err)
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("svmd: shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
 	}
 	m := srv.Metrics()
-	log.Printf("svmd: stopped (%d simulations run, store hit ratio %.2f, %d evictions)",
-		m.Runner.Runs, m.StoreHitRatio, m.Store.Evictions)
+	logger.Info("stopped",
+		"simulations", m.Runner.Runs,
+		"storeHitRatio", m.StoreHitRatio,
+		"evictions", m.Store.Evictions)
 }
 
 // defaultStoreDir places the store under the user cache dir, falling

@@ -51,6 +51,7 @@ func main() {
 		traceSample = flag.Int64("trace-sample", 0, "sample the breakdown every N cycles (with tracing)")
 		timelineOut = flag.String("timeline", "", "write the sampled breakdown timeline CSV to this file")
 		hotK        = flag.Int("hot", 0, "print the top K hot pages/locks/barriers (requires tracing)")
+		stitchedOut = flag.String("stitched-trace", "", "with -server: save the job's stitched service+sim Perfetto timeline to this file")
 
 		check      = flag.Bool("check", false, "run the consistency conformance checker over the run")
 		litmusN    = flag.Int("litmus", 0, "run a litmus ladder of N seeds across hlrc/lrc/sc instead of -app")
@@ -138,13 +139,16 @@ func main() {
 
 	if *server != "" {
 		if tracing {
-			fatalf("trace capture is an in-process artifact; drop -server to trace")
+			fatalf("trace capture is an in-process artifact; drop -server to trace (or use -stitched-trace)")
 		}
 		if *perProc {
 			fatalf("-perproc needs in-process statistics; drop -server")
 		}
-		runRemote(*server, spec, *jsonOut)
+		runRemote(*server, spec, *jsonOut, *stitchedOut)
 		return
+	}
+	if *stitchedOut != "" {
+		fatalf("-stitched-trace fetches a daemon-side timeline; it needs -server (use -trace locally)")
 	}
 
 	// The session runs the spec and its sequential baseline concurrently
@@ -258,15 +262,26 @@ func runLitmus(parallel int, baseSeed uint64, n, procs int, scale swsm.Scale, fs
 // runRemote executes the spec on an svmd daemon: the service resolves
 // it through its persistent store and memoized scheduler (always with
 // the sequential-baseline speedup) and returns the same RunRow the
-// local -json path prints.
-func runRemote(baseURL string, spec swsm.RunSpec, jsonOut bool) {
+// local -json path prints.  With stitchedPath the job's stitched
+// service+sim Perfetto timeline is fetched afterwards.
+func runRemote(baseURL string, spec swsm.RunSpec, jsonOut bool, stitchedPath string) {
 	start := time.Now()
-	st, err := client.New(baseURL).Run(context.Background(), api.RunRequest{Spec: spec, Speedup: true})
+	c := client.New(baseURL)
+	st, err := c.Run(context.Background(), api.RunRequest{Spec: spec, Speedup: true})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if st.State != api.StateDone || st.Row == nil {
 		fatalf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	if stitchedPath != "" {
+		if err := writeFile(stitchedPath, func(w *os.File) error {
+			return c.Trace(context.Background(), st.ID, w)
+		}); err != nil {
+			fatalf("stitched trace: %v", err)
+		}
+		// Keep stdout pure JSON under -json; notices go to stderr.
+		fmt.Fprintf(os.Stderr, "  stitched-trace: %s (job %s; load in Perfetto)\n", stitchedPath, st.ID)
 	}
 	row := *st.Row
 	if jsonOut {

@@ -1,0 +1,34 @@
+package comm
+
+import (
+	"log/slog"
+	"sync/atomic"
+)
+
+// transportLog is the package's service-level logger.  The simulated
+// network must stay deterministic and allocation-free on its hot paths,
+// so logging is confined to terminal transport failures — the one
+// comm-layer event a service operator must see (a job is about to fail
+// with an "undeliverable" error).  The logger is process-global because
+// a daemon hosts many concurrent simulations and the failure log is a
+// service concern, not a per-run artifact.
+var transportLog atomic.Pointer[slog.Logger]
+
+// SetLogger installs (or, with nil, removes) the structured logger that
+// receives transport-exhaustion failures from every ReliableNetwork in
+// the process.  Simulated results are unaffected: the log call sits on
+// the already-failing cold path.
+func SetLogger(l *slog.Logger) {
+	transportLog.Store(l)
+}
+
+// logTransportFailure reports a message that exhausted its retransmit
+// budget (immediately before the engine fails the run).
+func logTransportFailure(src, dst int, kind int, seq int64, attempts int) {
+	l := transportLog.Load()
+	if l == nil {
+		return
+	}
+	l.Error("comm: message undeliverable, failing run",
+		"src", src, "dst", dst, "kind", kind, "seq", seq, "attempts", attempts)
+}

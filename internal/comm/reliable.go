@@ -182,6 +182,7 @@ func (rn *ReliableNetwork) transmit(sc *sendChan, pm *pendingMsg) {
 		return
 	}
 	if pm.attempts >= rn.p.MaxAttempts {
+		logTransportFailure(src, dst, pm.m.Kind, pm.seq, pm.attempts)
 		rn.eng.Fail(fmt.Errorf(
 			"comm: message %d->%d kind %d seq %d undeliverable after %d attempts",
 			src, dst, pm.m.Kind, pm.seq, pm.attempts))

@@ -5,13 +5,17 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
+	"time"
 
 	"swsm/internal/apps"
 	"swsm/internal/comm"
 	"swsm/internal/consistency"
 	"swsm/internal/core"
 	"swsm/internal/fault"
+	"swsm/internal/obs"
 	"swsm/internal/proto"
 	"swsm/internal/proto/hlrc"
 	"swsm/internal/proto/ideal"
@@ -115,11 +119,47 @@ type Result struct {
 // Run executes a spec: build machine + protocol, set up the app, run all
 // threads, verify the result.
 func Run(spec RunSpec) (*Result, error) {
-	inst, err := apps.New(spec.App, spec.Scale)
-	if err != nil {
-		return nil, err
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with an observability context: if ctx carries a
+// logger (obs.WithLogger) the run logs its start and outcome at debug
+// level, tagged with the job ID the service attached at enqueue
+// (obs.WithJob) — the leg of the per-job log trail that crosses from
+// the scheduler into the simulation.  The simulation itself never
+// consults ctx: results stay byte-identical with or without
+// instrumentation, and an unannotated context costs two nil checks.
+func RunContext(ctx context.Context, spec RunSpec) (*Result, error) {
+	l := obs.Log(ctx)
+	var start time.Time
+	if l != nil {
+		start = time.Now()
+		l.LogAttrs(ctx, slog.LevelDebug, "simulate",
+			slog.String("app", spec.App),
+			slog.String("protocol", string(spec.Protocol)),
+			slog.Int("procs", spec.Procs))
 	}
-	return RunInstance(spec, inst, nil)
+	inst, err := apps.New(spec.App, spec.Scale)
+	var res *Result
+	if err == nil {
+		res, err = RunInstance(spec, inst, nil)
+	}
+	if l != nil {
+		if err != nil {
+			l.LogAttrs(ctx, slog.LevelWarn, "simulate failed",
+				slog.String("app", spec.App),
+				slog.String("protocol", string(spec.Protocol)),
+				slog.Duration("wall", time.Since(start)),
+				slog.String("error", err.Error()))
+		} else {
+			l.LogAttrs(ctx, slog.LevelDebug, "simulate done",
+				slog.String("app", spec.App),
+				slog.String("protocol", string(spec.Protocol)),
+				slog.Int64("cycles", res.Cycles),
+				slog.Duration("wall", time.Since(start)))
+		}
+	}
+	return res, err
 }
 
 // RunInstance executes a spec against an explicit application instance,

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats counts cache traffic in a pool.  The JSON tags are the
@@ -42,21 +43,40 @@ type call[V any] struct {
 	err  error
 }
 
+// Observer receives wall-clock scheduling telemetry from a pool: how
+// long each executed call waited for a worker slot and how long it ran.
+// Callbacks fire only for actual executions (cache hits and
+// single-flight waits are invisible — they cost no slot) and may be
+// invoked concurrently.  A nil observer is the disabled path: the pool
+// then takes no clock readings at all.
+type Observer interface {
+	// RunStart fires when a call acquires a worker slot, with the time it
+	// spent queued behind the slot semaphore.
+	RunStart(queueWait time.Duration)
+	// RunEnd fires when the call's function returns.
+	RunEnd(run time.Duration, err error)
+}
+
 // Pool memoizes and schedules executions of fn over a bounded number of
-// concurrent workers.  All methods are safe for concurrent use.
+// concurrent workers.  The executing call receives the context of the
+// first caller that requested its key (observability annotations such
+// as the job ID ride along; cancellation of a queued call is handled by
+// DoCtx itself).  All methods are safe for concurrent use.
 type Pool[K comparable, V any] struct {
-	fn  func(K) (V, error)
+	fn  func(context.Context, K) (V, error)
 	sem chan struct{}
 
 	mu    sync.Mutex
 	calls map[K]*call[V]
+
+	obs Observer
 
 	runs, hits, waits atomic.Int64
 }
 
 // New creates a pool running fn on at most parallel workers
 // (parallel <= 0 means runtime.GOMAXPROCS(0)).
-func New[K comparable, V any](parallel int, fn func(K) (V, error)) *Pool[K, V] {
+func New[K comparable, V any](parallel int, fn func(context.Context, K) (V, error)) *Pool[K, V] {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -66,6 +86,11 @@ func New[K comparable, V any](parallel int, fn func(K) (V, error)) *Pool[K, V] {
 		calls: make(map[K]*call[V]),
 	}
 }
+
+// SetObserver installs the pool's telemetry observer.  Call before the
+// pool starts executing; the observer is read without synchronization
+// afterwards.
+func (p *Pool[K, V]) SetObserver(o Observer) { p.obs = o }
 
 // Parallelism reports the worker bound.
 func (p *Pool[K, V]) Parallelism() int { return cap(p.sem) }
@@ -112,6 +137,10 @@ func (p *Pool[K, V]) DoCtx(ctx context.Context, k K) (V, error) {
 	p.calls[k] = c
 	p.mu.Unlock()
 
+	var queuedAt time.Time
+	if p.obs != nil {
+		queuedAt = time.Now()
+	}
 	select {
 	case p.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -126,6 +155,11 @@ func (p *Pool[K, V]) DoCtx(ctx context.Context, k K) (V, error) {
 		return zero, c.err
 	}
 	p.runs.Add(1)
+	var startedAt time.Time
+	if p.obs != nil {
+		startedAt = time.Now()
+		p.obs.RunStart(startedAt.Sub(queuedAt))
+	}
 	defer func() {
 		<-p.sem
 		// Close only after val/err are final so waiters never observe a
@@ -142,8 +176,11 @@ func (p *Pool[K, V]) DoCtx(ctx context.Context, k K) (V, error) {
 				c.err = fmt.Errorf("runner: panic executing key %v: %v", k, r)
 			}
 		}()
-		c.val, c.err = p.fn(k)
+		c.val, c.err = p.fn(ctx, k)
 	}()
+	if p.obs != nil {
+		p.obs.RunEnd(time.Since(startedAt), c.err)
+	}
 	return c.val, c.err
 }
 

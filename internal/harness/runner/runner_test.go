@@ -12,7 +12,7 @@ import (
 
 func TestMemoHitMiss(t *testing.T) {
 	var execs atomic.Int64
-	p := New(2, func(k int) (int, error) {
+	p := New(2, func(_ context.Context, k int) (int, error) {
 		execs.Add(1)
 		return k * 10, nil
 	})
@@ -34,7 +34,7 @@ func TestMemoHitMiss(t *testing.T) {
 func TestSingleFlight(t *testing.T) {
 	release := make(chan struct{})
 	var execs atomic.Int64
-	p := New(4, func(k string) (string, error) {
+	p := New(4, func(_ context.Context, k string) (string, error) {
 		execs.Add(1)
 		<-release
 		return k + "!", nil
@@ -72,7 +72,7 @@ func TestSingleFlight(t *testing.T) {
 func TestBoundedConcurrency(t *testing.T) {
 	const bound = 2
 	var cur, peak atomic.Int64
-	p := New(bound, func(k int) (int, error) {
+	p := New(bound, func(_ context.Context, k int) (int, error) {
 		n := cur.Add(1)
 		for {
 			old := peak.Load()
@@ -100,7 +100,7 @@ func TestBoundedConcurrency(t *testing.T) {
 }
 
 func TestDoAllOrder(t *testing.T) {
-	p := New(4, func(k int) (int, error) { return k * k, nil })
+	p := New(4, func(_ context.Context, k int) (int, error) { return k * k, nil })
 	keys := []int{5, 3, 9, 1, 3, 5}
 	out, err := p.DoAll(keys)
 	if err != nil {
@@ -120,7 +120,7 @@ func TestDoAllOrder(t *testing.T) {
 func TestErrorMemoized(t *testing.T) {
 	boom := errors.New("boom")
 	var execs atomic.Int64
-	p := New(1, func(k int) (int, error) {
+	p := New(1, func(_ context.Context, k int) (int, error) {
 		execs.Add(1)
 		return 0, boom
 	})
@@ -136,7 +136,7 @@ func TestErrorMemoized(t *testing.T) {
 }
 
 func TestDefaultParallelism(t *testing.T) {
-	p := New(0, func(k int) (int, error) { return k, nil })
+	p := New(0, func(_ context.Context, k int) (int, error) { return k, nil })
 	if p.Parallelism() < 1 {
 		t.Fatalf("Parallelism() = %d, want >= 1", p.Parallelism())
 	}
@@ -144,7 +144,7 @@ func TestDefaultParallelism(t *testing.T) {
 
 func TestDoCtxPreCancelled(t *testing.T) {
 	var execs atomic.Int64
-	p := New(1, func(k int) (int, error) { execs.Add(1); return k, nil })
+	p := New(1, func(_ context.Context, k int) (int, error) { execs.Add(1); return k, nil })
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := p.DoCtx(ctx, 1); !errors.Is(err, context.Canceled) {
@@ -161,7 +161,7 @@ func TestDoCtxPreCancelled(t *testing.T) {
 func TestDoCtxCancelQueued(t *testing.T) {
 	release := make(chan struct{})
 	var execs atomic.Int64
-	p := New(1, func(k int) (int, error) {
+	p := New(1, func(_ context.Context, k int) (int, error) {
 		execs.Add(1)
 		if k == 0 {
 			<-release
@@ -216,7 +216,7 @@ func TestDoCtxCancelQueued(t *testing.T) {
 func TestDoCtxCancelWait(t *testing.T) {
 	release := make(chan struct{})
 	var execs atomic.Int64
-	p := New(2, func(k int) (int, error) {
+	p := New(2, func(_ context.Context, k int) (int, error) {
 		execs.Add(1)
 		<-release
 		return k + 1, nil
@@ -257,7 +257,7 @@ func TestDoAllCtxCancelled(t *testing.T) {
 	release := make(chan struct{})
 	// Every key blocks until release, so with one worker exactly one key
 	// runs and the rest stay queued on the semaphore until cancelled.
-	p := New(1, func(k int) (int, error) {
+	p := New(1, func(_ context.Context, k int) (int, error) {
 		<-release
 		return k, nil
 	})
@@ -294,7 +294,7 @@ func TestDoAllCtxCancelled(t *testing.T) {
 // result, and the process survives (long-lived daemons depend on this).
 func TestPanicMemoizedAsError(t *testing.T) {
 	var execs atomic.Int64
-	p := New(2, func(k int) (int, error) {
+	p := New(2, func(_ context.Context, k int) (int, error) {
 		execs.Add(1)
 		panic("impossible geometry")
 	})

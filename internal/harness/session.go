@@ -28,11 +28,16 @@ type Session struct {
 // NewSession creates a session running at most parallel simulations
 // concurrently (parallel <= 0 means runtime.GOMAXPROCS(0)).
 func NewSession(parallel int) *Session {
-	return &Session{pool: runner.New(parallel, Run)}
+	return &Session{pool: runner.New(parallel, RunContext)}
 }
 
 // Parallelism reports the session's worker bound.
 func (s *Session) Parallelism() int { return s.pool.Parallelism() }
+
+// SetObserver installs wall-clock scheduling telemetry on the session's
+// pool (slot queue wait and run duration per executed simulation); see
+// runner.Observer.  Call before the session starts running.
+func (s *Session) SetObserver(o runner.Observer) { s.pool.SetObserver(o) }
 
 // Stats reports the session's cache counters (runs executed, cache
 // hits, single-flight waits).

@@ -1,0 +1,119 @@
+// Package obs is the service-level observability plane: the wall-clock
+// counterpart of the simulator's deterministic trace layer
+// (internal/trace).  Where trace answers "where did the simulated
+// cycles go", obs answers "where did the daemon's wall-clock time go"
+// — and it does so with the same discipline the sim layer established:
+//
+//   - Zero cost when disabled.  Every hook is nil-receiver safe, the
+//     context accessors allocate nothing, and nothing here is ever
+//     consulted from inside a simulation's deterministic hot path.
+//   - No dependencies.  The Prometheus text exposition, the slog
+//     plumbing and the flight recorder use only the standard library.
+//   - Determinism preserved.  obs instruments the service *around* the
+//     simulator; instrumented and uninstrumented runs produce
+//     byte-identical result rows (pinned by test in internal/server).
+//
+// The package provides four tools:
+//
+//   - metrics.go: a Prometheus text-exposition registry — counters,
+//     gauges and latency histograms rendered in stable order.
+//   - obs.go (this file): structured leveled logging via log/slog with
+//     a per-job ID carried through context from enqueue to store write.
+//   - span.go: a wall-clock span model for the job lifecycle whose
+//     spans export into the existing Chrome/Perfetto sink, stitched
+//     above the sim-level trace of the same job.
+//   - flight.go: a service flight recorder — a bounded ring of recent
+//     lifecycle records dumped (with a CPU profile) when a job fails or
+//     breaches its latency SLO.
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// ctxKey namespaces the package's context values.
+type ctxKey int
+
+const (
+	jobKey ctxKey = iota
+	loggerKey
+)
+
+// WithJob returns ctx annotated with a job ID.  The ID is generated at
+// enqueue by the scheduler and rides the context through pool slot,
+// simulation and store write, so every log record on that path carries
+// the job it serves.
+func WithJob(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobKey, id)
+}
+
+// Job returns the job ID carried by ctx ("" when none).  Safe and
+// allocation-free on an unannotated context.
+func Job(ctx context.Context) string {
+	if id, ok := ctx.Value(jobKey).(string); ok {
+		return id
+	}
+	return ""
+}
+
+// WithLogger returns ctx carrying a logger for the layers below the
+// scheduler (pool, harness, store) to log through.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Log returns the logger carried by ctx, or nil.  Callers must
+// nil-check: a nil result is the disabled path and costs only the
+// context lookup.
+func Log(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok {
+		return l
+	}
+	return nil
+}
+
+// ParseLevel parses a -log-level flag value (debug, info, warn, error;
+// case-insensitive, slog's offset syntax like "info+2" also works).
+func ParseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	err := l.UnmarshalText([]byte(s))
+	return l, err
+}
+
+// NewLogger builds the service logger: human-readable text or
+// machine-ingestible JSON, leveled, with the context job ID
+// automatically attached to every record logged through a
+// job-annotated context.
+func NewLogger(w io.Writer, level slog.Leveler, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(jobHandler{h})
+}
+
+// jobHandler decorates records with the job ID carried by the logging
+// context, so call sites never thread the ID by hand.
+type jobHandler struct {
+	slog.Handler
+}
+
+func (h jobHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := Job(ctx); id != "" {
+		r.AddAttrs(slog.String("job", id))
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+func (h jobHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return jobHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h jobHandler) WithGroup(name string) slog.Handler {
+	return jobHandler{h.Handler.WithGroup(name)}
+}

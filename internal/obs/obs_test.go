@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"swsm/internal/trace"
+)
+
+var zeroTime time.Time
+
+func TestContextJobAndLogger(t *testing.T) {
+	ctx := context.Background()
+	if Job(ctx) != "" || Log(ctx) != nil {
+		t.Fatal("bare context reported a job or logger")
+	}
+	l := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	ctx = WithLogger(WithJob(ctx, "j42"), l)
+	if Job(ctx) != "j42" {
+		t.Errorf("Job = %q, want j42", Job(ctx))
+	}
+	if Log(ctx) != l {
+		t.Error("Log did not round-trip the logger")
+	}
+}
+
+func TestContextAccessAllocs(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() { Job(ctx); Log(ctx) }); n != 0 {
+		t.Errorf("Job/Log on a bare context allocate %v times per call", n)
+	}
+}
+
+// TestLoggerJobInjection verifies the slog handler stamps every record
+// produced under a job context with the job ID — the property that
+// makes one grep reconstruct a job's full trail across scheduler,
+// harness, store and transport.
+func TestLoggerJobInjection(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelDebug, true)
+	ctx := WithJob(context.Background(), "j7")
+	l.InfoContext(ctx, "hello", "k", "v")
+	l.Info("no job")
+
+	dec := json.NewDecoder(&buf)
+	var first, second map[string]any
+	if err := dec.Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first["job"] != "j7" || first["k"] != "v" {
+		t.Errorf("job line missing injected attrs: %v", first)
+	}
+	if _, ok := second["job"]; ok {
+		t.Errorf("jobless line gained a job attr: %v", second)
+	}
+}
+
+func TestLoggerLevelsAndGroups(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo, false)
+	l.Debug("suppressed")
+	l.WithGroup("g").With("a", 1).InfoContext(WithJob(context.Background(), "j1"), "msg")
+	out := buf.String()
+	if strings.Contains(out, "suppressed") {
+		t.Error("debug line not filtered at info level")
+	}
+	if !strings.Contains(out, "job=j1") {
+		t.Errorf("derived (WithGroup/WithAttrs) handler lost job injection: %s", out)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("chatty"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestSpansSnapshot(t *testing.T) {
+	sp := NewSpans()
+	t0 := time.Unix(0, 0)
+	sp.Add(SpanQueue, t0, t0.Add(time.Millisecond))
+	sp.Time(SpanSim, func() {})
+	got := sp.Snapshot()
+	if len(got) != 2 || got[0].Name != SpanQueue || got[1].Name != SpanSim {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	// Snapshot is a copy: mutating it must not affect the recorder.
+	got[0].Name = "clobbered"
+	if sp.Snapshot()[0].Name != SpanQueue {
+		t.Error("Snapshot aliased internal storage")
+	}
+}
+
+// TestWriteStitchedChrome checks the stitched export end to end: valid
+// Chrome trace JSON, service spans on process 0, sim events on process
+// 1, and the sim's cycle 0 anchored at the wall-clock start of the
+// service's sim span.
+func TestWriteStitchedChrome(t *testing.T) {
+	base := time.Unix(100, 0)
+	spans := []Span{
+		{Name: SpanQueue, Start: base, End: base.Add(2 * time.Millisecond)},
+		{Name: SpanSim, Start: base.Add(2 * time.Millisecond), End: base.Add(10 * time.Millisecond)},
+		{Name: SpanRespond, Start: base.Add(10 * time.Millisecond), End: base.Add(11 * time.Millisecond)},
+	}
+	sim := &trace.Data{
+		Procs: 2,
+		Events: []trace.Event{
+			{At: 0, Dur: 50, Proc: 0, Kind: trace.KBarrierWait, Arg: 1}, // "barrier 1"
+			{At: 60, Proc: 1, Kind: trace.KInvalidate, Arg: 3},          // instant "inval u3"
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteStitchedChrome(&buf, "j9", spans, "sim fft", sim); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Ts   int64  `json:"ts"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("stitched output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	find := func(name string, pid int) (int64, bool) {
+		for _, e := range doc.TraceEvents {
+			if e.Name == name && e.Pid == pid && e.Ph == "X" {
+				return e.Ts, true
+			}
+		}
+		return 0, false
+	}
+	simSpanTs, ok := find(SpanSim, 0)
+	if !ok {
+		t.Fatalf("no service sim span in %s", buf.String())
+	}
+	if simSpanTs != 2000 { // 2 ms after the earliest span start, in µs
+		t.Errorf("sim span ts = %d µs, want 2000", simSpanTs)
+	}
+	barrierTs, ok := find("barrier 1", 1)
+	if !ok {
+		t.Fatalf("no sim barrier event in %s", buf.String())
+	}
+	// Cycle 0 anchors at the sim span's wall start: the stitched virtual
+	// timeline begins exactly where the service says simulation began.
+	if barrierTs != simSpanTs {
+		t.Errorf("sim cycle 0 at ts %d, want anchored at %d", barrierTs, simSpanTs)
+	}
+}
+
+func TestFlightRingWrap(t *testing.T) {
+	f := NewFlight(4, "", 0)
+	for i := 0; i < 7; i++ {
+		f.Record("j", string(rune('a'+i)), "")
+	}
+	got := f.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot kept %d records, want 4", len(got))
+	}
+	for i, want := range []string{"d", "e", "f", "g"} {
+		if got[i].State != want {
+			t.Errorf("record %d = %q, want %q (oldest first)", i, got[i].State, want)
+		}
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlight(8, dir, 0) // no CPU profile: keep the test fast
+	f.Record("j1", "queued", "fft/hlrc")
+	f.Record("j1", "failed", "boom")
+	path, err := f.Dump("job failed", "j1")
+	if err != nil || path == "" {
+		t.Fatalf("Dump = %q, %v", path, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Reason  string         `json:"reason"`
+		Job     string         `json:"job"`
+		Records []FlightRecord `json:"records"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Reason != "job failed" || doc.Job != "j1" || len(doc.Records) != 2 {
+		t.Errorf("dump doc = %+v", doc)
+	}
+	if doc.Records[1].Msg != "boom" {
+		t.Errorf("dump lost the failure message: %+v", doc.Records[1])
+	}
+	if f.Dumps() != 1 {
+		t.Errorf("Dumps = %d, want 1", f.Dumps())
+	}
+	if filepath.Dir(path) != dir {
+		t.Errorf("dump landed in %s, want %s", filepath.Dir(path), dir)
+	}
+}
+
+func TestFlightDumpDisabled(t *testing.T) {
+	var nilF *Flight
+	if path, err := nilF.Dump("x", "j"); path != "" || err != nil {
+		t.Errorf("nil Flight Dump = %q, %v", path, err)
+	}
+	f := NewFlight(4, "", 0) // no dir: ring-only mode
+	if path, err := f.Dump("x", "j"); path != "" || err != nil {
+		t.Errorf("dir-less Flight Dump = %q, %v", path, err)
+	}
+}
+
+func TestReadProcess(t *testing.T) {
+	start := time.Now().Add(-2 * time.Second)
+	ps := ReadProcess(start)
+	if ps.UptimeSec < 1.5 || ps.UptimeSec > 60 {
+		t.Errorf("UptimeSec = %v, want ~2", ps.UptimeSec)
+	}
+	if ps.Goroutines < 1 || ps.HeapSysBytes == 0 || ps.CPUs < 1 {
+		t.Errorf("implausible process stats: %+v", ps)
+	}
+}
+
+func TestRegisterProcessExposition(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcess(r, time.Now())
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"process_uptime_seconds", "go_goroutines",
+		"go_memstats_heap_alloc_bytes", "go_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(sb.String(), "\n"+name+" ") {
+			t.Errorf("exposition missing %s:\n%s", name, sb.String())
+		}
+	}
+}

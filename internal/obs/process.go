@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// ProcessStats is the process-level snapshot embedded in the service's
+// JSON /metrics body — the backward-compatible counterpart of the
+// go_*/process_* Prometheus gauges.
+type ProcessStats struct {
+	UptimeSec       float64 `json:"uptimeSec"`
+	Goroutines      int     `json:"goroutines"`
+	HeapAllocBytes  uint64  `json:"heapAllocBytes"`
+	HeapSysBytes    uint64  `json:"heapSysBytes"`
+	GCPauseTotalSec float64 `json:"gcPauseTotalSec"`
+	GCCycles        uint32  `json:"gcCycles"`
+	CPUs            int     `json:"cpus"`
+}
+
+// ReadProcess snapshots the current process state.
+func ReadProcess(start time.Time) ProcessStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ProcessStats{
+		UptimeSec:       time.Since(start).Seconds(),
+		Goroutines:      runtime.NumGoroutine(),
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapSysBytes:    ms.HeapSys,
+		GCPauseTotalSec: float64(ms.PauseTotalNs) / 1e9,
+		GCCycles:        ms.NumGC,
+		CPUs:            runtime.NumCPU(),
+	}
+}
+
+// RegisterProcess adds the standard process/runtime gauges to a
+// registry, sampled at scrape time.  One ReadMemStats serves one
+// scrape; the stats are read per-series but ReadMemStats is cheap
+// relative to a scrape interval.
+func RegisterProcess(r *Registry, start time.Time) {
+	r.GaugeFunc("process_uptime_seconds",
+		"Seconds since the process started.", "",
+		func() float64 { return time.Since(start).Seconds() })
+	r.GaugeFunc("go_goroutines",
+		"Number of live goroutines.", "",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.", "",
+		func() float64 { return float64(readMem().HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_sys_bytes",
+		"Bytes of heap obtained from the OS.", "",
+		func() float64 { return float64(readMem().HeapSys) })
+	r.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.", "",
+		func() float64 { return float64(readMem().PauseTotalNs) / 1e9 })
+	r.CounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.", "",
+		func() float64 { return float64(readMem().NumGC) })
+}
+
+func readMem() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms
+}

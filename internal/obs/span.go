@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"swsm/internal/trace"
+)
+
+// Canonical span names for the job lifecycle.  Anything may be
+// recorded, but the stitched export anchors the simulator's virtual
+// timeline at the start of the SpanSim span.
+const (
+	// SpanQueue covers enqueue to dequeue (admission queue wait).
+	SpanQueue = "queue"
+	// SpanStoreGet / SpanStorePut cover persistent-store lookups and
+	// write-backs.
+	SpanStoreGet = "store.get"
+	SpanStorePut = "store.put"
+	// SpanSim covers the simulation itself (memoized-session resolve).
+	SpanSim = "sim"
+	// SpanRespond covers result finalization and watcher wake-up.
+	SpanRespond = "respond"
+)
+
+// Span is one wall-clock interval of a job's service-side lifecycle.
+type Span struct {
+	Name  string
+	Start time.Time
+	End   time.Time
+}
+
+// Spans accumulates the spans of one job.  All methods are nil-safe —
+// a nil *Spans is the disabled recorder — and safe for concurrent use.
+type Spans struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewSpans creates an empty recorder.
+func NewSpans() *Spans { return &Spans{} }
+
+// Add records a completed interval.
+func (s *Spans) Add(name string, start, end time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.spans = append(s.spans, Span{Name: name, Start: start, End: end})
+	s.mu.Unlock()
+}
+
+// Time runs fn inside a span.
+func (s *Spans) Time(name string, fn func()) {
+	if s == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	s.Add(name, start, time.Now())
+}
+
+// Snapshot returns a copy of the recorded spans in recording order.
+func (s *Spans) Snapshot() []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Span(nil), s.spans...)
+}
+
+// WriteStitchedChrome exports one job as a single Chrome
+// trace_event/Perfetto timeline: the service-side lifecycle spans as
+// process 0 ("track" above), the simulator's deterministic event trace
+// as process 1, with the sim's cycle 0 anchored at the wall-clock start
+// of the SpanSim span.  Wall and virtual time therefore share an origin
+// but not a scale — one simulated cycle renders as one microsecond (the
+// sim sink's existing convention), while service spans are true
+// wall-clock microseconds.
+func WriteStitchedChrome(w io.Writer, serviceLabel string, spans []Span, simLabel string, sim *trace.Data) error {
+	s := trace.NewChromeSink(w)
+	var t0 time.Time
+	for _, sp := range spans {
+		if t0.IsZero() || sp.Start.Before(t0) {
+			t0 = sp.Start
+		}
+	}
+	s.BeginProcess(0, "svmd "+serviceLabel, 0)
+	s.Meta("thread_name", 0, "job lifecycle")
+	var anchor int64
+	for _, sp := range spans {
+		ts := sp.Start.Sub(t0).Microseconds()
+		dur := sp.End.Sub(sp.Start).Microseconds()
+		if dur < 1 {
+			dur = 1 // Perfetto hides zero-width slices
+		}
+		if sp.Name == SpanSim && anchor == 0 {
+			anchor = ts
+		}
+		s.Complete(0, ts, dur, sp.Name, "service")
+	}
+	if sim != nil {
+		s.BeginProcess(1, simLabel, sim.Procs)
+		s.SetOffset(anchor)
+		s.Events(sim.Events)
+		s.SetOffset(0)
+	}
+	return s.Close()
+}

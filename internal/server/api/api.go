@@ -10,6 +10,7 @@ package api
 import (
 	"swsm/internal/harness"
 	"swsm/internal/harness/runner"
+	"swsm/internal/obs"
 	"swsm/internal/store"
 )
 
@@ -107,6 +108,10 @@ type Metrics struct {
 	// scheduler (simulations actually executed, memo hits, coalesced
 	// waits).
 	Runner runner.Stats `json:"runner"`
+	// Process reports Go process health: uptime, goroutine count, heap
+	// residency and GC totals.  Added with the observability plane;
+	// older clients that don't know the field simply ignore it.
+	Process obs.ProcessStats `json:"process"`
 }
 
 // Health is the GET /healthz body.

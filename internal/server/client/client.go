@@ -71,6 +71,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// The daemon content-negotiates /metrics (Prometheus text by
+	// default); this client always speaks the JSON API.
+	req.Header.Set("Accept", "application/json")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -184,6 +187,36 @@ func (c *Client) Sweep(ctx context.Context, req api.SweepRequest) (*api.SweepSta
 		return nil, err
 	}
 	return &st, nil
+}
+
+// Trace fetches a completed job's stitched Chrome/Perfetto timeline —
+// the daemon's wall-clock lifecycle spans for the job with the
+// simulator's deterministic event trace anchored beneath them — and
+// copies it to w (it is a trace_event JSON document, typically saved to
+// a file and loaded in Perfetto).
+func (c *Client) Trace(ctx context.Context, id string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/runs/"+url.PathEscape(id)+"/trace", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &apiError{Status: resp.StatusCode, Msg: msg}
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
 }
 
 // Metrics fetches the daemon's metrics snapshot.

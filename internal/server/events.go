@@ -3,6 +3,7 @@ package server
 import (
 	"sync"
 
+	"swsm/internal/obs"
 	"swsm/internal/server/api"
 )
 
@@ -15,10 +16,26 @@ type eventBus struct {
 	seq    int64
 	subs   map[chan api.Event]struct{}
 	closed bool
+
+	// published counts events entering the bus; dropped counts frames a
+	// slow subscriber lost.  Both are nil-safe (tests build bare buses).
+	published *obs.Counter
+	dropped   *obs.Counter
 }
 
-func newEventBus() *eventBus {
-	return &eventBus{subs: make(map[chan api.Event]struct{})}
+func newEventBus(published, dropped *obs.Counter) *eventBus {
+	return &eventBus{
+		subs:      make(map[chan api.Event]struct{}),
+		published: published,
+		dropped:   dropped,
+	}
+}
+
+// subscriberCount reports currently connected subscribers.
+func (b *eventBus) subscriberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
 }
 
 // subscribe registers a consumer; the returned cancel must be called
@@ -51,10 +68,12 @@ func (b *eventBus) publish(e api.Event) {
 	}
 	b.seq++
 	e.Seq = b.seq
+	b.published.Inc()
 	for ch := range b.subs {
 		select {
 		case ch <- e:
 		default: // slow consumer: drop, the seq gap tells them
+			b.dropped.Inc()
 		}
 	}
 }

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"swsm/internal/harness"
+	"swsm/internal/obs"
 	"swsm/internal/server/api"
 )
 
@@ -21,19 +24,28 @@ import (
 //	POST   /sweeps          submit a batch ({"points":[...]}); ?wait=1 blocks until all terminal
 //	GET    /sweeps/{id}     sweep progress with per-point statuses
 //	GET    /events          SSE stream of job/sweep lifecycle events
-//	GET    /metrics         queue depth, in-flight, store hit ratio, runner counters
+//	GET    /runs/{id}/trace stitched Chrome/Perfetto timeline for a done job
+//	GET    /metrics         Prometheus text exposition (default); the JSON
+//	                        snapshot with Accept: application/json or ?format=json
 //	GET    /healthz         liveness + drain state + key version
+//	GET    /debug/pprof/*   Go profiling endpoints (CPU, heap, goroutines, ...)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /runs", s.handleSubmitRun)
 	mux.HandleFunc("GET /runs", s.handleListRuns)
 	mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
+	mux.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
 	mux.HandleFunc("DELETE /runs/{id}", s.handleCancelRun)
 	mux.HandleFunc("POST /sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /sweeps/{id}", s.handleGetSweep)
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -284,8 +296,62 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleMetrics content-negotiates between the Prometheus text
+// exposition (the scraper default) and the original JSON snapshot
+// (Accept: application/json, or ?format=json for curl convenience).
+// Both render from lock-free instruments or short critical sections —
+// scraping never waits on a running simulation.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, s.Metrics())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.reg.WritePrometheus(w)
+}
+
+// handleRunTrace serves one completed job as a stitched Chrome/Perfetto
+// timeline: the job's wall-clock lifecycle spans (queue wait, store
+// traffic, simulation, response) as one track, the simulator's own
+// deterministic event trace as a second, with simulated cycle 0
+// anchored at the wall-clock start of the sim span.
+//
+// Remote submissions never carry Trace (validateRequest rejects it), so
+// the sim-level trace is produced here by re-resolving the job's spec
+// with Trace set through the memoized session: the simulator is
+// deterministic, so the re-run reproduces exactly the cycles the job
+// observed, and repeat fetches hit the memo.  The persistent store is
+// bypassed — trace capture is an in-process artifact.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	state := j.state
+	spec := j.req.Spec
+	spans := j.spans.Snapshot()
+	s.mu.Unlock()
+	if state != api.StateDone {
+		httpError(w, http.StatusConflict, "job %s is %s; traces are served for done jobs", j.id, state)
+		return
+	}
+	spec.Trace = true
+	res, err := s.runFn(r.Context(), spec)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "trace re-run: %v", err)
+		return
+	}
+	if res.Trace == nil {
+		httpError(w, http.StatusNotImplemented, "this server's run function does not capture traces")
+		return
+	}
+	label := fmt.Sprintf("sim %s/%s p%d", spec.App, spec.Protocol, spec.Procs)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	obs.WriteStitchedChrome(w, j.id, spans, label, res.Trace)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -25,12 +25,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"swsm/internal/apps"
 	"swsm/internal/harness"
 	"swsm/internal/harness/runner"
+	"swsm/internal/obs"
 	"swsm/internal/server/api"
 	"swsm/internal/store"
 
@@ -62,6 +64,19 @@ type Config struct {
 	StoreDir string
 	// StoreMaxBytes bounds the store's payload bytes (0 = store default).
 	StoreMaxBytes int64
+	// Logger receives the daemon's structured job and service logs (nil
+	// disables service logging entirely; the instrumented paths are
+	// nil-checked, never defaulted to a discarding handler).
+	Logger *slog.Logger
+	// SLO is the per-job execution-latency objective.  A job whose
+	// wall-clock execution exceeds it counts an svmd_slo_breaches_total
+	// and triggers a flight-recorder dump (0 disables the check).
+	SLO time.Duration
+	// DebugDir receives flight-recorder dumps — the last-N lifecycle
+	// records plus a short CPU profile, written when a job fails or
+	// breaches the SLO.  "" disables dumping to disk; the in-memory ring
+	// still records.
+	DebugDir string
 }
 
 // Submission errors the HTTP layer maps to status codes.
@@ -92,8 +107,10 @@ type job struct {
 	err      error
 	watchers int  // wait=1 requests currently parked on done
 	detached bool // survives watcher disconnects (async submit, sweeps)
+	enqueued time.Time
 	started  time.Time
 	wall     time.Duration
+	spans    *obs.Spans // wall-clock lifecycle spans (queue/sim/store/respond)
 
 	sweeps []*sweepState
 }
@@ -106,10 +123,13 @@ type sweepState struct {
 // Server is the experiment service.  Construct with New, serve
 // Handler(), stop with Drain.
 type Server struct {
-	cfg Config
-	ses *harness.Session
-	st  *store.Store
-	bus *eventBus
+	cfg    Config
+	ses    *harness.Session
+	st     *store.Store
+	bus    *eventBus
+	met    *svmdMetrics
+	log    *slog.Logger // nil = service logging disabled
+	flight *obs.Flight
 	// runFn executes one spec; tests substitute it to make scheduling
 	// behavior (backpressure, cancellation) deterministic.
 	runFn func(context.Context, harness.RunSpec) (*harness.Result, error)
@@ -146,11 +166,16 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	met := newSvmdMetrics(start)
 	s := &Server{
 		cfg:        cfg,
 		ses:        ses,
 		st:         st,
-		bus:        newEventBus(),
+		bus:        newEventBus(met.sseEvents, met.sseDropped),
+		met:        met,
+		log:        cfg.Logger,
+		flight:     obs.NewFlight(obs.DefaultFlightRecords, cfg.DebugDir, time.Second),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
@@ -158,7 +183,12 @@ func New(cfg Config) (*Server, error) {
 		sweeps:     make(map[string]*sweepState),
 		stateCount: make(map[string]int),
 		queue:      make(chan *job, cfg.QueueDepth),
-		start:      time.Now(),
+		start:      start,
+	}
+	met.registerServer(s)
+	ses.SetObserver(met)
+	if st != nil {
+		st.SetLogger(cfg.Logger)
 	}
 	s.runFn = func(ctx context.Context, spec harness.RunSpec) (*harness.Result, error) {
 		return s.ses.RunCtx(ctx, spec)
@@ -236,6 +266,7 @@ func (s *Server) submit(req api.RunRequest, detached bool) (j *job, created bool
 		if detached {
 			j.detached = true
 		}
+		s.met.coalesced.Inc()
 		return j, false, nil
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
@@ -245,6 +276,8 @@ func (s *Server) submit(req api.RunRequest, detached bool) (j *job, created bool
 		done:     make(chan struct{}),
 		state:    api.StateQueued,
 		detached: detached,
+		enqueued: time.Now(),
+		spans:    obs.NewSpans(),
 	}
 	select {
 	case s.queue <- j:
@@ -254,6 +287,22 @@ func (s *Server) submit(req api.RunRequest, detached bool) (j *job, created bool
 	}
 	s.nextJob++
 	j.id = fmt.Sprintf("j%d", s.nextJob)
+	// Annotate the job context for the layers below: every log line the
+	// scheduler, harness, store or transport emits on behalf of this job
+	// carries its ID.  A worker dequeuing j blocks on s.mu (held here)
+	// before reading j.ctx, so the late annotation is safe.
+	j.ctx = obs.WithJob(j.ctx, j.id)
+	if s.log != nil {
+		j.ctx = obs.WithLogger(j.ctx, s.log)
+		s.log.LogAttrs(j.ctx, slog.LevelInfo, "job queued",
+			slog.String("app", req.Spec.App),
+			slog.String("protocol", string(req.Spec.Protocol)),
+			slog.Int("procs", req.Spec.Procs),
+			slog.Bool("speedup", req.Speedup),
+			slog.Int("queueDepth", len(s.queue)))
+	}
+	s.met.created.Inc()
+	s.flight.Record(j.id, api.StateQueued, req.Spec.App+"/"+string(req.Spec.Protocol))
 	s.jobs[j.id] = j
 	s.inflight[ckey] = j
 	s.stateCount[api.StateQueued]++
@@ -277,14 +326,18 @@ func (s *Server) exec(j *job) {
 	s.setStateLocked(j, api.StateRunning)
 	s.inFlight++
 	j.started = time.Now()
+	j.spans.Add(obs.SpanQueue, j.enqueued, j.started)
+	s.met.queueWait.Observe(j.started.Sub(j.enqueued).Seconds())
+	s.flight.Record(j.id, api.StateRunning, "")
 	s.bus.publish(api.Event{Type: "jobStarted", Job: statusLocked(j)})
 	s.mu.Unlock()
 
-	row, cached, err := s.resolve(j.ctx, j.req.Spec)
+	row, cached, err := s.resolve(j.ctx, j.req.Spec, j.spans, "")
 	if err == nil && j.req.Speedup {
 		spec := j.req.Spec
 		var base *harness.RunRow
-		base, _, err = s.resolve(j.ctx, harness.BaselineSpec(spec.App, spec.Scale, spec.CacheEnabled))
+		base, _, err = s.resolve(j.ctx,
+			harness.BaselineSpec(spec.App, spec.Scale, spec.CacheEnabled), j.spans, "baseline.")
 		if err == nil {
 			r := row.WithSpeedup(base.Cycles)
 			row = &r
@@ -296,14 +349,66 @@ func (s *Server) exec(j *job) {
 	j.wall = time.Since(j.started)
 	s.finishLocked(j, row, cached, err)
 	s.mu.Unlock()
+	s.observeTerminal(j)
+}
+
+// observeTerminal runs the post-terminal observability work that must
+// not hold s.mu: latency accounting against the SLO, the per-job
+// outcome log line, and (on failure or SLO breach) an async
+// flight-recorder dump.  j is terminal, so its fields are stable.
+func (s *Server) observeTerminal(j *job) {
+	s.met.runDur.Observe(j.wall.Seconds())
+	breach := s.cfg.SLO > 0 && j.wall > s.cfg.SLO
+	if breach {
+		s.met.sloBreaches.Inc()
+	}
+	if s.log != nil {
+		lvl, msg := slog.LevelInfo, "job "+j.state
+		if j.state == api.StateFailed {
+			lvl = slog.LevelWarn
+		}
+		attrs := []slog.Attr{
+			slog.String("state", j.state),
+			slog.Duration("wall", j.wall),
+			slog.Bool("cached", j.cached),
+		}
+		if j.err != nil {
+			attrs = append(attrs, slog.String("error", j.err.Error()))
+		}
+		if breach {
+			attrs = append(attrs, slog.Duration("slo", s.cfg.SLO))
+		}
+		s.log.LogAttrs(j.ctx, lvl, msg, attrs...)
+	}
+	if j.state == api.StateFailed || breach {
+		reason := "job failed"
+		if j.state != api.StateFailed {
+			reason = "slo breach"
+		}
+		go func() {
+			if path, _ := s.flight.Dump(reason, j.id); path != "" {
+				s.met.flightDumps.Inc()
+				if s.log != nil {
+					s.log.LogAttrs(j.ctx, slog.LevelInfo, "flight recorder dumped",
+						slog.String("path", path), slog.String("reason", reason))
+				}
+			}
+		}()
+	}
 }
 
 // resolve produces the row for one spec: persistent store first, then
-// the memoized session, writing fresh results back to the store.
-func (s *Server) resolve(ctx context.Context, spec harness.RunSpec) (*harness.RunRow, bool, error) {
+// the memoized session, writing fresh results back to the store.  Each
+// stage is timed into the job's span recorder (names prefixed for the
+// speedup baseline's second resolve) and the store histograms.
+func (s *Server) resolve(ctx context.Context, spec harness.RunSpec, sp *obs.Spans, prefix string) (*harness.RunRow, bool, error) {
 	key := spec.Key()
 	if s.st != nil {
-		if payload, ok := s.st.Get(key); ok {
+		t0 := time.Now()
+		payload, ok := s.st.Get(key)
+		s.met.storeGet.ObserveSince(t0)
+		sp.Add(prefix+obs.SpanStoreGet, t0, time.Now())
+		if ok {
 			var row harness.RunRow
 			// A decodable row whose spec disagrees with the requested one
 			// would mean a key collision or encoder drift; recompute.
@@ -312,7 +417,9 @@ func (s *Server) resolve(ctx context.Context, spec harness.RunSpec) (*harness.Ru
 			}
 		}
 	}
+	t0 := time.Now()
 	res, err := s.runFn(ctx, spec)
+	sp.Add(prefix+obs.SpanSim, t0, time.Now())
 	if err != nil {
 		return nil, false, err
 	}
@@ -321,7 +428,10 @@ func (s *Server) resolve(ctx context.Context, spec harness.RunSpec) (*harness.Ru
 		if payload, err := json.Marshal(row); err == nil {
 			// Store damage must not fail the run; the next daemon just
 			// recomputes.
+			t0 := time.Now()
 			_ = s.st.Put(key, payload)
+			s.met.storePut.ObserveSince(t0)
+			sp.Add(prefix+obs.SpanStorePut, t0, time.Now())
 		}
 	}
 	return &row, false, nil
@@ -330,18 +440,33 @@ func (s *Server) resolve(ctx context.Context, spec harness.RunSpec) (*harness.Ru
 // finishLocked moves a job to its terminal state, publishes the
 // transition and unparks watchers.  Caller holds s.mu.
 func (s *Server) finishLocked(j *job, row *harness.RunRow, cached bool, err error) {
+	respond := time.Now()
 	switch {
 	case err == nil:
 		j.row = row
 		j.cached = cached
 		s.setStateLocked(j, api.StateDone)
+		s.met.jobsDone.Inc()
+		if row != nil {
+			if n, ok := row.Counters["retransmits"]; ok && n > 0 {
+				s.met.retransmits.Add(n)
+				s.met.jobRetrans.Observe(float64(n))
+			}
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.err = err
 		s.setStateLocked(j, api.StateCanceled)
+		s.met.jobsCanceled.Inc()
 	default:
 		j.err = err
 		s.setStateLocked(j, api.StateFailed)
+		s.met.jobsFailed.Inc()
 	}
+	msg := ""
+	if j.err != nil {
+		msg = j.err.Error()
+	}
+	s.flight.Record(j.id, j.state, msg)
 	delete(s.inflight, j.ckey)
 	j.cancel()
 	close(j.done)
@@ -354,6 +479,7 @@ func (s *Server) finishLocked(j *job, row *harness.RunRow, cached bool, err erro
 	for _, sw := range j.sweeps {
 		s.bus.publish(api.Event{Type: "sweepProgress", Sweep: sweepStatusLocked(sw, false)})
 	}
+	j.spans.Add(obs.SpanRespond, respond, time.Now())
 }
 
 // cancelLocked cancels a queued job immediately; a running job has its
@@ -453,6 +579,7 @@ func (s *Server) Metrics() api.Metrics {
 	m.Store = s.StoreStats()
 	m.StoreHitRatio = m.Store.HitRatio()
 	m.Runner = s.RunnerStats()
+	m.Process = obs.ReadProcess(s.start)
 	return m
 }
 

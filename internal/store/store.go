@@ -32,6 +32,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -87,6 +88,7 @@ type entry struct {
 type Store struct {
 	dir string
 	max int64
+	log *slog.Logger
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -94,6 +96,16 @@ type Store struct {
 	bytes   int64
 
 	hits, misses, puts, evictions, corrupt int64
+}
+
+// SetLogger installs a structured logger for the store's exceptional
+// paths — corrupt entries dropped as misses, LRU evictions.  A nil
+// logger (the default) disables logging entirely; the hot Get/Put
+// paths never log.
+func (s *Store) SetLogger(l *slog.Logger) {
+	s.mu.Lock()
+	s.log = l
+	s.mu.Unlock()
 }
 
 // Open loads (creating if necessary) the store rooted at dir, bounded
@@ -293,6 +305,9 @@ func (s *Store) evictLocked(keep *entry) {
 		s.removeLocked(e)
 		s.evictions++
 		os.Remove(s.path(e.key))
+		if s.log != nil {
+			s.log.Debug("store: evicted LRU entry", "key", e.key, "bytes", e.size)
+		}
 	}
 }
 
@@ -309,8 +324,12 @@ func (s *Store) dropCorrupt(key string) {
 		s.removeLocked(e)
 	}
 	s.corrupt++
+	l := s.log
 	s.mu.Unlock()
 	os.Remove(s.path(key))
+	if l != nil {
+		l.Warn("store: dropping corrupt entry", "key", key)
+	}
 }
 
 func (s *Store) miss() {

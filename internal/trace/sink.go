@@ -37,10 +37,11 @@ func (c *captureSink) Events(batch []Event) {
 // NewChromeSink, feed it batches (or let a Tracer do so), then Close to
 // emit the footer.  The output loads in Perfetto / chrome://tracing.
 type ChromeSink struct {
-	w     *bufio.Writer
-	pid   int
-	first bool
-	err   error
+	w      *bufio.Writer
+	pid    int
+	offset int64
+	first  bool
+	err    error
 }
 
 // NewChromeSink starts a trace_event JSON document on w.
@@ -83,6 +84,21 @@ func (s *ChromeSink) BeginProcess(pid int, name string, procs int) {
 	}
 }
 
+// SetOffset shifts the timestamps of subsequently serialized events by
+// dus microseconds.  The stitched service-span export uses it to anchor
+// a run's virtual cycle 0 at the wall-clock start of its simulate span;
+// the default 0 keeps ordinary traces byte-identical to before.
+func (s *ChromeSink) SetOffset(dus int64) { s.offset = dus }
+
+// Complete emits an explicit complete ("X") span on a track of the
+// current process group — the entry point the service layer uses to
+// stitch wall-clock lifecycle spans above the simulator's event tracks.
+func (s *ChromeSink) Complete(tid int, ts, dur int64, name, cat string) {
+	s.sep()
+	s.printf("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":%q,\"cat\":%q}",
+		s.pid, tid, ts, dur, name, cat)
+}
+
 // Events serializes one batch (implements Sink).
 func (s *ChromeSink) Events(batch []Event) {
 	for i := range batch {
@@ -95,11 +111,11 @@ func (s *ChromeSink) event(ev *Event) {
 	name, cat := chromeName(ev)
 	if ev.Dur > 0 {
 		s.printf("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":%q,\"cat\":%q,\"args\":{\"arg\":%d,\"arg2\":%d}}",
-			s.pid, ev.Proc, ev.At, ev.Dur, name, cat, ev.Arg, ev.Arg2)
+			s.pid, ev.Proc, s.offset+ev.At, ev.Dur, name, cat, ev.Arg, ev.Arg2)
 		return
 	}
 	s.printf("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"s\":\"t\",\"name\":%q,\"cat\":%q,\"args\":{\"arg\":%d,\"arg2\":%d}}",
-		s.pid, ev.Proc, ev.At, name, cat, ev.Arg, ev.Arg2)
+		s.pid, ev.Proc, s.offset+ev.At, name, cat, ev.Arg, ev.Arg2)
 }
 
 // chromeName renders a human-readable event name plus category.
