@@ -13,6 +13,17 @@
 //	curl -s localhost:7099/metrics                 # Prometheus exposition
 //	curl -s 'localhost:7099/metrics?format=json'   # JSON snapshot
 //
+// Cluster modes (see README "Running a cluster"):
+//
+//	svmd -coordinator -addr :7100                        # primary coordinator
+//	svmd -coordinator -addr :7101 -standby-of http://127.0.0.1:7100
+//	svmd -addr :7110 -join http://127.0.0.1:7100,http://127.0.0.1:7101 -node-id w1
+//
+// A coordinator serves the daemon's job API unchanged and shards
+// admitted work across joined workers by consistent hashing on the
+// result content key; a worker is a normal daemon plus an agent that
+// leases jobs from the coordinator and executes them locally.
+//
 // Observability: structured leveled logs go to stderr (-log-level,
 // -log-json), every job's records carry its ID from enqueue to store
 // write, /metrics serves Prometheus text by default, /debug/pprof/* is
@@ -30,12 +41,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"swsm/internal/cluster"
 	"swsm/internal/comm"
 	"swsm/internal/obs"
 	"swsm/internal/server"
@@ -45,7 +59,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7099", "listen address")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU)")
-		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4x workers); per-worker dispatch queue depth in -coordinator mode (0 = 64)")
 		storeDir = flag.String("store", defaultStoreDir(), "persistent result store directory (empty = no persistence)")
 		storeMax = flag.Int64("store-max", 256<<20, "result store size bound in bytes")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs before cancelling queued work")
@@ -53,6 +67,16 @@ func main() {
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON lines instead of human-readable text")
 		sloMS    = flag.Int64("slo-ms", 0, "per-job latency objective in milliseconds; breaches dump the flight recorder (0 = disabled)")
 		debugDir = flag.String("debug-dir", "", "directory for flight-recorder dumps on job failure or SLO breach (empty = in-memory ring only)")
+
+		// Cluster flags.
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator instead of an execution daemon")
+		standbyOf   = flag.String("standby-of", "", "coordinator mode: follow this primary's log and take over on its failure")
+		joinURLs    = flag.String("join", "", "worker mode: comma-separated coordinator URLs to lease jobs from (primary first)")
+		nodeID      = flag.String("node-id", "", "stable cluster identity (default: host:port of -addr); ring placement hashes it")
+		hbTTL       = flag.Duration("heartbeat-ttl", cluster.DefaultHeartbeatTTL, "coordinator: declare a worker lost after this much heartbeat silence")
+		leaseTTL    = flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "coordinator: job lease duration (renewed by worker polls)")
+		failAfter   = flag.Duration("failover-after", 0, "standby: promote after this much primary silence (0 = 3x heartbeat-ttl)")
+		leasePoll   = flag.Duration("lease-poll", 200*time.Millisecond, "worker: lease poll / heartbeat interval")
 	)
 	flag.Parse()
 
@@ -65,6 +89,21 @@ func main() {
 	// The simulated transport logs terminal delivery failures through the
 	// same process-wide logger (the cold path right before a run fails).
 	comm.SetLogger(logger)
+
+	id := *nodeID
+	if id == "" {
+		id = *addr
+	}
+	if *coordinator {
+		runCoordinator(logger, coordConfig{
+			addr: *addr, nodeID: id,
+			storeDir: *storeDir, storeMax: *storeMax,
+			queueDepth: *queue,
+			hbTTL:      *hbTTL, leaseTTL: *leaseTTL, failAfter: *failAfter,
+			standbyOf: *standbyOf,
+		})
+		return
+	}
 
 	srv, err := server.New(server.Config{
 		Parallel:      *parallel,
@@ -90,6 +129,32 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	// Worker mode: lease jobs from the coordinator(s) alongside the
+	// local HTTP API (a worker is still a fully usable daemon).
+	workerDone := make(chan struct{})
+	if *joinURLs != "" {
+		urls := strings.Split(*joinURLs, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSpace(urls[i])
+		}
+		agent, err := cluster.NewWorker(cluster.WorkerConfig{
+			ID: id, Coordinators: urls, Server: srv,
+			Poll: *leasePoll, Logger: logger,
+		})
+		if err != nil {
+			logger.Error("worker startup failed", "error", err)
+			os.Exit(1)
+		}
+		logger.Info("joining cluster", "id", id, "coordinators", urls)
+		go func() {
+			defer close(workerDone)
+			agent.Run(ctx)
+		}()
+	} else {
+		close(workerDone)
+	}
+
 	select {
 	case <-ctx.Done():
 		logger.Info("draining", "timeout", *drainTO)
@@ -98,6 +163,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	<-workerDone
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
@@ -113,6 +179,64 @@ func main() {
 		"simulations", m.Runner.Runs,
 		"storeHitRatio", m.StoreHitRatio,
 		"evictions", m.Store.Evictions)
+}
+
+type coordConfig struct {
+	addr, nodeID    string
+	storeDir        string
+	storeMax        int64
+	queueDepth      int
+	hbTTL, leaseTTL time.Duration
+	failAfter       time.Duration
+	standbyOf       string
+}
+
+func runCoordinator(logger *slog.Logger, cfg coordConfig) {
+	c, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		NodeID:        cfg.nodeID,
+		StoreDir:      cfg.storeDir,
+		StoreMaxBytes: cfg.storeMax,
+		QueueDepth:    cfg.queueDepth,
+		HeartbeatTTL:  cfg.hbTTL,
+		LeaseTTL:      cfg.leaseTTL,
+		FailoverAfter: cfg.failAfter,
+		Standby:       cfg.standbyOf != "",
+		PeerURL:       cfg.standbyOf,
+		Logger:        logger,
+	})
+	if err != nil {
+		logger.Error("coordinator startup failed", "error", err)
+		os.Exit(1)
+	}
+	role := c.Role()
+	logger.Info("coordinator listening",
+		"addr", cfg.addr, "id", cfg.nodeID, "role", role,
+		"store", cfg.storeDir, "standbyOf", cfg.standbyOf)
+
+	hs := &http.Server{Addr: cfg.addr, Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Info("coordinator stopping")
+	case err := <-errc:
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Warn("shutdown", "error", err)
+	}
+	c.Stop()
+	st := c.Status()
+	logger.Info("coordinator stopped",
+		"role", st.Role, "epoch", st.Epoch, "logSeq", st.LogSeq,
+		"redispatches", st.Redispatches, "duplicates", st.Duplicates)
 }
 
 // defaultStoreDir places the store under the user cache dir, falling

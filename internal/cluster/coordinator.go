@@ -1,0 +1,906 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"swsm/internal/harness"
+	"swsm/internal/server"
+	"swsm/internal/server/api"
+	"swsm/internal/store"
+)
+
+// Scheduling and failure-detection defaults.  Heartbeats ride on the
+// workers' lease polls, so the TTL only needs to cover a few poll
+// intervals; the lease TTL is long because a held lease is renewed on
+// every poll — it only expires when the worker stops polling entirely.
+const (
+	DefaultHeartbeatTTL = 5 * time.Second
+	DefaultLeaseTTL     = 60 * time.Second
+	DefaultQueueDepth   = 64
+	DefaultPollWait     = time.Second
+)
+
+// Admission errors the HTTP layer maps to status codes.
+var (
+	// ErrNotPrimary rejects writes on a standby (or fenced) coordinator.
+	ErrNotPrimary = errors.New("cluster: not the primary coordinator")
+	// errUnknownJob rejects a completion for a job this coordinator never
+	// heard of (a log tail lost across failover).
+	errUnknownJob = errors.New("cluster: unknown job")
+)
+
+// CoordinatorConfig parameterizes a Coordinator.
+type CoordinatorConfig struct {
+	// NodeID names this coordinator in logs and failover events.
+	NodeID string
+	// StoreDir is the coordinator's own persistent result store ("" =
+	// none).  It is the top cache tier: a sweep resubmitted after a crash
+	// is answered here without dispatching anything.
+	StoreDir      string
+	StoreMaxBytes int64
+	// QueueDepth bounds each worker's dispatch queue; when a key's ring
+	// home and every spillover successor are full, submissions are
+	// rejected with 429.
+	QueueDepth int
+	// HeartbeatTTL is the silence after which a worker is declared lost
+	// and its jobs re-dispatched.
+	HeartbeatTTL time.Duration
+	// LeaseTTL bounds one lease grant; polls renew it.
+	LeaseTTL time.Duration
+	// FailoverAfter is how long a standby tolerates primary silence
+	// before promoting itself (0 = 3x HeartbeatTTL).
+	FailoverAfter time.Duration
+	// PollWait bounds the /cluster/log long-poll hold.
+	PollWait time.Duration
+	// RingReplicas is the virtual-point count per worker (0 = default).
+	RingReplicas int
+	// Standby starts this coordinator as a follower of PeerURL.
+	Standby bool
+	PeerURL string
+	Logger  *slog.Logger
+}
+
+// cjob is one job in the coordinator's table.  Mutable fields are
+// guarded by Coordinator.mu; done is closed exactly once on terminal.
+type cjob struct {
+	id   string
+	key  string // spec content key (ring placement + store address)
+	ckey string // coalescing/store key (content key + request shape)
+	req  api.RunRequest
+
+	state  string
+	worker string // dispatch target / executor ("" = unassigned)
+	stolen bool
+
+	redispatches int
+	leaseUntil   time.Time
+	enqueued     time.Time
+	wall         time.Duration
+
+	row    *harness.RunRow
+	cached bool
+	errMsg string
+
+	done   chan struct{}
+	sweeps []*csweep
+}
+
+func (j *cjob) terminal() bool {
+	switch j.state {
+	case api.StateDone, api.StateFailed, api.StateCanceled:
+		return true
+	}
+	return false
+}
+
+type csweep struct {
+	id   string
+	jobs []*cjob
+}
+
+// workerState is one joined worker.
+type workerState struct {
+	id       string
+	slots    int
+	lastSeen time.Time
+	queue    []*cjob          // dispatch queue (queued jobs placed here)
+	leased   map[string]*cjob // running jobs held under lease
+	done     int64
+	stolen   int64 // jobs stolen FROM this worker
+}
+
+// Coordinator is the cluster's scheduling brain.  It accepts the
+// daemon's job API unchanged, shards admitted jobs across workers by
+// consistent hashing on the content key, and replicates its decisions
+// to a standby through a sequenced log so a crash mid-sweep fails over
+// without losing or duplicating completed results.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	st  *store.Store
+	bus *server.EventBus
+	met *clusterMetrics
+	log *slog.Logger
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	start  time.Time
+
+	mu         sync.Mutex
+	role       string
+	epoch      int64
+	ring       *Ring
+	workers    map[string]*workerState
+	jobs       map[string]*cjob
+	inflight   map[string]*cjob // coalescing key -> live job
+	sweeps     map[string]*csweep
+	unassigned []*cjob
+	nextJob    int64
+	nextSweep  int64
+	lastSeq    int64
+	wal        []api.ClusterLogRecord
+	walNotify  chan struct{}
+}
+
+// NewCoordinator builds a coordinator and starts its janitor (and, on a
+// standby, the follower loop).  Stop releases both.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.NodeID == "" {
+		cfg.NodeID = "coordinator"
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.HeartbeatTTL <= 0 {
+		cfg.HeartbeatTTL = DefaultHeartbeatTTL
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.FailoverAfter <= 0 {
+		cfg.FailoverAfter = 3 * cfg.HeartbeatTTL
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = DefaultPollWait
+	}
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		if st, err = store.Open(cfg.StoreDir, cfg.StoreMaxBytes); err != nil {
+			return nil, err
+		}
+		st.SetLogger(cfg.Logger)
+	}
+	if cfg.Standby && cfg.PeerURL == "" {
+		return nil, errors.New("cluster: standby needs a peer URL to follow")
+	}
+	met := newClusterMetrics()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:       cfg,
+		st:        st,
+		bus:       server.NewEventBus(met.sseEvents, met.sseDropped),
+		met:       met,
+		log:       cfg.Logger,
+		ctx:       ctx,
+		cancel:    cancel,
+		start:     time.Now(),
+		role:      api.RolePrimary,
+		epoch:     1,
+		ring:      NewRing(cfg.RingReplicas),
+		workers:   make(map[string]*workerState),
+		jobs:      make(map[string]*cjob),
+		inflight:  make(map[string]*cjob),
+		sweeps:    make(map[string]*csweep),
+		walNotify: make(chan struct{}),
+	}
+	if cfg.Standby {
+		c.role = api.RoleStandby
+		c.epoch = 0
+		c.wg.Add(1)
+		go c.follow()
+	}
+	c.mu.Lock()
+	c.updateGaugesLocked()
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.janitor()
+	return c, nil
+}
+
+// Stop shuts the coordinator down: background loops exit, the event bus
+// closes.  In-flight worker executions are not interrupted — their
+// completions simply have nowhere to land (the failover peer, if any,
+// accepts them).
+func (c *Coordinator) Stop() {
+	c.cancel()
+	c.wg.Wait()
+	c.bus.Close()
+}
+
+// Role reports "primary" or "standby".
+func (c *Coordinator) Role() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.role
+}
+
+// Epoch reports the current coordination epoch.
+func (c *Coordinator) Epoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// submit admits one request: coalesce onto an identical live job,
+// answer from the coordinator's own store, or place on a worker queue
+// chosen by the ring.  Mirrors the daemon's submit contract (429 when
+// every eligible queue is full) so the client-visible API is unchanged.
+func (c *Coordinator) submit(req api.RunRequest) (*cjob, bool, error) {
+	key := req.Spec.Key()
+	ckey := key
+	if req.Speedup {
+		ckey += "+speedup"
+	}
+	// Cheap existence probe first: Has is a stat, Get decodes and
+	// checksums.  Only a likely hit pays the full read.
+	var hit *harness.RunRow
+	if c.st != nil && c.st.Has(ckey) {
+		if payload, ok := c.st.Get(ckey); ok {
+			var row harness.RunRow
+			if json.Unmarshal(payload, &row) == nil && row.Spec == req.Spec {
+				hit = &row
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.role != api.RolePrimary {
+		return nil, false, ErrNotPrimary
+	}
+	if j, ok := c.inflight[ckey]; ok {
+		c.met.coalesced.Inc()
+		return j, false, nil
+	}
+	j := &cjob{
+		key: key, ckey: ckey, req: req,
+		state:    api.StateQueued,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	if hit == nil {
+		if err := c.placeLocked(j, false); err != nil {
+			return nil, false, err
+		}
+	}
+	c.nextJob++
+	j.id = "j" + strconv.FormatInt(c.nextJob, 10)
+	c.jobs[j.id] = j
+	c.inflight[ckey] = j
+	c.met.created.Inc()
+	c.appendLogLocked(api.ClusterLogRecord{Type: api.ClusterLogSubmit, JobID: j.id, Req: &req})
+	c.bus.Publish(api.Event{Type: "jobQueued", Job: c.statusLocked(j), Worker: j.worker})
+	if c.log != nil {
+		c.log.LogAttrs(c.ctx, slog.LevelInfo, "job queued",
+			slog.String("job", j.id),
+			slog.String("app", req.Spec.App),
+			slog.String("protocol", string(req.Spec.Protocol)),
+			slog.Int("procs", req.Spec.Procs),
+			slog.String("worker", j.worker))
+	}
+	if hit != nil {
+		c.met.coordCacheHits.Inc()
+		c.finishLocked(j, c.cfg.NodeID, hit, true, "")
+	}
+	c.updateGaugesLocked()
+	return j, true, nil
+}
+
+// placeLocked assigns a queued job to a worker: the key's ring home
+// first, then successors whose queues have room.  With force (re-
+// dispatch paths, where dropping is not an option) or with no workers
+// at all, the job parks on the unassigned list instead of erroring.
+func (c *Coordinator) placeLocked(j *cjob, force bool) error {
+	for _, n := range c.ring.Successors(j.key, 0) {
+		w := c.workers[n]
+		if w == nil || len(w.queue) >= c.cfg.QueueDepth {
+			continue
+		}
+		j.worker = n
+		j.state = api.StateQueued
+		w.queue = append(w.queue, j)
+		return nil
+	}
+	if force || len(c.workers) == 0 {
+		if !force && len(c.unassigned) >= 4*c.cfg.QueueDepth {
+			return server.ErrQueueFull
+		}
+		j.worker = ""
+		j.state = api.StateQueued
+		c.unassigned = append(c.unassigned, j)
+		return nil
+	}
+	return server.ErrQueueFull
+}
+
+// lease is the worker protocol's heart: register/refresh the worker,
+// renew its held leases, then hand out jobs — its own ring share FIFO,
+// then (if it still has idle slots) jobs stolen from the tail of the
+// most backlogged other worker.
+func (c *Coordinator) lease(req api.ClusterLeaseRequest) api.ClusterLeaseResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Epoch > c.epoch {
+		c.stepDownLocked(req.Epoch, "lease from "+req.WorkerID)
+	}
+	if c.role != api.RolePrimary {
+		return api.ClusterLeaseResponse{Epoch: c.epoch, Role: c.role}
+	}
+	w := c.ensureWorkerLocked(req.WorkerID, req.Slots, now)
+	w.lastSeen = now
+	if req.Slots > 0 {
+		w.slots = req.Slots
+	}
+	for _, id := range req.Held {
+		if j := c.jobs[id]; j != nil && j.state == api.StateRunning && j.worker == req.WorkerID {
+			j.leaseUntil = now.Add(c.cfg.LeaseTTL)
+		}
+	}
+	var out []api.ClusterLeasedJob
+	for len(out) < req.Max && len(w.queue) > 0 {
+		j := w.queue[0]
+		w.queue = w.queue[1:]
+		out = append(out, c.leaseJobLocked(j, w, false, now))
+	}
+	for len(out) < req.Max {
+		v := c.stealVictimLocked(w.id)
+		if v == nil {
+			break
+		}
+		j := v.queue[len(v.queue)-1]
+		v.queue = v.queue[:len(v.queue)-1]
+		v.stolen++
+		c.met.stolen.With(w.id).Inc()
+		if c.log != nil {
+			c.log.LogAttrs(c.ctx, slog.LevelInfo, "job stolen",
+				slog.String("job", j.id), slog.String("from", v.id), slog.String("by", w.id))
+		}
+		out = append(out, c.leaseJobLocked(j, w, true, now))
+	}
+	c.updateGaugesLocked()
+	return api.ClusterLeaseResponse{Epoch: c.epoch, Role: c.role, Jobs: out}
+}
+
+func (c *Coordinator) leaseJobLocked(j *cjob, w *workerState, stolen bool, now time.Time) api.ClusterLeasedJob {
+	j.state = api.StateRunning
+	j.worker = w.id
+	j.stolen = j.stolen || stolen
+	j.leaseUntil = now.Add(c.cfg.LeaseTTL)
+	w.leased[j.id] = j
+	c.bus.Publish(api.Event{Type: "jobStarted", Job: c.statusLocked(j), Worker: w.id})
+	return api.ClusterLeasedJob{ID: j.id, Req: j.req, Stolen: stolen}
+}
+
+// stealVictimLocked picks the most backlogged other worker worth
+// robbing: it must have queued work it is in no position to start soon
+// (all slots busy, or a queue of 2+).  An idle worker with one queued
+// job keeps it — it will lease it on its next poll, and moving it would
+// only cost cache locality.
+func (c *Coordinator) stealVictimLocked(thief string) *workerState {
+	var best *workerState
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		v := c.workers[id]
+		if id == thief || len(v.queue) == 0 {
+			continue
+		}
+		if len(v.leased) < v.slots && len(v.queue) < 2 {
+			continue
+		}
+		if best == nil || len(v.queue) > len(best.queue) {
+			best = v
+		}
+	}
+	return best
+}
+
+// ensureWorkerLocked registers a worker on first contact (join or lease
+// — after a failover the new primary learns its membership this way)
+// and drains any unassigned backlog onto the grown ring.
+func (c *Coordinator) ensureWorkerLocked(id string, slots int, now time.Time) *workerState {
+	if w, ok := c.workers[id]; ok {
+		return w
+	}
+	if slots <= 0 {
+		slots = 1
+	}
+	w := &workerState{id: id, slots: slots, lastSeen: now, leased: make(map[string]*cjob)}
+	c.workers[id] = w
+	c.ring.Add(id)
+	c.appendLogLocked(api.ClusterLogRecord{Type: api.ClusterLogJoin, Worker: id})
+	c.bus.Publish(api.Event{Type: "workerJoined", Worker: id})
+	if c.log != nil {
+		c.log.LogAttrs(c.ctx, slog.LevelInfo, "worker joined",
+			slog.String("worker", id), slog.Int("slots", slots))
+	}
+	// Membership changed: re-place every queued job so placement stays
+	// the pure ring function of (members, key) — anything parked on a
+	// successor (or unassigned) moves home if the new worker owns it.
+	c.rebalanceLocked()
+	return w
+}
+
+// rebalanceLocked re-derives every queued job's placement from the
+// current ring.  Running jobs are left alone — their lease, not the
+// ring, owns them now.
+func (c *Coordinator) rebalanceLocked() {
+	var queued []*cjob
+	for _, w := range c.workers {
+		queued = append(queued, w.queue...)
+		w.queue = w.queue[:0]
+	}
+	queued = append(queued, c.unassigned...)
+	c.unassigned = nil
+	sort.Slice(queued, func(i, k int) bool { return jobSeq(queued[i].id) < jobSeq(queued[k].id) })
+	for _, j := range queued {
+		j.worker = ""
+		c.placeLocked(j, true)
+	}
+}
+
+// loseWorkerLocked removes a dead worker and re-dispatches everything
+// it held.  Ring determinism works for us here: a re-dispatched job
+// lands on the dead worker's ring successor, and if the job actually
+// completed before the death was detected, the duplicate completion is
+// discarded idempotently — the store row and the recomputed row are
+// byte-identical by simulator determinism anyway.
+func (c *Coordinator) loseWorkerLocked(w *workerState) {
+	delete(c.workers, w.id)
+	c.ring.Remove(w.id)
+	c.met.queueDepth.With(w.id).Set(0)
+	c.met.leased.With(w.id).Set(0)
+	c.appendLogLocked(api.ClusterLogRecord{Type: api.ClusterLogLost, Worker: w.id})
+	c.bus.Publish(api.Event{Type: "workerLost", Worker: w.id})
+	if c.log != nil {
+		c.log.LogAttrs(c.ctx, slog.LevelWarn, "worker lost",
+			slog.String("worker", w.id),
+			slog.Int("queued", len(w.queue)), slog.Int("leased", len(w.leased)))
+	}
+	for _, j := range w.queue {
+		j.worker = ""
+		c.placeLocked(j, true)
+	}
+	w.queue = nil
+	for _, j := range w.leased {
+		c.redispatchLocked(j, "worker "+w.id+" lost")
+	}
+	w.leased = make(map[string]*cjob)
+}
+
+// redispatchLocked returns a running job to the queued state and places
+// it again.
+func (c *Coordinator) redispatchLocked(j *cjob, reason string) {
+	if j.terminal() {
+		return
+	}
+	c.dequeueLocked(j)
+	j.worker = ""
+	j.state = api.StateQueued
+	j.leaseUntil = time.Time{}
+	j.redispatches++
+	c.met.redispatches.Inc()
+	if c.log != nil {
+		c.log.LogAttrs(c.ctx, slog.LevelWarn, "job re-dispatched",
+			slog.String("job", j.id), slog.String("reason", reason))
+	}
+	c.placeLocked(j, true)
+	c.bus.Publish(api.Event{Type: "jobQueued", Job: c.statusLocked(j), Worker: j.worker})
+}
+
+// dequeueLocked detaches a job from whatever scheduling structure
+// currently holds it (owner queue, owner lease table, or unassigned).
+func (c *Coordinator) dequeueLocked(j *cjob) {
+	if j.worker != "" {
+		if w := c.workers[j.worker]; w != nil {
+			for i, q := range w.queue {
+				if q == j {
+					w.queue = append(w.queue[:i], w.queue[i+1:]...)
+					break
+				}
+			}
+			delete(w.leased, j.id)
+		}
+		return
+	}
+	for i, q := range c.unassigned {
+		if q == j {
+			c.unassigned = append(c.unassigned[:i], c.unassigned[i+1:]...)
+			break
+		}
+	}
+}
+
+// complete lands one worker-reported result.  Idempotent: a job
+// already terminal acknowledges as a duplicate and changes nothing.
+func (c *Coordinator) complete(req api.ClusterCompleteRequest) (api.ClusterCompleteResponse, error) {
+	now := time.Now()
+	c.mu.Lock()
+	if req.Epoch > c.epoch {
+		c.stepDownLocked(req.Epoch, "completion from "+req.WorkerID)
+	}
+	if c.role != api.RolePrimary {
+		epoch := c.epoch
+		c.mu.Unlock()
+		return api.ClusterCompleteResponse{Epoch: epoch}, ErrNotPrimary
+	}
+	j, ok := c.jobs[req.JobID]
+	if !ok {
+		epoch := c.epoch
+		c.mu.Unlock()
+		return api.ClusterCompleteResponse{Epoch: epoch}, errUnknownJob
+	}
+	if w := c.workers[req.WorkerID]; w != nil {
+		w.lastSeen = now
+	}
+	if j.terminal() {
+		c.met.duplicates.Inc()
+		epoch := c.epoch
+		c.mu.Unlock()
+		return api.ClusterCompleteResponse{Epoch: epoch, Duplicate: true}, nil
+	}
+	c.dequeueLocked(j)
+	if req.Cached {
+		c.met.workerCacheHits.Inc()
+	}
+	c.met.workerDone.With(req.WorkerID).Inc()
+	if w := c.workers[req.WorkerID]; w != nil {
+		w.done++
+	}
+	c.finishLocked(j, req.WorkerID, req.Row, req.Cached, req.Error)
+	c.updateGaugesLocked()
+	epoch := c.epoch
+	ckey := j.ckey
+	c.mu.Unlock()
+	// Write-back outside the lock; store damage must not fail the ack.
+	if req.Row != nil && req.Error == "" && c.st != nil {
+		if payload, err := json.Marshal(req.Row); err == nil {
+			_ = c.st.Put(ckey, payload)
+		}
+	}
+	return api.ClusterCompleteResponse{Epoch: epoch}, nil
+}
+
+// finishLocked moves a job to done/failed, logs the transition to the
+// replicated log and unparks watchers.  Cancellation goes through
+// cancelLocked instead (its log record type differs).
+func (c *Coordinator) finishLocked(j *cjob, worker string, row *harness.RunRow, cached bool, errMsg string) {
+	j.worker = worker
+	j.wall = time.Since(j.enqueued)
+	if errMsg != "" {
+		j.state = api.StateFailed
+		j.errMsg = errMsg
+		c.met.jobsFailed.Inc()
+	} else {
+		j.state = api.StateDone
+		j.row = row
+		j.cached = cached
+		c.met.jobsDone.Inc()
+	}
+	delete(c.inflight, j.ckey)
+	close(j.done)
+	c.appendLogLocked(api.ClusterLogRecord{
+		Type: api.ClusterLogComplete, JobID: j.id,
+		Row: row, Cached: cached, Error: errMsg, Worker: worker,
+	})
+	typ := "jobDone"
+	if errMsg != "" {
+		typ = "jobFailed"
+	}
+	c.bus.Publish(api.Event{Type: typ, Job: c.statusLocked(j), Worker: worker})
+	for _, sw := range j.sweeps {
+		c.bus.Publish(api.Event{Type: "sweepProgress", Sweep: c.sweepStatusLocked(sw, false)})
+	}
+	if c.log != nil {
+		lvl := slog.LevelInfo
+		if errMsg != "" {
+			lvl = slog.LevelWarn
+		}
+		c.log.LogAttrs(c.ctx, lvl, "job "+j.state,
+			slog.String("job", j.id), slog.String("worker", worker),
+			slog.Bool("cached", cached), slog.Duration("wall", j.wall))
+	}
+}
+
+// cancelLocked cancels a job.  Queued jobs leave the schedule
+// immediately; a running job is marked terminal here and its eventual
+// completion discarded as a duplicate (the coordinator has no channel
+// to interrupt a worker mid-simulation).  Reports whether the job was
+// still live.
+func (c *Coordinator) cancelLocked(j *cjob) bool {
+	if j.terminal() {
+		return false
+	}
+	c.dequeueLocked(j)
+	j.state = api.StateCanceled
+	j.errMsg = context.Canceled.Error()
+	j.wall = time.Since(j.enqueued)
+	c.met.jobsCanceled.Inc()
+	delete(c.inflight, j.ckey)
+	close(j.done)
+	c.appendLogLocked(api.ClusterLogRecord{Type: api.ClusterLogCancel, JobID: j.id})
+	c.bus.Publish(api.Event{Type: "jobCanceled", Job: c.statusLocked(j)})
+	for _, sw := range j.sweeps {
+		c.bus.Publish(api.Event{Type: "sweepProgress", Sweep: c.sweepStatusLocked(sw, false)})
+	}
+	return true
+}
+
+// janitor is the failure detector: it declares workers lost after
+// heartbeat silence, re-dispatches expired leases, and drains the
+// unassigned backlog when capacity appears.
+func (c *Coordinator) janitor() {
+	defer c.wg.Done()
+	tick := c.cfg.HeartbeatTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			c.janitorOnce()
+		}
+	}
+}
+
+func (c *Coordinator) janitorOnce() {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.role != api.RolePrimary {
+		return
+	}
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if w := c.workers[id]; now.Sub(w.lastSeen) > c.cfg.HeartbeatTTL {
+			c.loseWorkerLocked(w)
+		}
+	}
+	for _, j := range c.jobs {
+		if j.state == api.StateRunning && now.After(j.leaseUntil) {
+			c.redispatchLocked(j, "lease expired")
+		}
+	}
+	c.drainUnassignedLocked()
+	c.updateGaugesLocked()
+}
+
+func (c *Coordinator) drainUnassignedLocked() {
+	if len(c.unassigned) == 0 || len(c.workers) == 0 {
+		return
+	}
+	pending := c.unassigned
+	c.unassigned = nil
+	for _, j := range pending {
+		if err := c.placeLocked(j, false); err != nil {
+			c.unassigned = append(c.unassigned, j)
+		}
+	}
+}
+
+// appendLogLocked sequences a record into the replicated log and wakes
+// long-polling followers.  The log is in-memory and unbounded — see
+// DESIGN.md for the tradeoff (a sweep's worth of records is small, and
+// a restarted coordinator re-derives state from its store instead).
+func (c *Coordinator) appendLogLocked(rec api.ClusterLogRecord) {
+	c.lastSeq++
+	rec.Seq = c.lastSeq
+	rec.Epoch = c.epoch
+	c.wal = append(c.wal, rec)
+	close(c.walNotify)
+	c.walNotify = make(chan struct{})
+	c.met.logSeq.Set(float64(c.lastSeq))
+}
+
+// waitLog serves the follower's log tail, long-polling up to PollWait
+// when wait is set and no records past from exist yet.
+func (c *Coordinator) waitLog(ctx context.Context, from int64, wait bool) api.ClusterLogResponse {
+	if from < 1 {
+		from = 1
+	}
+	deadline := time.Now().Add(c.cfg.PollWait)
+	for {
+		c.mu.Lock()
+		var recs []api.ClusterLogRecord
+		if idx := int(from - 1); idx < len(c.wal) {
+			recs = append([]api.ClusterLogRecord(nil), c.wal[idx:]...)
+		}
+		resp := api.ClusterLogResponse{
+			Epoch: c.epoch, Role: c.role, NextSeq: c.lastSeq + 1, Records: recs,
+		}
+		notify := c.walNotify
+		c.mu.Unlock()
+		if len(recs) > 0 || !wait {
+			return resp
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return resp
+		}
+		select {
+		case <-notify:
+		case <-time.After(remain):
+			return resp
+		case <-ctx.Done():
+			return resp
+		}
+	}
+}
+
+// registerSweep groups already-admitted jobs as one tracked sweep.
+func (c *Coordinator) registerSweep(jobs []*cjob) *csweep {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextSweep++
+	sw := &csweep{id: "s" + strconv.FormatInt(c.nextSweep, 10), jobs: jobs}
+	c.sweeps[sw.id] = sw
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		j.sweeps = append(j.sweeps, sw)
+		ids[i] = j.id
+	}
+	c.appendLogLocked(api.ClusterLogRecord{Type: api.ClusterLogSweep, SweepID: sw.id, JobIDs: ids})
+	return sw
+}
+
+// waitJob parks until the job is terminal or ctx expires.  Coordinator
+// jobs are always detached — a sweep in flight on three machines does
+// not stop because one HTTP watcher went away.
+func (c *Coordinator) waitJob(ctx context.Context, j *cjob) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// stepDownLocked fences this coordinator: a message carried a higher
+// epoch, so a peer has been promoted and this node's writes must stop.
+// It does not auto-rejoin as a follower — the operator restarts it as a
+// standby of the new primary (single-failover assumption, DESIGN.md).
+func (c *Coordinator) stepDownLocked(newEpoch int64, why string) {
+	if c.role == api.RolePrimary {
+		c.role = api.RoleStandby
+		c.bus.Publish(api.Event{Type: "fenced", Worker: c.cfg.NodeID})
+		if c.log != nil {
+			c.log.LogAttrs(c.ctx, slog.LevelWarn, "fenced: stepping down",
+				slog.Int64("seenEpoch", newEpoch), slog.String("via", why))
+		}
+	}
+	if newEpoch > c.epoch {
+		c.epoch = newEpoch
+	}
+	c.updateGaugesLocked()
+}
+
+// Status snapshots membership and scheduling state.
+func (c *Coordinator) Status() api.ClusterStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ws := make([]api.ClusterWorker, 0, len(ids))
+	for _, id := range ids {
+		w := c.workers[id]
+		ws = append(ws, api.ClusterWorker{
+			ID: w.id, Slots: w.slots,
+			Queued: len(w.queue), Leased: len(w.leased),
+			Done: w.done, Stolen: w.stolen,
+			LastSeen: w.lastSeen.UTC().Format(time.RFC3339Nano),
+		})
+	}
+	return api.ClusterStatus{
+		Role: c.role, Epoch: c.epoch, LogSeq: c.lastSeq,
+		Workers: ws, Unassigned: len(c.unassigned),
+		Redispatches: c.met.redispatches.Value(),
+		CacheHits:    c.met.coordCacheHits.Value(),
+		Duplicates:   c.met.duplicates.Value(),
+	}
+}
+
+// statusLocked snapshots one job as the wire RunStatus.
+func (c *Coordinator) statusLocked(j *cjob) *api.RunStatus {
+	st := &api.RunStatus{
+		ID: j.id, Key: j.key, State: j.state, Cached: j.cached,
+		Row: j.row, Worker: j.worker,
+	}
+	if j.state == api.StateFailed || j.state == api.StateCanceled {
+		st.Error = j.errMsg
+	}
+	if j.wall > 0 {
+		st.WallMS = j.wall.Milliseconds()
+	}
+	return st
+}
+
+func (c *Coordinator) sweepStatusLocked(sw *csweep, includePoints bool) *api.SweepStatus {
+	st := &api.SweepStatus{ID: sw.id, Total: len(sw.jobs)}
+	for _, j := range sw.jobs {
+		switch j.state {
+		case api.StateDone:
+			st.Done++
+		case api.StateFailed, api.StateCanceled:
+			st.Failed++
+		}
+		if includePoints {
+			st.Points = append(st.Points, *c.statusLocked(j))
+		}
+	}
+	return st
+}
+
+// updateGaugesLocked refreshes the aggregate and per-worker gauges from
+// scheduler state.  Called at the end of every mutating entry point so
+// scrapes read current values without taking c.mu.
+func (c *Coordinator) updateGaugesLocked() {
+	c.met.workers.Set(float64(len(c.workers)))
+	c.met.epoch.Set(float64(c.epoch))
+	if c.role == api.RolePrimary {
+		c.met.isPrimary.Set(1)
+	} else {
+		c.met.isPrimary.Set(0)
+	}
+	c.met.unassigned.Set(float64(len(c.unassigned)))
+	c.met.logSeq.Set(float64(c.lastSeq))
+	for id, w := range c.workers {
+		c.met.queueDepth.With(id).Set(float64(len(w.queue)))
+		c.met.leased.With(id).Set(float64(len(w.leased)))
+	}
+}
+
+// jobSeq extracts the numeric part of a "j<n>" job ID (0 on mismatch).
+func jobSeq(id string) int64 {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// sweepSeq extracts the numeric part of an "s<n>" sweep ID (0 on mismatch).
+func sweepSeq(id string) int64 {
+	if len(id) < 2 || id[0] != 's' {
+		return 0
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}

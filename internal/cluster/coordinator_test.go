@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"swsm/internal/apps"
+	"swsm/internal/harness"
+	"swsm/internal/server/api"
+	"swsm/internal/sim"
+)
+
+// cspec is the i-th canonical fast test point: fft at Tiny scale, with
+// the processor count cycling through fft-legal powers of two and the
+// host overhead nudged so every index yields a distinct content key.
+func cspec(i int) harness.RunSpec {
+	spec := harness.DefaultSpec("fft", harness.HLRC)
+	spec.Scale = apps.Tiny
+	spec.Procs = 1 << (i % 3)
+	spec.Comm.HostOverhead += sim.Time(i / 3)
+	return spec
+}
+
+func creq(i int) api.RunRequest { return api.RunRequest{Spec: cspec(i)} }
+
+// crow fabricates a plausible result row for direct protocol-level
+// tests that never touch a real simulator.
+func crow(i int) *harness.RunRow {
+	spec := cspec(i)
+	return &harness.RunRow{Key: spec.Key(), Spec: spec, Cycles: int64(1000 + i)}
+}
+
+func newTestCoordinator(t *testing.T, cfg CoordinatorConfig) *Coordinator {
+	t.Helper()
+	if cfg.NodeID == "" {
+		cfg.NodeID = "coord-test"
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// A submission with no workers parks unassigned; the first lease poll
+// registers the worker, drains the backlog onto it, and grants the job
+// — the exact sequence a freshly promoted primary goes through.
+func TestCoordinatorUnassignedThenLease(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{HeartbeatTTL: 10 * time.Second})
+	j, created, err := c.submit(creq(2))
+	if err != nil || !created {
+		t.Fatalf("submit: created=%v err=%v", created, err)
+	}
+	if st := c.Status(); st.Unassigned != 1 {
+		t.Fatalf("unassigned = %d, want 1", st.Unassigned)
+	}
+	resp := c.lease(api.ClusterLeaseRequest{WorkerID: "a", Slots: 2, Max: 2})
+	if resp.Role != api.RolePrimary || len(resp.Jobs) != 1 || resp.Jobs[0].ID != j.id {
+		t.Fatalf("lease = %+v, want the one unassigned job", resp)
+	}
+	if resp.Jobs[0].Stolen {
+		t.Fatal("own-queue grant marked stolen")
+	}
+
+	ack, err := c.complete(api.ClusterCompleteRequest{WorkerID: "a", JobID: j.id, Row: crow(2)})
+	if err != nil || ack.Duplicate {
+		t.Fatalf("complete: %+v err=%v", ack, err)
+	}
+	if err := c.waitJob(context.Background(), j); err != nil {
+		t.Fatalf("waitJob after complete: %v", err)
+	}
+	if j.state != api.StateDone || j.row == nil || j.worker != "a" {
+		t.Fatalf("job after complete: state=%s worker=%s", j.state, j.worker)
+	}
+
+	// Completion is idempotent: a second report acks as a duplicate.
+	ack, err = c.complete(api.ClusterCompleteRequest{WorkerID: "a", JobID: j.id, Row: crow(2)})
+	if err != nil || !ack.Duplicate {
+		t.Fatalf("duplicate complete: %+v err=%v", ack, err)
+	}
+	if st := c.Status(); st.Duplicates != 1 {
+		t.Fatalf("duplicates = %d, want 1", st.Duplicates)
+	}
+	// Unknown jobs are rejected distinctly (worker drops the result).
+	if _, err := c.complete(api.ClusterCompleteRequest{WorkerID: "a", JobID: "j999"}); !errors.Is(err, errUnknownJob) {
+		t.Fatalf("unknown-job complete err = %v", err)
+	}
+}
+
+// Identical live submissions coalesce onto one job.
+func TestCoordinatorCoalesce(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{HeartbeatTTL: 10 * time.Second})
+	j1, created1, err1 := c.submit(creq(3))
+	j2, created2, err2 := c.submit(creq(3))
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !created1 || created2 || j1 != j2 {
+		t.Fatalf("coalesce: created=%v,%v same=%v", created1, created2, j1 == j2)
+	}
+}
+
+// An idle worker steals from the tail of a backlogged one, and the
+// grant is flagged so the victim's Stolen counter accounts for it.
+func TestCoordinatorSteal(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{HeartbeatTTL: 10 * time.Second})
+	c.lease(api.ClusterLeaseRequest{WorkerID: "a", Slots: 1})
+	c.lease(api.ClusterLeaseRequest{WorkerID: "b", Slots: 1})
+
+	// Pick points until worker a owns at least 3 keys (placement is the
+	// deterministic ring function, so the test can precompute homes).
+	ring := NewRing(0)
+	ring.Add("a")
+	ring.Add("b")
+	aOwned := 0
+	for procs := 1; aOwned < 3 && procs < 64; procs++ {
+		if _, _, err := c.submit(creq(procs)); err != nil {
+			t.Fatal(err)
+		}
+		if ring.Lookup(cspec(procs).Key()) == "a" {
+			aOwned++
+		}
+	}
+	if aOwned < 3 {
+		t.Fatal("could not construct 3 keys homed on worker a")
+	}
+
+	// a leases one job: now busy (leased >= slots) with a backlog.
+	if got := c.lease(api.ClusterLeaseRequest{WorkerID: "a", Slots: 1, Max: 1}); len(got.Jobs) != 1 {
+		t.Fatalf("a lease = %+v", got)
+	}
+	// b drains its own queue first, then steals a's tail.
+	resp := c.lease(api.ClusterLeaseRequest{WorkerID: "b", Slots: 1, Max: 100})
+	stolen := 0
+	for _, lj := range resp.Jobs {
+		if lj.Stolen {
+			stolen++
+		}
+	}
+	if stolen == 0 {
+		t.Fatalf("b leased %d jobs, none stolen from backlogged a", len(resp.Jobs))
+	}
+	st := c.Status()
+	for _, w := range st.Workers {
+		if w.ID == "a" && w.Stolen != int64(stolen) {
+			t.Fatalf("a.Stolen = %d, want %d", w.Stolen, stolen)
+		}
+		if w.ID == "a" && w.Queued != 0 {
+			t.Fatalf("a still has %d queued after steal", w.Queued)
+		}
+	}
+}
+
+// An expired lease re-dispatches the job; the janitor (driven directly
+// here) is the only party that moves running jobs.
+func TestCoordinatorLeaseExpiry(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{
+		LeaseTTL:     5 * time.Millisecond,
+		HeartbeatTTL: 10 * time.Second, // keep the worker alive; only the lease lapses
+	})
+	c.lease(api.ClusterLeaseRequest{WorkerID: "a", Slots: 2})
+	j, _, err := c.submit(creq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.lease(api.ClusterLeaseRequest{WorkerID: "a", Slots: 2, Max: 1}); len(got.Jobs) != 1 {
+		t.Fatalf("lease = %+v", got)
+	}
+	time.Sleep(20 * time.Millisecond)
+	c.janitorOnce()
+	if j.state != api.StateQueued || j.redispatches != 1 {
+		t.Fatalf("after expiry: state=%s redispatches=%d", j.state, j.redispatches)
+	}
+	if st := c.Status(); st.Redispatches != 1 {
+		t.Fatalf("Redispatches = %d, want 1", st.Redispatches)
+	}
+	// The job is schedulable again.
+	if got := c.lease(api.ClusterLeaseRequest{WorkerID: "a", Slots: 2, Max: 1}); len(got.Jobs) != 1 || got.Jobs[0].ID != j.id {
+		t.Fatalf("re-lease = %+v", got)
+	}
+	// A held lease is renewed by polls and does NOT expire.
+	for i := 0; i < 4; i++ {
+		time.Sleep(2 * time.Millisecond)
+		c.lease(api.ClusterLeaseRequest{WorkerID: "a", Slots: 2, Held: []string{j.id}})
+	}
+	c.janitorOnce()
+	if j.state != api.StateRunning {
+		t.Fatalf("renewed lease still expired: state=%s", j.state)
+	}
+}
+
+// A message carrying a higher epoch fences the primary: it steps down
+// and refuses writes.
+func TestCoordinatorEpochFence(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{HeartbeatTTL: 10 * time.Second})
+	resp := c.lease(api.ClusterLeaseRequest{WorkerID: "w", Slots: 1, Epoch: 5})
+	if resp.Role != api.RoleStandby || resp.Epoch != 5 {
+		t.Fatalf("fenced lease response = %+v", resp)
+	}
+	if _, _, err := c.submit(creq(2)); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("submit on fenced coordinator err = %v", err)
+	}
+	if got := c.Role(); got != api.RoleStandby {
+		t.Fatalf("role = %s", got)
+	}
+}
+
+// The replicated log long-poll returns immediately when records exist,
+// wakes on a fresh append, and gives up empty at the poll deadline.
+func TestCoordinatorWaitLog(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{
+		HeartbeatTTL: 10 * time.Second,
+		PollWait:     150 * time.Millisecond,
+	})
+	if _, _, err := c.submit(creq(2)); err != nil {
+		t.Fatal(err)
+	}
+	r := c.waitLog(context.Background(), 1, false)
+	if len(r.Records) == 0 || r.Records[0].Seq != 1 || r.NextSeq != r.Records[len(r.Records)-1].Seq+1 {
+		t.Fatalf("waitLog(1) = %+v", r)
+	}
+	if r.Records[0].Type != api.ClusterLogSubmit || r.Records[0].Req == nil {
+		t.Fatalf("first record = %+v, want the replicated submit", r.Records[0])
+	}
+
+	// A long-poll parked past the tail wakes on the next append.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		c.submit(creq(3))
+	}()
+	start := time.Now()
+	r2 := c.waitLog(context.Background(), r.NextSeq, true)
+	if len(r2.Records) == 0 {
+		t.Fatal("long-poll returned empty despite an append")
+	}
+	if d := time.Since(start); d > 140*time.Millisecond {
+		t.Fatalf("long-poll slept to the deadline (%v) instead of waking on append", d)
+	}
+
+	// Nothing new: the poll holds for PollWait, then returns empty.
+	start = time.Now()
+	r3 := c.waitLog(context.Background(), r2.NextSeq+100, true)
+	if len(r3.Records) != 0 {
+		t.Fatalf("poll past the tail returned records: %+v", r3)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("empty long-poll returned after %v, want ~PollWait hold", d)
+	}
+}
+
+// The coordinator's own store is the top cache tier: a spec completed
+// once is answered on resubmission without dispatching anything.
+func TestCoordinatorStoreTier(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{
+		HeartbeatTTL: 10 * time.Second,
+		StoreDir:     t.TempDir(),
+	})
+	c.lease(api.ClusterLeaseRequest{WorkerID: "a", Slots: 2})
+	j1, _, err := c.submit(creq(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.lease(api.ClusterLeaseRequest{WorkerID: "a", Slots: 2, Max: 1}); len(got.Jobs) != 1 {
+		t.Fatalf("lease = %+v", got)
+	}
+	if _, err := c.complete(api.ClusterCompleteRequest{WorkerID: "a", JobID: j1.id, Row: crow(4)}); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, created, err := c.submit(creq(4))
+	if err != nil || !created || j2 == j1 {
+		t.Fatalf("resubmit: created=%v same=%v err=%v", created, j2 == j1, err)
+	}
+	if j2.state != api.StateDone || !j2.cached || j2.row == nil {
+		t.Fatalf("resubmit not served from store: state=%s cached=%v", j2.state, j2.cached)
+	}
+	if j2.row.Cycles != crow(4).Cycles {
+		t.Fatalf("cached row cycles = %d, want %d", j2.row.Cycles, crow(4).Cycles)
+	}
+	st := c.Status()
+	if st.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", st.CacheHits)
+	}
+	for _, w := range st.Workers {
+		if w.Queued != 0 {
+			t.Fatalf("cache hit still dispatched: %+v", w)
+		}
+	}
+}

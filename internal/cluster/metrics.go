@@ -1,0 +1,77 @@
+package cluster
+
+import "swsm/internal/obs"
+
+// clusterMetrics is the coordinator's Prometheus plane, rendered by the
+// same dependency-free obs registry as the daemon's.  Aggregate gauges
+// are explicit instruments refreshed under the coordinator mutex
+// (updateGaugesLocked) rather than scrape-time callbacks: a scrape then
+// never takes c.mu, which keeps the lock order one-directional
+// (coordinator mutex -> registry mutex, only ever on registration).
+type clusterMetrics struct {
+	reg *obs.Registry
+
+	// Admission and terminal counters, mirroring the daemon's.
+	created      *obs.Counter
+	coalesced    *obs.Counter
+	jobsDone     *obs.Counter
+	jobsFailed   *obs.Counter
+	jobsCanceled *obs.Counter
+
+	// Cluster-specific counters.
+	coordCacheHits  *obs.Counter // answered from the coordinator's own store
+	workerCacheHits *obs.Counter // worker reported cached=true
+	redispatches    *obs.Counter
+	duplicates      *obs.Counter
+	failovers       *obs.Counter
+
+	// Per-worker families (label values appear as workers join).
+	stolen     *obs.CounterVec // jobs stolen BY a worker (the thief)
+	workerDone *obs.CounterVec
+	queueDepth *obs.GaugeVec
+	leased     *obs.GaugeVec
+
+	// Aggregate gauges refreshed under the coordinator mutex.
+	workers    *obs.Gauge
+	epoch      *obs.Gauge
+	isPrimary  *obs.Gauge
+	unassigned *obs.Gauge
+	logSeq     *obs.Gauge
+
+	// SSE bus counters (shared with server.EventBus).
+	sseEvents  *obs.Counter
+	sseDropped *obs.Counter
+}
+
+func newClusterMetrics() *clusterMetrics {
+	reg := obs.NewRegistry()
+	return &clusterMetrics{
+		reg: reg,
+
+		created:      reg.Counter("svmd_cluster_jobs_created_total", "Jobs admitted by the coordinator.", ""),
+		coalesced:    reg.Counter("svmd_cluster_jobs_coalesced_total", "Submissions coalesced onto an identical in-flight job.", ""),
+		jobsDone:     reg.Counter("svmd_cluster_jobs_total", "Jobs reaching a terminal state.", `state="done"`),
+		jobsFailed:   reg.Counter("svmd_cluster_jobs_total", "Jobs reaching a terminal state.", `state="failed"`),
+		jobsCanceled: reg.Counter("svmd_cluster_jobs_total", "Jobs reaching a terminal state.", `state="canceled"`),
+
+		coordCacheHits:  reg.Counter("svmd_cluster_cache_hits_total", "Jobs answered from a cluster cache tier without simulating.", `tier="coordinator"`),
+		workerCacheHits: reg.Counter("svmd_cluster_cache_hits_total", "Jobs answered from a cluster cache tier without simulating.", `tier="worker"`),
+		redispatches:    reg.Counter("svmd_cluster_redispatches_total", "Jobs re-dispatched after a lost worker or an expired lease.", ""),
+		duplicates:      reg.Counter("svmd_cluster_duplicate_completions_total", "Duplicate completions discarded idempotently.", ""),
+		failovers:       reg.Counter("svmd_cluster_failovers_total", "Promotions of this coordinator from standby to primary.", ""),
+
+		stolen:     reg.CounterVec("svmd_cluster_jobs_stolen_total", "Jobs stolen from another worker's queue, by thief.", "worker"),
+		workerDone: reg.CounterVec("svmd_cluster_worker_jobs_total", "Completions reported, by worker.", "worker"),
+		queueDepth: reg.GaugeVec("svmd_cluster_worker_queue_depth", "Dispatch-queue depth, by worker.", "worker"),
+		leased:     reg.GaugeVec("svmd_cluster_worker_leased", "Jobs currently leased, by worker.", "worker"),
+
+		workers:    reg.Gauge("svmd_cluster_workers", "Live joined workers.", ""),
+		epoch:      reg.Gauge("svmd_cluster_epoch", "Current coordination epoch.", ""),
+		isPrimary:  reg.Gauge("svmd_cluster_is_primary", "1 when this coordinator is the primary, 0 on a standby.", ""),
+		unassigned: reg.Gauge("svmd_cluster_unassigned_jobs", "Jobs waiting for any worker to join.", ""),
+		logSeq:     reg.Gauge("svmd_cluster_log_seq", "Highest sequence number in the replicated log.", ""),
+
+		sseEvents:  reg.Counter("svmd_sse_events_total", "SSE frames delivered to subscribers.", ""),
+		sseDropped: reg.Counter("svmd_sse_dropped_total", "SSE frames dropped on slow subscribers.", ""),
+	}
+}

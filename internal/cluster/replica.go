@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"sort"
+	"time"
+
+	"swsm/internal/server/api"
+	"swsm/internal/server/client"
+)
+
+// This file is the standby side of the lease/epoch scheme: a follower
+// loop that tails the primary's log, an apply function that replays
+// records into the shadow job table, and the promotion path that turns
+// the shadow into a live schedule under a higher epoch.
+//
+// The scheme is deliberately not consensus.  There is one primary and
+// one standby; the log is a simple sequenced stream; failover is
+// detection (primary silent past FailoverAfter) plus promotion (epoch+1)
+// plus fencing (any node seeing a higher epoch stops writing).  What
+// makes this safe where it would normally lose work is the layer below:
+// results are content-addressed and the simulator deterministic, so a
+// record lost off the log tail costs at most a re-dispatch that the
+// owning worker answers from its own store.
+
+// storePut is a deferred store write-back collected under the mutex and
+// applied outside it.
+type storePut struct {
+	key     string
+	payload []byte
+}
+
+// follow tails the primary's log until the coordinator stops or the
+// primary goes silent long enough to trigger promotion.
+func (c *Coordinator) follow() {
+	defer c.wg.Done()
+	cl := client.New(c.cfg.PeerURL)
+	cl.Retries = -1 // fail fast; this loop is the failure detector
+	from := int64(1)
+	lastContact := time.Now()
+	for {
+		if c.ctx.Err() != nil {
+			return
+		}
+		reqCtx, cancel := context.WithTimeout(c.ctx, c.cfg.PollWait+2*time.Second)
+		resp, err := cl.PollLog(reqCtx, from, true)
+		cancel()
+		if err != nil {
+			if c.ctx.Err() != nil {
+				return
+			}
+			if time.Since(lastContact) > c.cfg.FailoverAfter {
+				c.promote()
+				return
+			}
+			select {
+			case <-time.After(c.cfg.PollWait / 8):
+			case <-c.ctx.Done():
+				return
+			}
+			continue
+		}
+		lastContact = time.Now()
+		var puts []storePut
+		c.mu.Lock()
+		if resp.Epoch > c.epoch {
+			c.epoch = resp.Epoch
+		}
+		for _, rec := range resp.Records {
+			if rec.Seq <= c.lastSeq {
+				continue // replayed tail after a reconnect
+			}
+			if p := c.applyLocked(rec); p != nil {
+				puts = append(puts, *p)
+			}
+			from = rec.Seq + 1
+		}
+		c.updateGaugesLocked()
+		c.mu.Unlock()
+		// Warm the standby's store outside the lock: a failover then
+		// serves already-completed specs from its own coordinator cache.
+		for _, p := range puts {
+			if c.st != nil {
+				_ = c.st.Put(p.key, p.payload)
+			}
+		}
+	}
+}
+
+// applyLocked replays one log record into the shadow state.  Only the
+// job/sweep tables are replicated; queue placement and leases are
+// derived state the new primary rebuilds from the ring, and membership
+// is re-learned live from the workers' own lease polls.
+func (c *Coordinator) applyLocked(rec api.ClusterLogRecord) *storePut {
+	c.lastSeq = rec.Seq
+	c.wal = append(c.wal, rec)
+	close(c.walNotify)
+	c.walNotify = make(chan struct{})
+	switch rec.Type {
+	case api.ClusterLogSubmit:
+		if rec.Req == nil {
+			return nil
+		}
+		if _, ok := c.jobs[rec.JobID]; ok {
+			return nil
+		}
+		key := rec.Req.Spec.Key()
+		ckey := key
+		if rec.Req.Speedup {
+			ckey += "+speedup"
+		}
+		j := &cjob{
+			id: rec.JobID, key: key, ckey: ckey, req: *rec.Req,
+			state:    api.StateQueued,
+			enqueued: time.Now(),
+			done:     make(chan struct{}),
+		}
+		c.jobs[j.id] = j
+		if _, ok := c.inflight[ckey]; !ok {
+			c.inflight[ckey] = j
+		}
+		if n := jobSeq(j.id); n > c.nextJob {
+			c.nextJob = n
+		}
+	case api.ClusterLogComplete:
+		j := c.jobs[rec.JobID]
+		if j == nil || j.terminal() {
+			return nil
+		}
+		j.worker = rec.Worker
+		j.wall = time.Since(j.enqueued)
+		if rec.Error != "" {
+			j.state = api.StateFailed
+			j.errMsg = rec.Error
+		} else {
+			j.state = api.StateDone
+			j.row = rec.Row
+			j.cached = rec.Cached
+		}
+		if c.inflight[j.ckey] == j {
+			delete(c.inflight, j.ckey)
+		}
+		close(j.done)
+		if rec.Row != nil && rec.Error == "" {
+			if payload, err := json.Marshal(rec.Row); err == nil {
+				return &storePut{key: j.ckey, payload: payload}
+			}
+		}
+	case api.ClusterLogCancel:
+		j := c.jobs[rec.JobID]
+		if j == nil || j.terminal() {
+			return nil
+		}
+		j.state = api.StateCanceled
+		j.errMsg = context.Canceled.Error()
+		if c.inflight[j.ckey] == j {
+			delete(c.inflight, j.ckey)
+		}
+		close(j.done)
+	case api.ClusterLogSweep:
+		if _, ok := c.sweeps[rec.SweepID]; ok {
+			return nil
+		}
+		sw := &csweep{id: rec.SweepID}
+		for _, id := range rec.JobIDs {
+			if j := c.jobs[id]; j != nil {
+				sw.jobs = append(sw.jobs, j)
+				j.sweeps = append(j.sweeps, sw)
+			}
+		}
+		c.sweeps[sw.id] = sw
+		if n := sweepSeq(sw.id); n > c.nextSweep {
+			c.nextSweep = n
+		}
+	case api.ClusterLogJoin, api.ClusterLogLost:
+		// Membership records are informational on a standby: liveness is
+		// whatever the workers prove to the *current* primary, so the new
+		// primary always re-learns membership from their lease polls.
+	}
+	return nil
+}
+
+// promote turns this standby into the primary under a fresh epoch.
+// Every non-terminal job becomes unassigned; workers re-register
+// through their next lease poll (adopting the higher epoch, which
+// fences the old primary if it is merely partitioned rather than dead)
+// and the unassigned backlog drains onto the rebuilt ring.  Jobs that
+// completed after the log tail was lost re-dispatch to the same ring
+// home, whose store answers without re-simulating — results stay
+// exactly-once at the content-key level even though the job record ran
+// "twice".
+func (c *Coordinator) promote() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.role == api.RolePrimary {
+		return
+	}
+	c.role = api.RolePrimary
+	c.epoch++
+	if c.epoch < 2 {
+		// A standby that never reached its primary still needs a higher
+		// epoch than the default primary boot epoch (1).
+		c.epoch = 2
+	}
+	c.ring = NewRing(c.cfg.RingReplicas)
+	c.workers = make(map[string]*workerState)
+	c.unassigned = nil
+	var pending []*cjob
+	for _, j := range c.jobs {
+		if !j.terminal() {
+			pending = append(pending, j)
+		}
+	}
+	sort.Slice(pending, func(i, k int) bool { return jobSeq(pending[i].id) < jobSeq(pending[k].id) })
+	for _, j := range pending {
+		j.worker = ""
+		j.state = api.StateQueued
+		j.leaseUntil = time.Time{}
+		c.unassigned = append(c.unassigned, j)
+	}
+	c.met.failovers.Inc()
+	c.bus.Publish(api.Event{Type: "failover", Worker: c.cfg.NodeID})
+	if c.log != nil {
+		c.log.LogAttrs(c.ctx, slog.LevelWarn, "promoted to primary",
+			slog.Int64("epoch", c.epoch),
+			slog.Int64("logSeq", c.lastSeq),
+			slog.Int("pendingJobs", len(pending)))
+	}
+	c.updateGaugesLocked()
+}

@@ -72,6 +72,7 @@ type Pool[K comparable, V any] struct {
 	obs Observer
 
 	runs, hits, waits atomic.Int64
+	inFlight          atomic.Int64
 }
 
 // New creates a pool running fn on at most parallel workers
@@ -94,6 +95,14 @@ func (p *Pool[K, V]) SetObserver(o Observer) { p.obs = o }
 
 // Parallelism reports the worker bound.
 func (p *Pool[K, V]) Parallelism() int { return cap(p.sem) }
+
+// InFlight reports how many executions currently occupy a worker slot.
+// Cache hits and single-flight waits never count — they hold no slot.
+// The cluster worker agent leases remote jobs against exactly the
+// slots this leaves free (Parallelism - InFlight), so remote work
+// fills idle capacity without overcommitting a node that is already
+// busy with local requests.
+func (p *Pool[K, V]) InFlight() int { return int(p.inFlight.Load()) }
 
 // Do returns fn(k), executing it at most once per pool lifetime: the
 // first caller runs it (bounded by the worker semaphore), concurrent
@@ -155,12 +164,14 @@ func (p *Pool[K, V]) DoCtx(ctx context.Context, k K) (V, error) {
 		return zero, c.err
 	}
 	p.runs.Add(1)
+	p.inFlight.Add(1)
 	var startedAt time.Time
 	if p.obs != nil {
 		startedAt = time.Now()
 		p.obs.RunStart(startedAt.Sub(queuedAt))
 	}
 	defer func() {
+		p.inFlight.Add(-1)
 		<-p.sem
 		// Close only after val/err are final so waiters never observe a
 		// half-written call.

@@ -34,6 +34,11 @@ func NewSession(parallel int) *Session {
 // Parallelism reports the session's worker bound.
 func (s *Session) Parallelism() int { return s.pool.Parallelism() }
 
+// InFlight reports how many simulations currently occupy a pool slot —
+// the load signal the cluster worker agent subtracts from Parallelism
+// to size its lease requests.
+func (s *Session) InFlight() int { return s.pool.InFlight() }
+
 // SetObserver installs wall-clock scheduling telemetry on the session's
 // pool (slot queue wait and run duration per executed simulation); see
 // runner.Observer.  Call before the session starts running.

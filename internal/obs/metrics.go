@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -257,6 +258,112 @@ func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histo
 	}
 	r.register(name, help, "histogram", h)
 	return h
+}
+
+// CounterVec is a family of counters distinguished by one variable
+// label whose values appear at runtime — per-worker series of the
+// cluster coordinator, where worker IDs are not known at registration.
+// Cardinality is expected to stay small and bounded (cluster
+// membership, not request attributes); each distinct value registers a
+// series that lives for the registry's lifetime.
+type CounterVec struct {
+	reg        *Registry
+	name, help string
+	label      string
+	mu         sync.Mutex
+	byValue    map[string]*Counter
+}
+
+// CounterVec registers a counter family whose series are materialized
+// per label value by With.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{reg: r, name: name, help: help, label: label,
+		byValue: make(map[string]*Counter)}
+	// Pin the family's name/help/type now so the exposition shows it
+	// (with zero series) before the first With.
+	r.mu.Lock()
+	if _, ok := r.fams[name]; !ok {
+		r.fams[name] = &family{name: name, help: help, typ: "counter"}
+	}
+	r.mu.Unlock()
+	return v
+}
+
+// With returns the counter for one label value, registering it on first
+// use.  Safe for concurrent use; nil-safe like the instruments.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.byValue[value]; ok {
+		return c
+	}
+	c := v.reg.Counter(v.name, v.help, v.label+`="`+escapeLabel(value)+`"`)
+	v.byValue[value] = c
+	return c
+}
+
+// GaugeVec is CounterVec for gauges (per-worker queue depth, in-flight
+// leases).
+type GaugeVec struct {
+	reg        *Registry
+	name, help string
+	label      string
+	mu         sync.Mutex
+	byValue    map[string]*Gauge
+}
+
+// GaugeVec registers a gauge family whose series are materialized per
+// label value by With.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{reg: r, name: name, help: help, label: label,
+		byValue: make(map[string]*Gauge)}
+	r.mu.Lock()
+	if _, ok := r.fams[name]; !ok {
+		r.fams[name] = &family{name: name, help: help, typ: "gauge"}
+	}
+	r.mu.Unlock()
+	return v
+}
+
+// With returns the gauge for one label value, registering it on first
+// use.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.byValue[value]; ok {
+		return g
+	}
+	g := v.reg.Gauge(v.name, v.help, v.label+`="`+escapeLabel(value)+`"`)
+	v.byValue[value] = g
+	return g
+}
+
+// escapeLabel makes a runtime string safe inside a label value per the
+// exposition format (backslash, quote and newline escapes).
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // WritePrometheus renders every registered family in sorted name order

@@ -54,6 +54,52 @@ workers 4
 	}
 }
 
+// TestExpositionVecGolden pins the labeled-family exposition the
+// cluster metrics rely on: per-worker series materialize on first With,
+// a family registered before any series still exposes its HELP/TYPE
+// header, and runtime label values (worker IDs) are escaped.
+func TestExpositionVecGolden(t *testing.T) {
+	r := NewRegistry()
+	stolen := r.CounterVec("jobs_stolen_total", "Jobs stolen, by thief.", "worker")
+	depth := r.GaugeVec("worker_queue_depth", "Dispatch queue depth.", "worker")
+	r.CounterVec("failovers_total", "Failovers.", "node") // pinned, zero series
+
+	stolen.With("w1").Add(2)
+	stolen.With(`odd"w\`).Inc() // hostile worker ID: quote and backslash
+	depth.With("w1").Set(3)
+	depth.With("w2").Set(0)
+	// With is memoized: the same label value is one series, not two.
+	stolen.With("w1").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP failovers_total Failovers.
+# TYPE failovers_total counter
+# HELP jobs_stolen_total Jobs stolen, by thief.
+# TYPE jobs_stolen_total counter
+jobs_stolen_total{worker="w1"} 3
+jobs_stolen_total{worker="odd\"w\\"} 1
+# HELP worker_queue_depth Dispatch queue depth.
+# TYPE worker_queue_depth gauge
+worker_queue_depth{worker="w1"} 3
+worker_queue_depth{worker="w2"} 0
+`
+	if got := sb.String(); got != want {
+		t.Errorf("vec exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Nil vecs follow the disabled-observability contract end to end.
+	var nc *CounterVec
+	var ng *GaugeVec
+	nc.With("x").Inc()
+	ng.With("x").Set(1)
+	if nc.With("x").Value() != 0 || ng.With("x").Value() != 0 {
+		t.Error("nil vec instruments reported nonzero values")
+	}
+}
+
 // TestExpositionDeterministic verifies two scrapes of the same state
 // are byte-identical (families sort by name, series keep registration
 // order).

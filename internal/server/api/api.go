@@ -54,6 +54,9 @@ type RunStatus struct {
 	// WallMS is the job's wall-clock execution time in milliseconds
 	// (queue wait excluded), present once the job left the queue.
 	WallMS int64 `json:"wallMs,omitempty"`
+	// Worker names the cluster worker the job is dispatched to or was
+	// executed by; absent on plain (non-coordinator) daemons.
+	Worker string `json:"worker,omitempty"`
 }
 
 // SweepRequest submits a batch of points that execute as one tracked
@@ -86,6 +89,10 @@ type Event struct {
 	Job *RunStatus `json:"job,omitempty"`
 	// Sweep carries progress for sweepProgress events.
 	Sweep *SweepStatus `json:"sweep,omitempty"`
+	// Worker names the cluster worker involved, on coordinator streams:
+	// the executor on job* frames, the subject on workerJoined,
+	// workerLost and failover frames.
+	Worker string `json:"worker,omitempty"`
 }
 
 // Metrics is the GET /metrics body.
@@ -122,4 +129,169 @@ type Health struct {
 	// KeyVersion is the RunSpec content-key version the daemon computes;
 	// clients comparing stored keys across daemons should check it.
 	KeyVersion int `json:"keyVersion"`
+	// Role and Epoch are reported by cluster coordinators ("primary" or
+	// "standby", and the current coordination epoch); absent on plain
+	// daemons.
+	Role  string `json:"role,omitempty"`
+	Epoch int64  `json:"epoch,omitempty"`
+	// Workers counts live joined workers (coordinators only).
+	Workers int `json:"workers,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Cluster protocol: the wire types of the coordinator <-> worker lease
+// protocol and the coordinator <-> standby replication log.  Workers
+// pull: a join registers the node, a lease request doubles as the
+// heartbeat and hands out queued jobs (its own ring share first, then
+// stolen stragglers), and a complete reports the terminal row.  Every
+// message carries the sender's last-seen epoch so a superseded
+// coordinator can be fenced.
+
+// Cluster coordinator roles.
+const (
+	RolePrimary = "primary"
+	RoleStandby = "standby"
+)
+
+// ClusterJoinRequest registers a worker with the coordinator.
+type ClusterJoinRequest struct {
+	// WorkerID is the worker's stable identity (ring placement hashes
+	// it, so it must survive worker restarts for cache locality to).
+	WorkerID string `json:"workerId"`
+	// Slots is the worker's concurrent-simulation bound, reported for
+	// observability and steal heuristics.
+	Slots int `json:"slots"`
+	// Epoch is the highest coordination epoch the worker has seen.
+	Epoch int64 `json:"epoch"`
+}
+
+// ClusterJoinResponse acknowledges a join.
+type ClusterJoinResponse struct {
+	Epoch int64  `json:"epoch"`
+	Role  string `json:"role"`
+}
+
+// ClusterLeaseRequest asks for up to Max jobs and renews the leases of
+// the jobs the worker still holds.  A request with Max 0 is a pure
+// heartbeat.
+type ClusterLeaseRequest struct {
+	WorkerID string `json:"workerId"`
+	Slots    int    `json:"slots"`
+	Max      int    `json:"max"`
+	// Held renews the lease on jobs the worker is still executing, so a
+	// slow simulation is a straggler (stealable queue, extended lease),
+	// not a death (re-dispatch).
+	Held  []string `json:"held,omitempty"`
+	Epoch int64    `json:"epoch"`
+}
+
+// ClusterLeasedJob is one job handed to a worker.
+type ClusterLeasedJob struct {
+	ID  string     `json:"id"`
+	Req RunRequest `json:"req"`
+	// Stolen marks a job taken from another worker's dispatch queue
+	// (the thief was idle; the ring home was a straggler).
+	Stolen bool `json:"stolen,omitempty"`
+}
+
+// ClusterLeaseResponse carries leased jobs and the coordinator's epoch.
+type ClusterLeaseResponse struct {
+	Epoch int64              `json:"epoch"`
+	Role  string             `json:"role"`
+	Jobs  []ClusterLeasedJob `json:"jobs,omitempty"`
+}
+
+// ClusterCompleteRequest reports one leased job's terminal result.
+// Completion is idempotent at the coordinator: a job already terminal
+// (completed by a steal race or an earlier attempt) is acknowledged as
+// a duplicate and its result discarded — results are content-addressed
+// and deterministic, so the first row is the row.
+type ClusterCompleteRequest struct {
+	WorkerID string `json:"workerId"`
+	JobID    string `json:"jobId"`
+	Epoch    int64  `json:"epoch"`
+	// Row is the result on success (nil when Error is set).
+	Row *harness.RunRow `json:"row,omitempty"`
+	// Cached reports the worker answered from its own cache tier
+	// (persistent store or memo) without simulating.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// ClusterCompleteResponse acknowledges a completion.
+type ClusterCompleteResponse struct {
+	Epoch     int64 `json:"epoch"`
+	Duplicate bool  `json:"duplicate,omitempty"`
+}
+
+// Cluster log record types, the replicated coordinator state: every
+// submission, terminal transition and membership change, in sequence
+// order.  A standby replaying the log from 1 reconstructs the job
+// table; everything else (queue placement, leases) is derived state the
+// new primary rebuilds from the ring.
+const (
+	ClusterLogSubmit   = "submit"
+	ClusterLogComplete = "complete"
+	ClusterLogCancel   = "cancel"
+	ClusterLogSweep    = "sweep"
+	ClusterLogJoin     = "join"
+	ClusterLogLost     = "lost"
+)
+
+// ClusterLogRecord is one entry of the coordinator's replicated log.
+type ClusterLogRecord struct {
+	Seq   int64  `json:"seq"`
+	Epoch int64  `json:"epoch"`
+	Type  string `json:"type"`
+	// JobID/Req describe submissions; JobID alone cancels.
+	JobID string      `json:"jobId,omitempty"`
+	Req   *RunRequest `json:"req,omitempty"`
+	// Row/Cached/Error carry a completion (Row nil on failure).
+	Row    *harness.RunRow `json:"row,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	// Worker names the subject of join/lost records and the executor on
+	// completions.
+	Worker string `json:"worker,omitempty"`
+	// SweepID/JobIDs describe sweep registrations.
+	SweepID string   `json:"sweepId,omitempty"`
+	JobIDs  []string `json:"jobIds,omitempty"`
+}
+
+// ClusterLogResponse is the GET /cluster/log body: records after the
+// requested sequence number, plus the primary's epoch so a follower
+// notices supersession.
+type ClusterLogResponse struct {
+	Epoch   int64              `json:"epoch"`
+	Role    string             `json:"role"`
+	NextSeq int64              `json:"nextSeq"`
+	Records []ClusterLogRecord `json:"records,omitempty"`
+}
+
+// ClusterWorker snapshots one joined worker for /cluster/status.
+type ClusterWorker struct {
+	ID       string `json:"id"`
+	Slots    int    `json:"slots"`
+	Queued   int    `json:"queued"`
+	Leased   int    `json:"leased"`
+	Done     int64  `json:"done"`
+	Stolen   int64  `json:"stolen"`
+	LastSeen string `json:"lastSeen"`
+}
+
+// ClusterStatus is the GET /cluster/status body — the coordinator's
+// membership and scheduling state for dashboards and smoke tests.
+type ClusterStatus struct {
+	Role    string          `json:"role"`
+	Epoch   int64           `json:"epoch"`
+	LogSeq  int64           `json:"logSeq"`
+	Workers []ClusterWorker `json:"workers"`
+	// Unassigned counts jobs waiting for any worker to join.
+	Unassigned   int   `json:"unassigned"`
+	Redispatches int64 `json:"redispatches"`
+	// CacheHits counts jobs answered from the coordinator's own store
+	// without dispatching.
+	CacheHits int64 `json:"cacheHits"`
+	// Duplicates counts idempotently discarded duplicate completions.
+	Duplicates int64 `json:"duplicates"`
 }

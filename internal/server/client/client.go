@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -54,8 +55,17 @@ func (e *apiError) Error() string {
 }
 
 // do performs one request, decoding a JSON body into out (ignored when
-// nil) and mapping non-2xx responses to *apiError.
+// nil) and mapping non-2xx responses to *apiError.  Transport-level
+// failures on idempotent requests (connection refused or reset while a
+// daemon restarts, for example) surface as retryable errors so
+// withBackoff can reconnect; non-idempotent requests fail immediately —
+// the caller knows whether its POST is safe to repeat.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	return c.doRetryable(ctx, method, path, body, out,
+		method == http.MethodGet || method == http.MethodHead)
+}
+
+func (c *Client) doRetryable(ctx context.Context, method, path string, body, out any, idempotent bool) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -76,6 +86,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	req.Header.Set("Accept", "application/json")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
+		// A cancelled context is the caller's decision, never retried.
+		if idempotent && ctx.Err() == nil {
+			return &backoffError{
+				apiError:  &apiError{Status: 0, Msg: err.Error()},
+				transient: true,
+			}
+		}
 		return err
 	}
 	defer resp.Body.Close()
@@ -102,17 +119,49 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// backoffError wraps a 429 with the daemon's requested delay.
+// backoffError wraps a retryable failure: a 429 with the daemon's
+// requested delay, or (transient) a transport error on an idempotent
+// request, retried on a capped exponential schedule.
 type backoffError struct {
 	*apiError
-	after time.Duration
+	after     time.Duration
+	transient bool
 }
 
-// withBackoff retries fn after daemon-directed backoff, bounded by
-// Retries and ctx.
+func (e *backoffError) Unwrap() error { return e.apiError }
+
+// StatusCode extracts the HTTP status from an error this client
+// returned: 0 for transport-level failures, -1 for errors that are not
+// the client's.  The cluster worker agent routes on it (404 = job
+// unknown here, drop; 503 = wrong coordinator, rotate).
+func StatusCode(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	return -1
+}
+
+// transientDelay is the capped exponential schedule for reconnects:
+// 25ms, 50ms, 100ms, ... capped at 500ms.
+func transientDelay(attempt int) time.Duration {
+	if attempt > 5 { // 25ms<<5 already exceeds the cap; avoid shift overflow
+		return 500 * time.Millisecond
+	}
+	d := 25 * time.Millisecond << uint(attempt)
+	if d > 500*time.Millisecond {
+		return 500 * time.Millisecond
+	}
+	return d
+}
+
+// withBackoff retries fn after daemon-directed (429 Retry-After) or
+// transport-level (capped exponential) backoff, bounded by Retries and
+// ctx.  Retries < 0 disables retrying entirely — the cluster standby's
+// failure detector wants the raw error, fast.
 func (c *Client) withBackoff(ctx context.Context, fn func() error) error {
 	retries := c.Retries
-	if retries <= 0 {
+	if retries == 0 {
 		retries = 10
 	}
 	for attempt := 0; ; attempt++ {
@@ -121,8 +170,12 @@ func (c *Client) withBackoff(ctx context.Context, fn func() error) error {
 		if !ok || attempt >= retries {
 			return err
 		}
+		delay := be.after
+		if be.transient {
+			delay = transientDelay(attempt)
+		}
 		select {
-		case <-time.After(be.after):
+		case <-time.After(delay):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -154,14 +207,31 @@ func (c *Client) Submit(ctx context.Context, req api.RunRequest) (*api.RunStatus
 	return &st, nil
 }
 
-// Get fetches a job's status; wait blocks until it is terminal.
+// Get fetches a job's status; wait blocks until it is terminal.  As an
+// idempotent GET it retries through transient connection errors (the
+// daemon restarting under the request) with capped backoff.
 func (c *Client) Get(ctx context.Context, id string, wait bool) (*api.RunStatus, error) {
 	path := "/runs/" + url.PathEscape(id)
 	if wait {
 		path += "?wait=1"
 	}
 	var st api.RunStatus
-	if err := c.do(ctx, http.MethodGet, path, nil, &st); err != nil {
+	err := c.withBackoff(ctx, func() error {
+		return c.do(ctx, http.MethodGet, path, nil, &st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// GetSweep fetches a sweep's progress (idempotent; retried like Get).
+func (c *Client) GetSweep(ctx context.Context, id string) (*api.SweepStatus, error) {
+	var st api.SweepStatus
+	err := c.withBackoff(ctx, func() error {
+		return c.do(ctx, http.MethodGet, "/sweeps/"+url.PathEscape(id), nil, &st)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -222,7 +292,10 @@ func (c *Client) Trace(ctx context.Context, id string, w io.Writer) error {
 // Metrics fetches the daemon's metrics snapshot.
 func (c *Client) Metrics(ctx context.Context) (*api.Metrics, error) {
 	var m api.Metrics
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+	err := c.withBackoff(ctx, func() error {
+		return c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &m, nil
@@ -231,8 +304,84 @@ func (c *Client) Metrics(ctx context.Context) (*api.Metrics, error) {
 // Health fetches the daemon's liveness/drain state.
 func (c *Client) Health(ctx context.Context) (*api.Health, error) {
 	var h api.Health
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+	err := c.withBackoff(ctx, func() error {
+		return c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &h, nil
+}
+
+// ---------------------------------------------------------------------------
+// Cluster protocol: the worker agent's side of registration, job
+// leasing and completion, and the standby's log tail.  Join, Lease and
+// Complete are idempotent by protocol design (a replayed join re-
+// registers, a replayed lease renews, a replayed complete is discarded
+// as a duplicate), so they opt in to transient-error retry even though
+// they are POSTs.
+
+// Join registers a worker with the coordinator.
+func (c *Client) Join(ctx context.Context, req api.ClusterJoinRequest) (*api.ClusterJoinResponse, error) {
+	var resp api.ClusterJoinResponse
+	err := c.withBackoff(ctx, func() error {
+		return c.doRetryable(ctx, http.MethodPost, "/cluster/join", req, &resp, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Lease requests jobs (and renews held leases; a Max of 0 is a pure
+// heartbeat).
+func (c *Client) Lease(ctx context.Context, req api.ClusterLeaseRequest) (*api.ClusterLeaseResponse, error) {
+	var resp api.ClusterLeaseResponse
+	err := c.withBackoff(ctx, func() error {
+		return c.doRetryable(ctx, http.MethodPost, "/cluster/lease", req, &resp, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Complete reports a leased job's terminal result.
+func (c *Client) Complete(ctx context.Context, req api.ClusterCompleteRequest) (*api.ClusterCompleteResponse, error) {
+	var resp api.ClusterCompleteResponse
+	err := c.withBackoff(ctx, func() error {
+		return c.doRetryable(ctx, http.MethodPost, "/cluster/complete", req, &resp, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PollLog tails the coordinator's replicated log from seq, long-polling
+// when wait is true.  No automatic retry: the standby's failure
+// detector times the silence itself.
+func (c *Client) PollLog(ctx context.Context, from int64, wait bool) (*api.ClusterLogResponse, error) {
+	path := fmt.Sprintf("/cluster/log?from=%d", from)
+	if wait {
+		path += "&wait=1"
+	}
+	var resp api.ClusterLogResponse
+	if err := c.doRetryable(ctx, http.MethodGet, path, nil, &resp, false); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ClusterStatus fetches the coordinator's membership and scheduling
+// snapshot.
+func (c *Client) ClusterStatus(ctx context.Context) (*api.ClusterStatus, error) {
+	var st api.ClusterStatus
+	err := c.withBackoff(ctx, func() error {
+		return c.do(ctx, http.MethodGet, "/cluster/status", nil, &st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
 }

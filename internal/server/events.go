@@ -7,11 +7,11 @@ import (
 	"swsm/internal/server/api"
 )
 
-// eventBus fans job/sweep lifecycle events out to SSE subscribers.
+// EventBus fans job/sweep lifecycle events out to SSE subscribers.
 // Publishing never blocks the scheduler: a subscriber whose buffer is
 // full loses frames (each frame carries a sequence number, so a
 // consumer can detect the gap and reconcile via GET /runs).
-type eventBus struct {
+type EventBus struct {
 	mu     sync.Mutex
 	seq    int64
 	subs   map[chan api.Event]struct{}
@@ -23,24 +23,27 @@ type eventBus struct {
 	dropped   *obs.Counter
 }
 
-func newEventBus(published, dropped *obs.Counter) *eventBus {
-	return &eventBus{
+// NewEventBus creates a bus; the counters may be nil (tests) or the
+// owner's published/dropped instruments.  It is shared with the
+// cluster coordinator, whose SSE endpoint fans in worker progress.
+func NewEventBus(published, dropped *obs.Counter) *EventBus {
+	return &EventBus{
 		subs:      make(map[chan api.Event]struct{}),
 		published: published,
 		dropped:   dropped,
 	}
 }
 
-// subscriberCount reports currently connected subscribers.
-func (b *eventBus) subscriberCount() int {
+// SubscriberCount reports currently connected subscribers.
+func (b *EventBus) SubscriberCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.subs)
 }
 
-// subscribe registers a consumer; the returned cancel must be called
+// Subscribe registers a consumer; the returned cancel must be called
 // exactly once (idempotence is not needed: the SSE handler defers it).
-func (b *eventBus) subscribe() (<-chan api.Event, func()) {
+func (b *EventBus) Subscribe() (<-chan api.Event, func()) {
 	ch := make(chan api.Event, 64)
 	b.mu.Lock()
 	if b.closed {
@@ -60,7 +63,9 @@ func (b *eventBus) subscribe() (<-chan api.Event, func()) {
 	}
 }
 
-func (b *eventBus) publish(e api.Event) {
+// Publish stamps e with the next sequence number and fans it out,
+// dropping frames to subscribers whose buffers are full.
+func (b *EventBus) Publish(e api.Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -78,8 +83,8 @@ func (b *eventBus) publish(e api.Event) {
 	}
 }
 
-// close terminates every subscriber stream (end of drain).
-func (b *eventBus) close() {
+// Close terminates every subscriber stream (end of drain).
+func (b *EventBus) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {

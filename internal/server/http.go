@@ -93,7 +93,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if err := validateRequest(req); err != nil {
+	if err := ValidateRequest(req); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid spec: %v", err)
 		return
 	}
@@ -186,7 +186,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i, p := range req.Points {
-		if err := validateRequest(p); err != nil {
+		if err := ValidateRequest(p); err != nil {
 			httpError(w, http.StatusBadRequest, "invalid point %d: %v", i, err)
 			return
 		}
@@ -265,7 +265,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
-	ch, cancel := s.bus.subscribe()
+	ch, cancel := s.bus.Subscribe()
 	defer cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -317,7 +317,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // deterministic event trace as a second, with simulated cycle 0
 // anchored at the wall-clock start of the sim span.
 //
-// Remote submissions never carry Trace (validateRequest rejects it), so
+// Remote submissions never carry Trace (ValidateRequest rejects it), so
 // the sim-level trace is produced here by re-resolving the job's spec
 // with Trace set through the memoized session: the simulator is
 // deterministic, so the re-run reproduces exactly the cycles the job

@@ -123,7 +123,7 @@ func (m *svmdMetrics) registerServer(s *Server) {
 		})
 	m.reg.GaugeFunc("svmd_sse_subscribers",
 		"Connected SSE event-stream subscribers.", "",
-		func() float64 { return float64(s.bus.subscriberCount()) })
+		func() float64 { return float64(s.bus.SubscriberCount()) })
 
 	storeStat := func(get func() int64) func() float64 {
 		return func() float64 { return float64(get()) }

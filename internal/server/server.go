@@ -126,7 +126,7 @@ type Server struct {
 	cfg    Config
 	ses    *harness.Session
 	st     *store.Store
-	bus    *eventBus
+	bus    *EventBus
 	met    *svmdMetrics
 	log    *slog.Logger // nil = service logging disabled
 	flight *obs.Flight
@@ -172,7 +172,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		ses:        ses,
 		st:         st,
-		bus:        newEventBus(met.sseEvents, met.sseDropped),
+		bus:        NewEventBus(met.sseEvents, met.sseDropped),
 		met:        met,
 		log:        cfg.Logger,
 		flight:     obs.NewFlight(obs.DefaultFlightRecords, cfg.DebugDir, time.Second),
@@ -218,9 +218,11 @@ func (s *Server) StoreStats() store.Stats {
 	return s.st.Stats()
 }
 
-// validateRequest rejects requests the daemon cannot (or will not)
-// serve before they consume a queue slot.
-func validateRequest(req api.RunRequest) error {
+// ValidateRequest rejects requests the daemon cannot (or will not)
+// serve before they consume a queue slot.  The cluster coordinator
+// applies the same gate at its own admission edge, so a bad spec is
+// rejected before it is dispatched to a worker.
+func ValidateRequest(req api.RunRequest) error {
 	spec := req.Spec
 	if _, err := apps.Lookup(spec.App); err != nil {
 		return err
@@ -246,6 +248,53 @@ func validateRequest(req api.RunRequest) error {
 		return errors.New("traced runs are not served remotely: trace capture is an in-process artifact (run svmsim -trace locally)")
 	}
 	return nil
+}
+
+// SetRunFunc substitutes the function that executes one spec (the
+// default runs it through the memoized session).  It is the seam the
+// cluster tests use to make execution latency deterministic — install
+// it before the server receives traffic.
+func (s *Server) SetRunFunc(fn func(context.Context, harness.RunSpec) (*harness.Result, error)) {
+	s.runFn = fn
+}
+
+// SimsInFlight reports how many simulations currently occupy a
+// memoization-pool slot; Parallelism() - SimsInFlight() is the node's
+// idle capacity, which the cluster worker agent uses to size its lease
+// requests.
+func (s *Server) SimsInFlight() int { return s.ses.InFlight() }
+
+// Parallelism reports the concurrent-simulation bound.
+func (s *Server) Parallelism() int { return s.ses.Parallelism() }
+
+// Execute runs one request end-to-end through the daemon's normal
+// admission path — store probe, memoized session, single-flight
+// coalescing, write-back, metrics and SSE events — and returns the
+// terminal row.  It is the entry point the cluster worker agent uses to
+// run leased jobs on the local engine: a leased job is indistinguishable
+// from a locally submitted one, so the worker's persistent store warms
+// exactly as if the spec had been requested directly (that store is the
+// cluster's distributed cache tier).  The job is detached: ctx
+// cancellation abandons the wait, not the job.
+func (s *Server) Execute(ctx context.Context, req api.RunRequest) (*harness.RunRow, bool, error) {
+	j, _, err := s.submit(req, true)
+	if err != nil {
+		return nil, false, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state == api.StateDone {
+		return j.row, j.cached, nil
+	}
+	if j.err != nil {
+		return nil, false, j.err
+	}
+	return nil, false, fmt.Errorf("job %s terminal in state %s without error", j.id, j.state)
 }
 
 // submit admits a request: coalesce onto an identical in-flight job, or
@@ -306,7 +355,7 @@ func (s *Server) submit(req api.RunRequest, detached bool) (j *job, created bool
 	s.jobs[j.id] = j
 	s.inflight[ckey] = j
 	s.stateCount[api.StateQueued]++
-	s.bus.publish(api.Event{Type: "jobQueued", Job: statusLocked(j)})
+	s.bus.Publish(api.Event{Type: "jobQueued", Job: statusLocked(j)})
 	return j, true, nil
 }
 
@@ -329,7 +378,7 @@ func (s *Server) exec(j *job) {
 	j.spans.Add(obs.SpanQueue, j.enqueued, j.started)
 	s.met.queueWait.Observe(j.started.Sub(j.enqueued).Seconds())
 	s.flight.Record(j.id, api.StateRunning, "")
-	s.bus.publish(api.Event{Type: "jobStarted", Job: statusLocked(j)})
+	s.bus.Publish(api.Event{Type: "jobStarted", Job: statusLocked(j)})
 	s.mu.Unlock()
 
 	row, cached, err := s.resolve(j.ctx, j.req.Spec, j.spans, "")
@@ -475,9 +524,9 @@ func (s *Server) finishLocked(j *job, row *harness.RunRow, cached bool, err erro
 		api.StateFailed:   "jobFailed",
 		api.StateCanceled: "jobCanceled",
 	}[j.state]
-	s.bus.publish(api.Event{Type: typ, Job: statusLocked(j)})
+	s.bus.Publish(api.Event{Type: typ, Job: statusLocked(j)})
 	for _, sw := range j.sweeps {
-		s.bus.publish(api.Event{Type: "sweepProgress", Sweep: sweepStatusLocked(sw, false)})
+		s.bus.Publish(api.Event{Type: "sweepProgress", Sweep: sweepStatusLocked(sw, false)})
 	}
 	j.spans.Add(obs.SpanRespond, respond, time.Now())
 }
@@ -600,7 +649,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	if already {
 		return errors.New("server: already draining")
 	}
-	s.bus.publish(api.Event{Type: "drain"})
+	s.bus.Publish(api.Event{Type: "drain"})
 
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
@@ -613,6 +662,6 @@ func (s *Server) Drain(ctx context.Context) error {
 		<-done
 	}
 	s.baseCancel()
-	s.bus.close()
+	s.bus.Close()
 	return err
 }

@@ -202,6 +202,33 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, string(clean)+suffix)
 }
 
+// Has reports whether key is resident, without reading the payload or
+// verifying its checksum — a stat-only probe for routing decisions
+// (the cluster coordinator asks "could I answer this locally?" before
+// paying a full Get's read + decode).  A file too short to hold even
+// the entry header is committed garbage: Has drops it and reports a
+// miss, exactly as Get would have.  Content-level corruption (bit rot
+// under an intact length) is only caught by Get's checksum; Has may
+// answer true for such an entry, so callers must still treat the
+// follow-up Get as fallible.  Has does not touch hit/miss counters or
+// LRU recency: probing is not use.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	_, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	info, err := os.Stat(s.path(key))
+	if err != nil || info.Size() < int64(len(magic))+sha256.Size*2+1 {
+		// Vanished or truncated below the header: treat like Get's
+		// corrupt path so the index stops advertising it.
+		s.dropCorrupt(key)
+		return false
+	}
+	return true
+}
+
 // Get returns the payload stored under key.  Any verification failure
 // — missing file, bad magic, checksum mismatch, truncation — counts as
 // a miss (corrupt files are deleted).

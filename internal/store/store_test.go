@@ -272,3 +272,81 @@ func TestOpenEvictsOverCap(t *testing.T) {
 		t.Fatalf("reopen with smaller cap kept %+v", st)
 	}
 }
+
+// TestHasProbe pins the stat-only existence probe the cluster
+// coordinator routes on: present entries answer true without touching
+// hit/miss counters or LRU recency, absent keys answer false, and an
+// entry truncated below its header is dropped and reported as a miss
+// exactly as Get would.
+func TestHasProbe(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	payload := []byte("a result row worth probing for, padded to header size and then some")
+	if err := s.Put("v1-here", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	if !s.Has("v1-here") {
+		t.Fatal("Has missed a resident entry")
+	}
+	if s.Has("v1-absent") {
+		t.Fatal("Has claimed an absent key")
+	}
+	if st := s.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("probing moved traffic counters: %+v", st)
+	}
+
+	// Probing must not refresh LRU recency: with room for only one
+	// entry, a probed-but-never-Got entry is still the eviction victim.
+	small := openT(t, t.TempDir(), 150)
+	pad := bytes.Repeat([]byte("x"), 100)
+	if err := small.Put("v1-oldest", pad); err != nil {
+		t.Fatal(err)
+	}
+	if !small.Has("v1-oldest") {
+		t.Fatal("probe of fresh entry missed")
+	}
+	if err := small.Put("v1-newer", pad); err != nil {
+		t.Fatal(err)
+	}
+	if small.Has("v1-oldest") {
+		t.Fatal("probed entry survived eviction; Has must not freshen LRU order")
+	}
+}
+
+func TestHasCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 1<<20)
+	if err := s.Put("v1-stub", []byte("soon to be truncated beyond recognition")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path("v1-stub")
+	// Truncate below the fixed header (magic + key/payload checksums):
+	// committed garbage no Get could ever serve.
+	if err := os.WriteFile(path, []byte("svm"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("v1-stub") {
+		t.Fatal("Has served a truncated entry")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("Has left the truncated entry on disk")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt=1", st)
+	}
+	// A vanished file is likewise a miss, and the index stops
+	// advertising the key.
+	if err := s.Put("v1-gone", []byte("present, then removed behind the store's back")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(s.path("v1-gone")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("v1-gone") {
+		t.Fatal("Has served a deleted entry")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("index still advertises %d entries", s.Len())
+	}
+}
