@@ -69,6 +69,15 @@ func main() {
 
 		benchJSON     = flag.String("bench-json", "", "run the simulator self-benchmarks and write BENCH_<rev>.json into this directory (\"-\" = stdout)")
 		benchBaseline = flag.String("bench-baseline", "", "with -bench-json: compare against this baseline file and exit nonzero on >10% cycles/sec regression or any allocs/op increase")
+
+		exploreApp    = flag.String("explore", "", "auto-tune APP: search the configuration space for the Pareto frontier of speedup vs. simulated cost")
+		exploreBudget = flag.Int64("explore-budget", 0, "simulated-cycle budget for fresh (uncached) simulations; 0 runs the search to convergence")
+		exploreSeed   = flag.Uint64("explore-seed", 1, "seed of the deterministic search")
+		explorePoints = flag.Int("explore-points", 0, "Latin-hypercube seed-set size (0 = default 16)")
+		exploreWidth  = flag.Int("explore-width", 0, "evaluation batch width (0 = default 8)")
+		exploreProtos = flag.String("explore-protocols", "", "comma-separated protocol subset to search (default hlrc,lrc,sc)")
+		exploreProcs  = flag.String("explore-procs", "", "comma-separated processor counts to search (default 4,8,16,32)")
+		exploreStore  = flag.String("explore-store", "", "local mode: persistent result store directory — re-running the same search against it costs zero new simulations")
 	)
 	flag.Parse()
 
@@ -126,6 +135,21 @@ func main() {
 	}
 
 	ses := swsm.NewSession(*parallel)
+
+	if *exploreApp != "" {
+		err := runExplore(ses, exploreOpts{
+			app: *exploreApp, scale: sc,
+			budget: *exploreBudget, seed: *exploreSeed,
+			points: *explorePoints, width: *exploreWidth,
+			protocols: *exploreProtos, procs: *exploreProcs,
+			storeDir: *exploreStore, serverURL: *server,
+			jsonOut: *jsonOut, csvPath: *csvPath,
+		})
+		if err != nil {
+			fatalf("explore: %v", err)
+		}
+		return
+	}
 
 	if *server != "" {
 		if *figure != 3 || *table != 0 || *all {

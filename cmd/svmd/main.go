@@ -66,6 +66,7 @@ func main() {
 		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON lines instead of human-readable text")
 		sloMS    = flag.Int64("slo-ms", 0, "per-job latency objective in milliseconds; breaches dump the flight recorder (0 = disabled)")
+		explores = flag.Int("explore-limit", 0, "max concurrently running /explore searches (0 = 2)")
 		debugDir = flag.String("debug-dir", "", "directory for flight-recorder dumps on job failure or SLO breach (empty = in-memory ring only)")
 
 		// Cluster flags.
@@ -100,7 +101,7 @@ func main() {
 			storeDir: *storeDir, storeMax: *storeMax,
 			queueDepth: *queue,
 			hbTTL:      *hbTTL, leaseTTL: *leaseTTL, failAfter: *failAfter,
-			standbyOf: *standbyOf,
+			standbyOf: *standbyOf, exploreLimit: *explores,
 		})
 		return
 	}
@@ -113,6 +114,7 @@ func main() {
 		Logger:        logger,
 		SLO:           time.Duration(*sloMS) * time.Millisecond,
 		DebugDir:      *debugDir,
+		ExploreLimit:  *explores,
 	})
 	if err != nil {
 		logger.Error("startup failed", "error", err)
@@ -189,6 +191,7 @@ type coordConfig struct {
 	hbTTL, leaseTTL time.Duration
 	failAfter       time.Duration
 	standbyOf       string
+	exploreLimit    int
 }
 
 func runCoordinator(logger *slog.Logger, cfg coordConfig) {
@@ -203,6 +206,7 @@ func runCoordinator(logger *slog.Logger, cfg coordConfig) {
 		Standby:       cfg.standbyOf != "",
 		PeerURL:       cfg.standbyOf,
 		Logger:        logger,
+		ExploreLimit:  cfg.exploreLimit,
 	})
 	if err != nil {
 		logger.Error("coordinator startup failed", "error", err)

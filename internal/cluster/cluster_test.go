@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"swsm/internal/explore"
 	"swsm/internal/harness"
 	"swsm/internal/server"
 	"swsm/internal/server/api"
@@ -318,5 +319,74 @@ func TestClusterFailover(t *testing.T) {
 	}
 	if e := b.Epoch(); e < 2 {
 		t.Fatalf("promoted epoch = %d, want >= 2", e)
+	}
+}
+
+// exploreReq is the compact 8-point search the cluster explore test
+// runs: the same shape the daemon-side tests use.
+func exploreReq() explore.Request {
+	return explore.Request{
+		App:        "fft",
+		Scale:      0,
+		Seed:       11,
+		SeedPoints: 8,
+		Width:      4,
+		Space: explore.Space{
+			Protocols:      []harness.ProtocolKind{harness.HLRC, harness.SC},
+			CommSets:       []string{"A", "B"},
+			CostSets:       []string{"O"},
+			Procs:          []int{2, 4},
+			HLRCUnitShifts: []uint{0},
+			SCBlocks:       []int{0},
+			DropPPMs:       []int64{0},
+		},
+	}
+}
+
+// An exploration submitted to the coordinator shards its candidate
+// batches across the workers and converges on the same frontier a
+// local search finds; a standby refuses to explore.
+func TestClusterExplore(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{
+		HeartbeatTTL: 10 * time.Second,
+		StoreDir:     t.TempDir(),
+	})
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+	for i, n := range []string{"w1", "w2"} {
+		startAgent(t, n, []string{ts.URL}, newWorkerDaemon(t, 2+i))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	cl := client.New(ts.URL)
+	st, err := cl.Explore(ctx, exploreReq())
+	if err != nil {
+		t.Fatalf("cluster explore: %v", err)
+	}
+	if st.State != explore.StateDone || st.Stopped != "converged" {
+		t.Fatalf("cluster explore = %s/%s (%s)", st.State, st.Stopped, st.Error)
+	}
+	if len(st.Frontier) == 0 {
+		t.Fatal("cluster explore found nothing")
+	}
+
+	// The local reference: same request, fresh session.
+	rep, err := explore.Run(ctx, exploreReq(),
+		explore.SessionEvaluator{Ses: harness.NewSession(4)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, _ := json.Marshal(st.Frontier)
+	lf, _ := json.Marshal(rep.Frontier)
+	if !bytes.Equal(cf, lf) {
+		t.Fatalf("cluster frontier differs from local:\n cluster %s\n local   %s", cf, lf)
+	}
+
+	// A fenced (standby) coordinator refuses new explorations.
+	c.lease(api.ClusterLeaseRequest{WorkerID: "w1", Slots: 1, Epoch: c.Epoch() + 1})
+	cl.Retries = -1
+	if _, err := cl.SubmitExplore(ctx, exploreReq()); client.StatusCode(err) != 503 {
+		t.Fatalf("explore on standby = %v, want 503", err)
 	}
 }

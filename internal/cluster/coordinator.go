@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"swsm/internal/explore"
 	"swsm/internal/harness"
 	"swsm/internal/server"
 	"swsm/internal/server/api"
@@ -65,6 +66,10 @@ type CoordinatorConfig struct {
 	Standby bool
 	PeerURL string
 	Logger  *slog.Logger
+	// ExploreLimit bounds concurrently running /explore searches
+	// (default 2); each search's point jobs still shard across workers
+	// through the ordinary admission path.
+	ExploreLimit int
 }
 
 // cjob is one job in the coordinator's table.  Mutable fields are
@@ -147,6 +152,16 @@ type Coordinator struct {
 	lastSeq    int64
 	wal        []api.ClusterLogRecord
 	walNotify  chan struct{}
+	// Replication-lag bookkeeping.  On the primary, followerSeq is the
+	// highest log sequence any follower has confirmed: a poll from seq N
+	// acknowledges every record below N.  On a live standby, following
+	// is true and primarySeq mirrors the primary's NextSeq-1 from the
+	// last successful poll.
+	followerSeq int64
+	primarySeq  int64
+	following   bool
+
+	expl *explore.Manager // set once in NewCoordinator
 }
 
 // NewCoordinator builds a coordinator and starts its janitor (and, on a
@@ -201,9 +216,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		sweeps:    make(map[string]*csweep),
 		walNotify: make(chan struct{}),
 	}
+	c.expl = newExploreManager(c)
 	if cfg.Standby {
 		c.role = api.RoleStandby
 		c.epoch = 0
+		c.following = true
 		c.wg.Add(1)
 		go c.follow()
 	}
@@ -220,6 +237,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 // completions simply have nowhere to land (the failover peer, if any,
 // accepts them).
 func (c *Coordinator) Stop() {
+	// Cancel explorations first and wait for their drivers: they park on
+	// job completions and exit promptly once their contexts end.
+	c.expl.Shutdown()
 	c.cancel()
 	c.wg.Wait()
 	c.bus.Close()
@@ -730,6 +750,13 @@ func (c *Coordinator) waitLog(ctx context.Context, from int64, wait bool) api.Cl
 	deadline := time.Now().Add(c.cfg.PollWait)
 	for {
 		c.mu.Lock()
+		// A poll from seq N is the follower's acknowledgement of every
+		// record below N — the primary side of the replication-lag
+		// measurement.
+		if fs := from - 1; fs > c.followerSeq {
+			c.followerSeq = fs
+			c.met.replLag.Set(float64(c.replicationLagLocked()))
+		}
 		var recs []api.ClusterLogRecord
 		if idx := int(from - 1); idx < len(c.wal) {
 			recs = append([]api.ClusterLogRecord(nil), c.wal[idx:]...)
@@ -822,13 +849,36 @@ func (c *Coordinator) Status() api.ClusterStatus {
 			LastSeen: w.lastSeen.UTC().Format(time.RFC3339Nano),
 		})
 	}
+	standbySeq := c.followerSeq
+	if c.following {
+		standbySeq = c.lastSeq
+	}
 	return api.ClusterStatus{
 		Role: c.role, Epoch: c.epoch, LogSeq: c.lastSeq,
 		Workers: ws, Unassigned: len(c.unassigned),
-		Redispatches: c.met.redispatches.Value(),
-		CacheHits:    c.met.coordCacheHits.Value(),
-		Duplicates:   c.met.duplicates.Value(),
+		Redispatches:   c.met.redispatches.Value(),
+		CacheHits:      c.met.coordCacheHits.Value(),
+		Duplicates:     c.met.duplicates.Value(),
+		StandbySeq:     standbySeq,
+		ReplicationLag: c.replicationLagLocked(),
 	}
+}
+
+// replicationLagLocked measures the replication link's backlog in log
+// records.  On the primary it is how far the best follower trails the
+// log head; on a live standby, how far this node trails the primary's
+// head as of the last poll.  Caller holds c.mu.
+func (c *Coordinator) replicationLagLocked() int64 {
+	var lag int64
+	if c.following {
+		lag = c.primarySeq - c.lastSeq
+	} else {
+		lag = c.lastSeq - c.followerSeq
+	}
+	if lag < 0 {
+		return 0
+	}
+	return lag
 }
 
 // statusLocked snapshots one job as the wire RunStatus.
@@ -875,6 +925,7 @@ func (c *Coordinator) updateGaugesLocked() {
 	}
 	c.met.unassigned.Set(float64(len(c.unassigned)))
 	c.met.logSeq.Set(float64(c.lastSeq))
+	c.met.replLag.Set(float64(c.replicationLagLocked()))
 	for id, w := range c.workers {
 		c.met.queueDepth.With(id).Set(float64(len(w.queue)))
 		c.met.leased.With(id).Set(float64(len(w.leased)))

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -288,5 +289,91 @@ func TestCoordinatorStoreTier(t *testing.T) {
 		if w.Queued != 0 {
 			t.Fatalf("cache hit still dispatched: %+v", w)
 		}
+	}
+}
+
+// Replication lag: a primary with no follower reports its whole log as
+// backlog; a follower's log poll acknowledges the prefix it has and
+// drives the lag back to zero.
+func TestCoordinatorReplicationLagPrimary(t *testing.T) {
+	c := newTestCoordinator(t, CoordinatorConfig{HeartbeatTTL: 10 * time.Second})
+	if _, _, err := c.submit(creq(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.submit(creq(1)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if st.LogSeq != 2 || st.StandbySeq != 0 || st.ReplicationLag != 2 {
+		t.Fatalf("pre-ack status: logSeq=%d standbySeq=%d lag=%d, want 2/0/2",
+			st.LogSeq, st.StandbySeq, st.ReplicationLag)
+	}
+
+	// A poll starting at seq 3 acknowledges records 1..2.
+	c.waitLog(context.Background(), 3, false)
+	st = c.Status()
+	if st.StandbySeq != 2 || st.ReplicationLag != 0 {
+		t.Fatalf("post-ack status: standbySeq=%d lag=%d, want 2/0", st.StandbySeq, st.ReplicationLag)
+	}
+
+	// Acknowledgements never regress: an older replayed poll is ignored.
+	c.waitLog(context.Background(), 2, false)
+	if st := c.Status(); st.StandbySeq != 2 {
+		t.Fatalf("stale poll regressed standbySeq to %d", st.StandbySeq)
+	}
+}
+
+// A live standby reports how far it trails the primary's log head, and
+// catches up to zero lag.
+func TestCoordinatorReplicationLagStandby(t *testing.T) {
+	a := newTestCoordinator(t, CoordinatorConfig{
+		NodeID:       "A",
+		HeartbeatTTL: 10 * time.Second,
+		PollWait:     50 * time.Millisecond,
+	})
+	tsA := httptest.NewServer(a.Handler())
+	t.Cleanup(tsA.Close)
+	b := newTestCoordinator(t, CoordinatorConfig{
+		NodeID:        "B",
+		Standby:       true,
+		PeerURL:       tsA.URL,
+		FailoverAfter: time.Hour, // never promote in this test
+		HeartbeatTTL:  10 * time.Second,
+		PollWait:      50 * time.Millisecond,
+	})
+	for i := 0; i < 3; i++ {
+		if _, _, err := a.submit(creq(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := a.Status().LogSeq
+	deadline := time.Now().Add(10 * time.Second)
+	for b.Status().LogSeq < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby stuck at seq %d, primary at %d", b.Status().LogSeq, target)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st := b.Status()
+		if st.ReplicationLag < 0 {
+			t.Fatalf("negative standby lag: %+v", st)
+		}
+		if st.ReplicationLag == 0 && st.StandbySeq == target {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby lag never reached 0: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The primary has seen the standby's polls too.
+	deadlineA := time.Now().Add(10 * time.Second)
+	for a.Status().ReplicationLag != 0 {
+		if time.Now().After(deadlineA) {
+			t.Fatalf("primary still reports lag %d", a.Status().ReplicationLag)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

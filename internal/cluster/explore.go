@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"swsm/internal/explore"
+	"swsm/internal/harness"
+	"swsm/internal/server"
+	"swsm/internal/server/api"
+)
+
+// clusterEvaluator executes exploration candidates through the
+// coordinator's own admission path, so an auto-tuning search is real
+// sustained cluster load: every point is sharded to a worker by the
+// content-key ring (or answered from the coordinator's store),
+// coalesces with identical in-flight submissions, and rides the lease/
+// steal/redispatch machinery like any other job.  Full worker queues
+// park the batch with a bounded retry instead of overflowing them.
+type clusterEvaluator struct{ c *Coordinator }
+
+// clusterSubmitRetryDelay paces re-submission against full queues.
+const clusterSubmitRetryDelay = 10 * time.Millisecond
+
+func (e clusterEvaluator) Evaluate(ctx context.Context, specs []harness.RunSpec) ([]explore.Evaluation, error) {
+	out := make([]explore.Evaluation, len(specs))
+	jobs := make([]*cjob, len(specs))
+	for i, spec := range specs {
+		out[i].Spec = spec
+		// Budget probe: a key already in the coordinator's store costs
+		// no new simulation.  (A worker-store hit still simulates
+		// nothing but is invisible here; the charge stays conservative.)
+		if e.c.st != nil && e.c.st.Has(spec.Key()) {
+			out[i].Cached = true
+		}
+		for {
+			j, _, err := e.c.submit(api.RunRequest{Spec: spec})
+			if err == nil {
+				jobs[i] = j
+				break
+			}
+			if !errors.Is(err, server.ErrQueueFull) {
+				return nil, err // fenced/standby or invalid — abort
+			}
+			select {
+			case <-time.After(clusterSubmitRetryDelay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	for i, j := range jobs {
+		if err := e.c.waitJob(ctx, j); err != nil {
+			return nil, err
+		}
+		e.c.mu.Lock()
+		switch {
+		case j.state == api.StateDone:
+			out[i].Row = j.row
+			if j.cached {
+				out[i].Cached = true
+			}
+		case j.errMsg != "":
+			out[i].Err = j.errMsg
+		default:
+			out[i].Err = "job " + j.id + " ended in state " + j.state
+		}
+		e.c.mu.Unlock()
+	}
+	return out, nil
+}
+
+// newExploreManager builds the coordinator's exploration manager:
+// events on the coordinator's SSE bus, admission gated on primaryship,
+// svmd_explore_* registered on the coordinator's registry.
+func newExploreManager(c *Coordinator) *explore.Manager {
+	m := explore.NewManager(explore.ManagerConfig{
+		Evaluator: clusterEvaluator{c},
+		Publish: func(eventType string, st *explore.Status) {
+			c.bus.Publish(api.Event{Type: eventType, Explore: st})
+		},
+		Admit: func() error {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if c.role != api.RolePrimary {
+				return ErrNotPrimary
+			}
+			return nil
+		},
+		Limit:  c.cfg.ExploreLimit,
+		Logger: c.log,
+	})
+	explore.RegisterMetrics(c.met.reg, m)
+	return m
+}

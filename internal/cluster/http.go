@@ -37,6 +37,11 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("DELETE /runs/{id}", c.handleCancelRun)
 	mux.HandleFunc("POST /sweeps", c.handleSubmitSweep)
 	mux.HandleFunc("GET /sweeps/{id}", c.handleGetSweep)
+	mux.HandleFunc("POST /explore", c.expl.HandleSubmit)
+	mux.HandleFunc("GET /explore", c.expl.HandleList)
+	mux.HandleFunc("GET /explore/{id}", c.expl.HandleGet)
+	mux.HandleFunc("GET /explore/{id}/frontier", c.expl.HandleFrontierCSV)
+	mux.HandleFunc("DELETE /explore/{id}", c.expl.HandleCancel)
 	mux.HandleFunc("GET /events", c.handleEvents)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)

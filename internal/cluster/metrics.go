@@ -37,6 +37,7 @@ type clusterMetrics struct {
 	isPrimary  *obs.Gauge
 	unassigned *obs.Gauge
 	logSeq     *obs.Gauge
+	replLag    *obs.Gauge
 
 	// SSE bus counters (shared with server.EventBus).
 	sseEvents  *obs.Counter
@@ -70,6 +71,7 @@ func newClusterMetrics() *clusterMetrics {
 		isPrimary:  reg.Gauge("svmd_cluster_is_primary", "1 when this coordinator is the primary, 0 on a standby.", ""),
 		unassigned: reg.Gauge("svmd_cluster_unassigned_jobs", "Jobs waiting for any worker to join.", ""),
 		logSeq:     reg.Gauge("svmd_cluster_log_seq", "Highest sequence number in the replicated log.", ""),
+		replLag:    reg.Gauge("svmd_cluster_replication_lag", "Replication backlog in log records: head minus last follower-confirmed seq (primary) or last applied seq minus primary head (standby).", ""),
 
 		sseEvents:  reg.Counter("svmd_sse_events_total", "SSE frames delivered to subscribers.", ""),
 		sseDropped: reg.Counter("svmd_sse_dropped_total", "SSE frames dropped on slow subscribers.", ""),

@@ -68,6 +68,11 @@ func (c *Coordinator) follow() {
 		if resp.Epoch > c.epoch {
 			c.epoch = resp.Epoch
 		}
+		// NextSeq-1 is the primary's log head as of this poll — the
+		// standby side of the replication-lag measurement.
+		if head := resp.NextSeq - 1; head > c.primarySeq {
+			c.primarySeq = head
+		}
 		for _, rec := range resp.Records {
 			if rec.Seq <= c.lastSeq {
 				continue // replayed tail after a reconnect
@@ -198,6 +203,7 @@ func (c *Coordinator) promote() {
 		return
 	}
 	c.role = api.RolePrimary
+	c.following = false
 	c.epoch++
 	if c.epoch < 2 {
 		// A standby that never reached its primary still needs a higher

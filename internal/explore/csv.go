@@ -1,0 +1,33 @@
+package explore
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteFrontierCSV writes the frontier as CSV: one row per Pareto
+// point in discovery order, cost and speedup both non-decreasing down
+// the file.  The content key column makes every row resolvable from
+// the persistent store.
+func WriteFrontierCSV(w io.Writer, frontier []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"eval", "cost_cycles", "speedup", "cycles", "label", "key"}); err != nil {
+		return err
+	}
+	for _, p := range frontier {
+		rec := []string{
+			fmt.Sprintf("%d", p.Eval),
+			fmt.Sprintf("%d", p.CostCycles),
+			fmt.Sprintf("%.4f", p.Speedup),
+			fmt.Sprintf("%d", p.Cycles),
+			p.Label,
+			p.Key,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

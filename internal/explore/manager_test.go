@@ -1,0 +1,324 @@
+package explore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"swsm/internal/harness"
+	"swsm/internal/obs"
+)
+
+// fakeEval scores candidates synthetically — fast and deterministic —
+// so the manager tests exercise lifecycle, not simulation.  An optional
+// gate blocks every batch until released, for cancel/limit tests.
+type fakeEval struct {
+	gate chan struct{}
+
+	mu      sync.Mutex
+	batches int
+}
+
+func (f *fakeEval) Evaluate(ctx context.Context, specs []harness.RunSpec) ([]Evaluation, error) {
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f.mu.Lock()
+	f.batches++
+	f.mu.Unlock()
+	out := make([]Evaluation, len(specs))
+	for i, spec := range specs {
+		cycles := int64(1000)
+		if spec.Protocol != harness.Ideal {
+			// More processors run faster; cheaper comm sets too.
+			cycles = 4000/int64(spec.Procs) + int64(spec.Comm.HostOverhead)
+		}
+		row := harness.RunRow{Key: spec.Key(), Spec: spec, Cycles: cycles}
+		out[i] = Evaluation{Spec: spec, Row: &row}
+	}
+	return out, nil
+}
+
+func managerReq() Request { return smallReq(2, 4) }
+
+func newTestManager(t *testing.T, cfg ManagerConfig) *Manager {
+	t.Helper()
+	if cfg.Evaluator == nil {
+		cfg.Evaluator = &fakeEval{}
+	}
+	m := NewManager(cfg)
+	t.Cleanup(m.Shutdown)
+	return m
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	var mu sync.Mutex
+	events := map[string]int{}
+	m := newTestManager(t, ManagerConfig{
+		Publish: func(typ string, st *Status) {
+			mu.Lock()
+			events[typ]++
+			mu.Unlock()
+		},
+	})
+	st, err := m.Submit(managerReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning || st.ID != "e1" {
+		t.Fatalf("initial status = %+v", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fin, err := m.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone || fin.Stopped != "converged" {
+		t.Fatalf("terminal status = %+v", fin)
+	}
+	if len(fin.Frontier) == 0 {
+		t.Error("done exploration has empty frontier")
+	}
+	if fin.WallMS < 0 {
+		t.Error("missing wall time")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if events[EventStarted] != 1 || events[EventDone] != 1 {
+		t.Errorf("lifecycle events = %v", events)
+	}
+	if events[EventProgress] == 0 || events[EventFrontier] == 0 {
+		t.Errorf("no progress/frontier events: %v", events)
+	}
+}
+
+func TestManagerLimitAndSlotRelease(t *testing.T) {
+	ev := &fakeEval{gate: make(chan struct{})}
+	m := newTestManager(t, ManagerConfig{Evaluator: ev, Limit: 1})
+	st, err := m.Submit(managerReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(managerReq()); !errors.Is(err, ErrLimit) {
+		t.Fatalf("second submit = %v, want ErrLimit", err)
+	}
+	close(ev.gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := m.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The slot is free again once the first search completes.
+	st2, err := m.Submit(managerReq())
+	if err != nil {
+		t.Fatalf("submit after completion = %v", err)
+	}
+	if _, err := m.Wait(ctx, st2.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerCancel(t *testing.T) {
+	ev := &fakeEval{gate: make(chan struct{})}
+	m := newTestManager(t, ManagerConfig{Evaluator: ev})
+	st, err := m.Submit(managerReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fin, err := m.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateCanceled {
+		t.Fatalf("state after cancel = %s", fin.State)
+	}
+}
+
+func TestManagerAdmitGate(t *testing.T) {
+	refusal := errors.New("draining")
+	m := newTestManager(t, ManagerConfig{Admit: func() error { return refusal }})
+	_, err := m.Submit(managerReq())
+	if !errors.Is(err, ErrUnavailable) || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("gated submit = %v, want ErrUnavailable wrapping the reason", err)
+	}
+}
+
+func TestManagerShutdown(t *testing.T) {
+	m := NewManager(ManagerConfig{Evaluator: &fakeEval{}})
+	st, err := m.Submit(managerReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Shutdown()
+	if _, err := m.Submit(managerReq()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after shutdown = %v, want ErrClosed", err)
+	}
+	// The job reached a terminal state (done or canceled, depending on
+	// how far it got).
+	fin, err := m.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State == StateRunning {
+		t.Fatalf("job still running after Shutdown")
+	}
+	if _, err := m.Get("e99"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id = %v, want ErrNotFound", err)
+	}
+}
+
+func TestManagerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newTestManager(t, ManagerConfig{})
+	RegisterMetrics(reg, m)
+	st, err := m.Submit(managerReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := m.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		`svmd_explore_total{state="done"} 1`,
+		"svmd_explore_active 0",
+		"svmd_explore_frontier_points_total",
+		`svmd_explore_evaluations_total{outcome="sim"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// The HTTP surface: submit-and-wait, list, get, frontier CSV, cancel.
+func TestHandlersEndToEnd(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{Limit: 1})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /explore", m.HandleSubmit)
+	mux.HandleFunc("GET /explore", m.HandleList)
+	mux.HandleFunc("GET /explore/{id}", m.HandleGet)
+	mux.HandleFunc("GET /explore/{id}/frontier", m.HandleFrontierCSV)
+	mux.HandleFunc("DELETE /explore/{id}", m.HandleCancel)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	body, _ := json.Marshal(managerReq())
+	resp, err := http.Post(srv.URL+"/explore?wait=1", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit wait=1 status %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || len(st.Frontier) == 0 {
+		t.Fatalf("terminal status = %+v", st)
+	}
+
+	r2, err := http.Get(srv.URL + "/explore/" + st.ID + "/frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	csv, err := io.ReadAll(r2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := r2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+		t.Errorf("frontier content type %q", ct)
+	}
+	if !strings.HasPrefix(string(csv), "eval,cost_cycles,speedup,cycles,label,key\n") {
+		t.Errorf("frontier csv = %q", csv)
+	}
+
+	r3, err := http.Get(srv.URL + "/explore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	var list []Status
+	if err := json.NewDecoder(r3.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	r4, err := http.Get(srv.URL + "/explore/e404")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id status %d", r4.StatusCode)
+	}
+
+	// A malformed body is a 400.
+	r5, err := http.Post(srv.URL+"/explore", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5.Body.Close()
+	if r5.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body status %d", r5.StatusCode)
+	}
+}
+
+func TestHandlerLimitMapsTo429(t *testing.T) {
+	ev := &fakeEval{gate: make(chan struct{})}
+	defer close(ev.gate)
+	m := newTestManager(t, ManagerConfig{Evaluator: ev, Limit: 1})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /explore", m.HandleSubmit)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	body, _ := json.Marshal(managerReq())
+	r1, err := http.Post(srv.URL+"/explore", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status %d, want 202", r1.StatusCode)
+	}
+	r2, err := http.Post(srv.URL+"/explore", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over-limit submit status %d, want 429", r2.StatusCode)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+}

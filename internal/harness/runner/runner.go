@@ -226,6 +226,27 @@ func (p *Pool[K, V]) DoAllCtx(ctx context.Context, keys []K) ([]V, error) {
 	return out, nil
 }
 
+// Cached reports whether k already has a completed memoized result —
+// value or error — so a Do for it would return without executing.  An
+// in-flight execution reports false: a caller asking "would this key
+// cost a fresh run?" should treat it as one, because the answer is not
+// available yet.  The explore optimizer uses this probe for its budget
+// accounting: only keys that are not cached anywhere are charged.
+func (p *Pool[K, V]) Cached(k K) bool {
+	p.mu.Lock()
+	c, ok := p.calls[k]
+	p.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Stats returns a snapshot of the pool's cache counters.
 func (p *Pool[K, V]) Stats() Stats {
 	return Stats{

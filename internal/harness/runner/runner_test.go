@@ -311,3 +311,44 @@ func TestPanicMemoizedAsError(t *testing.T) {
 		t.Fatalf("stats = %+v, want Runs=1 Hits=1", s)
 	}
 }
+
+func TestCached(t *testing.T) {
+	release := make(chan struct{})
+	p := New(2, func(_ context.Context, k int) (int, error) {
+		if k == 1 {
+			<-release
+		}
+		return k, nil
+	})
+	if p.Cached(0) {
+		t.Fatal("unseen key reported cached")
+	}
+	if _, err := p.Do(0); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Cached(0) {
+		t.Fatal("completed key not reported cached")
+	}
+
+	// An in-flight key is not cached: Cached answers "would this cost
+	// nothing", and a caller would still wait for the result.
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		p.Do(1)
+	}()
+	<-started
+	for p.InFlight() == 0 {
+		runtime.Gosched()
+	}
+	if p.Cached(1) {
+		t.Error("in-flight key reported cached")
+	}
+	close(release)
+	if _, err := p.Do(1); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Cached(1) {
+		t.Error("finished key not reported cached")
+	}
+}

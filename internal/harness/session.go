@@ -48,6 +48,11 @@ func (s *Session) SetObserver(o runner.Observer) { s.pool.SetObserver(o) }
 // hits, single-flight waits).
 func (s *Session) Stats() runner.Stats { return s.pool.Stats() }
 
+// Cached reports whether spec already has a completed memoized result
+// in this session (see runner.Pool.Cached) — the probe the explore
+// optimizer's budget accounting uses to charge only fresh simulations.
+func (s *Session) Cached(spec RunSpec) bool { return s.pool.Cached(spec) }
+
 // Run executes spec through the session cache.
 func (s *Session) Run(spec RunSpec) (*Result, error) { return s.pool.Do(spec) }
 

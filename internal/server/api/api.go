@@ -8,6 +8,7 @@
 package api
 
 import (
+	"swsm/internal/explore"
 	"swsm/internal/harness"
 	"swsm/internal/harness/runner"
 	"swsm/internal/obs"
@@ -83,12 +84,18 @@ type Event struct {
 	// Seq is a monotonically increasing frame number (per daemon).
 	Seq int64 `json:"seq"`
 	// Type is one of jobQueued, jobStarted, jobDone, jobFailed,
-	// jobCanceled, sweepProgress, drain.
+	// jobCanceled, sweepProgress, drain — plus the auto-tuner's
+	// exploreStarted, exploreProgress, exploreFrontier, exploreDone,
+	// exploreFailed and exploreCanceled.
 	Type string `json:"type"`
 	// Job carries the job's status for job* events.
 	Job *RunStatus `json:"job,omitempty"`
 	// Sweep carries progress for sweepProgress events.
 	Sweep *SweepStatus `json:"sweep,omitempty"`
+	// Explore carries the exploration's status snapshot for explore*
+	// events (per-batch progress scalars; frontier-update frames list
+	// the newly discovered Pareto points under progress.newPoints).
+	Explore *explore.Status `json:"explore,omitempty"`
 	// Worker names the cluster worker involved, on coordinator streams:
 	// the executor on job* frames, the subject on workerJoined,
 	// workerLost and failover frames.
@@ -294,4 +301,14 @@ type ClusterStatus struct {
 	CacheHits int64 `json:"cacheHits"`
 	// Duplicates counts idempotently discarded duplicate completions.
 	Duplicates int64 `json:"duplicates"`
+	// StandbySeq is the last replicated log sequence on the other side
+	// of the replication link: on the primary, the highest sequence a
+	// log follower has confirmed (a poll from seq N confirms everything
+	// below N); on a standby, its own applied sequence.
+	StandbySeq int64 `json:"standbySeq"`
+	// ReplicationLag is the replication link's backlog in log records:
+	// LogSeq - StandbySeq on the primary (0 with no follower yet and an
+	// empty log), primary NextSeq-1 minus applied sequence on a
+	// standby.  Exposed as the svmd_cluster_replication_lag gauge.
+	ReplicationLag int64 `json:"replicationLag"`
 }

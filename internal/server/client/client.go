@@ -17,8 +17,10 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"swsm/internal/explore"
 	"swsm/internal/server/api"
 )
 
@@ -30,6 +32,15 @@ type Client struct {
 	HTTP *http.Client
 	// Retries bounds re-submissions after 429 responses (default 10).
 	Retries int
+	// JitterSeed seeds the deterministic backoff jitter (tests pin it;
+	// 0 derives a per-client seed from the clock and a process-global
+	// counter).  Jitter spreads every retry delay over [d/2, d) so the
+	// explore optimizer's fan-out — dozens of clients told "Retry-After:
+	// 1" by the same busy daemon in the same instant — decorrelates
+	// instead of stampeding back in lockstep.
+	JitterSeed uint64
+
+	jitter atomic.Uint64 // splitmix64 state, lazily seeded
 }
 
 // New builds a client for the daemon at baseURL.
@@ -142,6 +153,56 @@ func StatusCode(err error) int {
 	return -1
 }
 
+// jitterClients decorrelates auto-derived seeds of clients created in
+// the same clock tick (the explore fan-out case).
+var jitterClients atomic.Uint64
+
+// splitmix64 is the finalizer of the splitmix64 generator (same mix the
+// fault layer and the explore search use).
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// nextJitter draws the client's next jitter word: a lock-free
+// splitmix64 stream seeded once per client.
+func (c *Client) nextJitter() uint64 {
+	for {
+		s := c.jitter.Load()
+		if s == 0 {
+			seed := c.JitterSeed
+			if seed == 0 {
+				seed = uint64(time.Now().UnixNano()) + jitterClients.Add(1)<<32
+			}
+			s = seed*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+			if s == 0 {
+				s = 0x9e3779b97f4a7c15
+			}
+			if !c.jitter.CompareAndSwap(0, s) {
+				continue
+			}
+		}
+		next := s + 0x9e3779b97f4a7c15
+		if next == 0 { // state 0 means "unseeded"; skip over it
+			next = 0x9e3779b97f4a7c15
+		}
+		if c.jitter.CompareAndSwap(s, next) {
+			return splitmix64(s)
+		}
+	}
+}
+
+// jittered spreads a backoff delay over [d/2, d): never longer than the
+// daemon asked for, never synchronized with other clients.
+func jittered(d time.Duration, r uint64) time.Duration {
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(r%uint64(half))
+}
+
 // transientDelay is the capped exponential schedule for reconnects:
 // 25ms, 50ms, 100ms, ... capped at 500ms.
 func transientDelay(attempt int) time.Duration {
@@ -174,6 +235,7 @@ func (c *Client) withBackoff(ctx context.Context, fn func() error) error {
 		if be.transient {
 			delay = transientDelay(attempt)
 		}
+		delay = jittered(delay, c.nextJitter())
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
@@ -379,6 +441,66 @@ func (c *Client) ClusterStatus(ctx context.Context) (*api.ClusterStatus, error) 
 	var st api.ClusterStatus
 	err := c.withBackoff(ctx, func() error {
 		return c.do(ctx, http.MethodGet, "/cluster/status", nil, &st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// SubmitExplore starts an exploration without waiting, retrying on
+// backpressure (429 at the exploration concurrency limit).
+func (c *Client) SubmitExplore(ctx context.Context, req explore.Request) (*explore.Status, error) {
+	var st explore.Status
+	err := c.withBackoff(ctx, func() error {
+		return c.do(ctx, http.MethodPost, "/explore", req, &st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// GetExplore fetches an exploration's status; wait blocks until it is
+// terminal (idempotent, so it rides through daemon hiccups with capped
+// backoff).
+func (c *Client) GetExplore(ctx context.Context, id string, wait bool) (*explore.Status, error) {
+	path := "/explore/" + url.PathEscape(id)
+	if wait {
+		path += "?wait=1"
+	}
+	var st explore.Status
+	err := c.withBackoff(ctx, func() error {
+		return c.do(ctx, http.MethodGet, path, nil, &st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Explore submits an exploration and blocks until it reaches a terminal
+// state: the submit is a short non-idempotent POST, the long wait an
+// idempotent GET — so a connection lost mid-search resumes watching
+// instead of double-submitting.
+func (c *Client) Explore(ctx context.Context, req explore.Request) (*explore.Status, error) {
+	st, err := c.SubmitExplore(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	for st.State == explore.StateRunning {
+		if st, err = c.GetExplore(ctx, st.ID, true); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// CancelExplore requests cancellation of a running exploration.
+func (c *Client) CancelExplore(ctx context.Context, id string) (*explore.Status, error) {
+	var st explore.Status
+	err := c.withBackoff(ctx, func() error {
+		return c.do(ctx, http.MethodDelete, "/explore/"+url.PathEscape(id), nil, &st)
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"swsm/internal/explore"
+	"swsm/internal/harness"
+	"swsm/internal/server/api"
+)
+
+// serverEvaluator executes exploration candidates through the daemon's
+// own job scheduler, so auto-tuning traffic is ordinary traffic: each
+// point is a detached job that coalesces with identical in-flight
+// requests, competes for queue slots under the same backpressure, and
+// resolves store-first exactly like a POST /runs.  A full queue parks
+// the batch (bounded retry with the daemon's own Retry-After cadence)
+// instead of overflowing it — the optimizer is the one client that must
+// never amplify pressure on a busy daemon.
+type serverEvaluator struct{ s *Server }
+
+// submitRetryDelay paces re-submission attempts against a full queue.
+const submitRetryDelay = 10 * time.Millisecond
+
+func (e serverEvaluator) Evaluate(ctx context.Context, specs []harness.RunSpec) ([]explore.Evaluation, error) {
+	out := make([]explore.Evaluation, len(specs))
+	jobs := make([]*job, len(specs))
+	for i, spec := range specs {
+		out[i].Spec = spec
+		// Probe caches before execution: the budget ledger charges only
+		// evaluations that were warm nowhere.
+		if e.s.ses.Cached(spec) || (e.s.st != nil && e.s.st.Has(spec.Key())) {
+			out[i].Cached = true
+		}
+		for {
+			j, _, err := e.s.submit(api.RunRequest{Spec: spec}, true)
+			if err == nil {
+				jobs[i] = j
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				return nil, err // draining or invalid — abort the search
+			}
+			select {
+			case <-time.After(submitRetryDelay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	for i, j := range jobs {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		e.s.mu.Lock()
+		switch {
+		case j.state == api.StateDone:
+			out[i].Row = j.row
+			if j.cached {
+				out[i].Cached = true
+			}
+		case j.err != nil:
+			out[i].Err = j.err.Error()
+		default:
+			out[i].Err = "job " + j.id + " ended in state " + j.state
+		}
+		e.s.mu.Unlock()
+	}
+	return out, nil
+}
+
+// newExploreManager builds the daemon's exploration manager: events on
+// the daemon's SSE bus, admission gated on draining, svmd_explore_*
+// registered on the daemon's registry.
+func newExploreManager(s *Server, limit int) *explore.Manager {
+	m := explore.NewManager(explore.ManagerConfig{
+		Evaluator: serverEvaluator{s},
+		Publish: func(eventType string, st *explore.Status) {
+			s.bus.Publish(api.Event{Type: eventType, Explore: st})
+		},
+		Admit: func() error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.draining {
+				return ErrDraining
+			}
+			return nil
+		},
+		Limit:  limit,
+		Logger: s.log,
+	})
+	explore.RegisterMetrics(s.met.reg, m)
+	return m
+}

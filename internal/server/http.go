@@ -38,6 +38,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /runs/{id}", s.handleCancelRun)
 	mux.HandleFunc("POST /sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /sweeps/{id}", s.handleGetSweep)
+	mux.HandleFunc("POST /explore", s.expl.HandleSubmit)
+	mux.HandleFunc("GET /explore", s.expl.HandleList)
+	mux.HandleFunc("GET /explore/{id}", s.expl.HandleGet)
+	mux.HandleFunc("GET /explore/{id}/frontier", s.expl.HandleFrontierCSV)
+	mux.HandleFunc("DELETE /explore/{id}", s.expl.HandleCancel)
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"swsm/internal/apps"
+	"swsm/internal/explore"
 	"swsm/internal/harness"
 	"swsm/internal/harness/runner"
 	"swsm/internal/obs"
@@ -77,6 +78,11 @@ type Config struct {
 	// breaches the SLO.  "" disables dumping to disk; the in-memory ring
 	// still records.
 	DebugDir string
+	// ExploreLimit bounds concurrently running /explore searches
+	// (default 2).  Each exploration's point simulations still queue
+	// through the ordinary job scheduler; this only caps how many
+	// search drivers compete for it.
+	ExploreLimit int
 }
 
 // Submission errors the HTTP layer maps to status codes.
@@ -130,6 +136,7 @@ type Server struct {
 	met    *svmdMetrics
 	log    *slog.Logger // nil = service logging disabled
 	flight *obs.Flight
+	expl   *explore.Manager
 	// runFn executes one spec; tests substitute it to make scheduling
 	// behavior (backpressure, cancellation) deterministic.
 	runFn func(context.Context, harness.RunSpec) (*harness.Result, error)
@@ -185,6 +192,7 @@ func New(cfg Config) (*Server, error) {
 		queue:      make(chan *job, cfg.QueueDepth),
 		start:      start,
 	}
+	s.expl = newExploreManager(s, cfg.ExploreLimit)
 	met.registerServer(s)
 	ses.SetObserver(met)
 	if st != nil {
@@ -650,6 +658,12 @@ func (s *Server) Drain(ctx context.Context) error {
 		return errors.New("server: already draining")
 	}
 	s.bus.Publish(api.Event{Type: "drain"})
+
+	// Stop the auto-tuner first: cancel running explorations and wait
+	// for their drivers.  Drivers unpark promptly — their evaluator
+	// waits select on the exploration context — while the point jobs
+	// they already queued drain through the workers like any other job.
+	s.expl.Shutdown()
 
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()

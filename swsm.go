@@ -47,6 +47,7 @@ import (
 	"swsm/internal/comm"
 	"swsm/internal/consistency"
 	"swsm/internal/core"
+	"swsm/internal/explore"
 	"swsm/internal/fault"
 	"swsm/internal/harness"
 	"swsm/internal/harness/runner"
@@ -277,6 +278,36 @@ var (
 	WriteHotObjectsCSV        = harness.WriteHotObjectsCSV
 	TracedConfigSpecs         = harness.TracedConfigSpecs
 	TraceRuns                 = harness.TraceRuns
+)
+
+// Closed-loop auto-tuning: Explore adaptively searches the configuration
+// space of one application (protocol x communication set x cost set x
+// processor count x protocol knobs) for the Pareto frontier of speedup
+// vs. cumulative simulated cost.  The search is deterministic for a
+// fixed seed and budget, and evaluates through a Session (and optional
+// persistent store), so re-exploring a warm space costs no new
+// simulations.  The same engine runs behind svmd's /explore endpoint.
+type (
+	// ExploreRequest configures one auto-tuning search.
+	ExploreRequest = explore.Request
+	// ExploreSpace bounds the searched configuration space.
+	ExploreSpace = explore.Space
+	// ExploreReport is a finished search: the frontier plus counters.
+	ExploreReport = explore.Report
+	// ExplorePoint is one Pareto-frontier entry.
+	ExplorePoint = explore.Point
+	// ExploreProgress is the per-batch progress record.
+	ExploreProgress = explore.Progress
+	// SessionEvaluator evaluates explore candidates through a Session,
+	// optionally backed by a persistent result store.
+	SessionEvaluator = explore.SessionEvaluator
+)
+
+// Explore runs one auto-tuning search to completion; WriteFrontierCSV
+// exports a frontier in the svmbench/svmd CSV schema.
+var (
+	Explore          = explore.Run
+	WriteFrontierCSV = explore.WriteFrontierCSV
 )
 
 // Fault injection and graceful degradation: set RunSpec.Fault and the
