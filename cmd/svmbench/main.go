@@ -14,6 +14,7 @@
 //	svmbench -figure 3 -apps fft,lu -parallel 8
 //	svmbench -figure 3 -apps fft -json > fig3.json
 //	svmbench -figure 3 -server http://127.0.0.1:7099
+//	svmbench -hetero -apps lu,ocean-rowwise -csv hetero.csv
 //	svmbench -all > results.txt
 package main
 
@@ -78,6 +79,10 @@ func main() {
 		exploreProtos = flag.String("explore-protocols", "", "comma-separated protocol subset to search (default hlrc,lrc,sc)")
 		exploreProcs  = flag.String("explore-procs", "", "comma-separated processor counts to search (default 4,8,16,32)")
 		exploreStore  = flag.String("explore-store", "", "local mode: persistent result store directory — re-running the same search against it costs zero new simulations")
+
+		hetero     = flag.Bool("hetero", false, "run the heterogeneity sweep: skew x placement x protocol with protocol-verdict flips")
+		skewsCS    = flag.String("skews", "uniform,cpu4,cpu8,accel4,accel8,link4,link8,mixed", "comma-separated skew presets for -hetero")
+		placements = flag.String("placements", "rr,adaptive", "comma-separated placement policies for -hetero")
 	)
 	flag.Parse()
 
@@ -214,6 +219,13 @@ func main() {
 			}
 		})
 	}
+	if *hetero {
+		sweep(ses, "hetero", func() {
+			if err := runHetero(ses, sel, sc, *procs, *skewsCS, *placements, *csvPath); err != nil {
+				fatalf("hetero: %v", err)
+			}
+		})
+	}
 	if *validate {
 		res, err := harness.ValidateAll()
 		if err != nil {
@@ -225,7 +237,7 @@ func main() {
 		}
 		return
 	}
-	if *table == 0 && *figure == 0 && *traceOut == "" && *hotK == 0 && !*degradation && *litmusN == 0 {
+	if *table == 0 && *figure == 0 && *traceOut == "" && *hotK == 0 && !*degradation && *litmusN == 0 && !*hetero {
 		flag.Usage()
 	}
 }
@@ -413,6 +425,48 @@ func runLitmus(ses *swsm.Session, scale swsm.Scale, procs int, seed uint64, n in
 	}
 	fmt.Printf("all %d points conform\n", len(points))
 	return nil
+}
+
+// runHetero sweeps machine skew x placement x protocol through the
+// shared session and prints the speedup grid plus the protocol-verdict
+// flips — the configurations where the protocol that wins on the
+// paper's uniform cluster loses under skew.
+func runHetero(ses *swsm.Session, sel []string, scale swsm.Scale, procs int, skewsCS, placementsCS, csvPath string) error {
+	skews := splitList(skewsCS)
+	placements := splitList(placementsCS)
+	protos := []swsm.ProtocolKind{swsm.HLRC, swsm.SC}
+	points, err := ses.HeterogeneitySweep(sel, protos, scale, procs, skews, placements)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Heterogeneity sweep: skew x placement x {hlrc, sc}, %d procs\n", procs)
+	fmt.Print(swsm.FormatHeterogeneity(points))
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := swsm.WriteHeterogeneityCSV(f, points); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", csvPath)
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag into trimmed entries.
+func splitList(cs string) []string {
+	var out []string
+	for _, s := range strings.Split(cs, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // runDegradation sweeps drop rate x app x protocol through the shared

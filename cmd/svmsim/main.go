@@ -11,6 +11,7 @@
 //	svmsim -app fft -protocol hlrc -json
 //	svmsim -app fft -protocol hlrc -server http://127.0.0.1:7099
 //	svmsim -litmus 32 -litmus-seed 1 -procs 4 -scale tiny
+//	svmsim -app ocean-rowwise -hetero cpu4 -placement adaptive
 //	svmsim -list
 package main
 
@@ -64,6 +65,9 @@ func main() {
 		delayMax  = flag.Int64("delay-max", 0, "max injected extra delay in cycles (default 10000)")
 		pauseSpec = flag.String("pause", "", "periodic node pause windows as EVERY:FOR[:NODEMASK] cycles")
 		reliable  = flag.Bool("reliable", false, "route through the reliable transport even with no faults")
+
+		heteroSkew = flag.String("hetero", "uniform", "heterogeneity preset: "+strings.Join(swsm.HeteroPresetNames(), ", "))
+		placement  = flag.String("placement", "app", "page-home placement policy: "+strings.Join(swsm.HeteroPlacementNames(), ", "))
 	)
 	flag.Parse()
 
@@ -127,6 +131,11 @@ func main() {
 		fatalf("%v", err)
 	}
 	spec.Fault = fs
+	hs, err := swsm.ComposeHeteroSpec(*heteroSkew, *placement)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spec.Hetero = hs
 
 	tracing := *traceOut != "" || *traceJSONL != "" || *timelineOut != "" || *hotK > 0
 	if tracing {
@@ -186,6 +195,14 @@ func main() {
 		fmt.Printf("  fault plan: seed %d, drop %.2f%%, dup %.2f%%, delay %.2f%%, pause %d/%d\n",
 			spec.Fault.Seed, *dropPct, *dupPct, *delayPct,
 			spec.Fault.PauseFor, spec.Fault.PauseEvery)
+	}
+	if spec.Hetero.Enabled() {
+		fmt.Printf("  hetero: skew %s, placement %s\n", *heteroSkew, *placement)
+		if spec.Hetero.Placement == swsm.PlaceAdaptive {
+			fmt.Printf("    pages rehomed %d, demoted %d\n",
+				res.Stats.TotalCount(stats.PagesRehomed),
+				res.Stats.TotalCount(stats.PagesDemoted))
+		}
 	}
 	fmt.Printf("  cycles:   %d (sequential %d)\n", res.Cycles, seq)
 	fmt.Printf("  speedup:  %.2f\n", speedup)

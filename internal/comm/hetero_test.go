@@ -1,0 +1,109 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+
+	"swsm/internal/sim"
+)
+
+// deliverAtPerNode measures one message's delivery time on a per-node
+// network (node params given explicitly).
+func deliverAtPerNode(t *testing.T, perNode []Params, base Params, src, dst int, size int64) sim.Time {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := NewNetworkPerNode(eng, len(perNode), base, perNode)
+	var at sim.Time = -1
+	eng.At(0, func() {
+		nw.Send(&Message{Src: src, Dst: dst, Size: size,
+			OnDeliver: func(now sim.Time) { at = now }})
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at < 0 {
+		t.Fatal("message not delivered")
+	}
+	return at
+}
+
+func TestPerNodeUniformMatchesScalar(t *testing.T) {
+	// A per-node network whose every node uses the base params must be
+	// cycle-identical to the scalar network.
+	base := Achievable()
+	perNode := []Params{base, base}
+	for _, size := range []int64{32, 4000, 10000} {
+		want := deliverAt(t, base, size)
+		got := deliverAtPerNode(t, perNode, base, 0, 1, size)
+		if got != want {
+			t.Fatalf("size %d: per-node %d != scalar %d", size, got, want)
+		}
+	}
+}
+
+func TestPerNodeAsymmetricLink(t *testing.T) {
+	base := Achievable()
+	slow := base.Scale(4, 1) // 4x per-unit costs, 1/4 bandwidth
+	perNode := []Params{base, base, slow}
+
+	fastPath := deliverAtPerNode(t, perNode, base, 0, 1, 32)
+	if want := deliverAt(t, base, 32); fastPath != want {
+		t.Fatalf("fast-fast path perturbed: %d != %d", fastPath, want)
+	}
+	// Into the slow node: source side at base cost, destination NI and
+	// bus at 4x.  64B: srcIO 96 + srcNI 400 + link 2 + dstNI 1600 +
+	// dstIO 384 = 2482.
+	if got := deliverAtPerNode(t, perNode, base, 0, 2, 32); got != 2482 {
+		t.Fatalf("fast->slow latency = %d, want 2482", got)
+	}
+	// Out of the slow node: source side pays the 4x costs.
+	if got := deliverAtPerNode(t, perNode, base, 2, 0, 32); got != 2482 {
+		t.Fatalf("slow->fast latency = %d, want 2482", got)
+	}
+}
+
+func TestPerNodeLinkLatencyIsSlowerEnd(t *testing.T) {
+	base := Best() // zero overheads isolate the wire
+	lag := base
+	lag.LinkLatency = 100
+	perNode := []Params{base, lag}
+	// Either direction pays the slower end's latency: 96+96 bus + 100.
+	if got := deliverAtPerNode(t, perNode, base, 0, 1, 32); got != 292 {
+		t.Fatalf("fast->lag latency = %d, want 292", got)
+	}
+	if got := deliverAtPerNode(t, perNode, base, 1, 0, 32); got != 292 {
+		t.Fatalf("lag->fast latency = %d, want 292", got)
+	}
+}
+
+func TestParamsAt(t *testing.T) {
+	base := Achievable()
+	slow := base.Scale(2, 1)
+	eng := sim.NewEngine()
+	nw := NewNetworkPerNode(eng, 2, base, []Params{base, slow})
+	if nw.ParamsAt(1).NIOccupancy != slow.NIOccupancy {
+		t.Fatalf("ParamsAt(1) = %+v, want slow", nw.ParamsAt(1))
+	}
+	uniform := NewNetwork(eng, 2, base)
+	if uniform.ParamsAt(1) != base {
+		t.Fatalf("uniform ParamsAt(1) = %+v", uniform.ParamsAt(1))
+	}
+}
+
+func TestParamsByNameErrorListsKnownSets(t *testing.T) {
+	_, err := ParamsByName("Z")
+	if err == nil {
+		t.Fatal("unknown set accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list set %q", err, name)
+		}
+	}
+	// Names must enumerate exactly the resolvable sets.
+	for _, name := range Names() {
+		if _, err := ParamsByName(name); err != nil {
+			t.Fatalf("listed set %q does not resolve: %v", name, err)
+		}
+	}
+}

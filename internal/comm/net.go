@@ -59,6 +59,10 @@ type endpoint struct {
 type Network struct {
 	eng *sim.Engine
 	p   Params
+	// np, when non-nil, holds per-node parameter overrides (asymmetric
+	// links in a heterogeneous cluster).  Nil keeps the uniform fast
+	// path byte-for-byte.
+	np  []Params
 	eps []*endpoint
 
 	// Dispatch receives handler messages once fully arrived; the core
@@ -78,17 +82,55 @@ func NewNetwork(eng *sim.Engine, n int, p Params) *Network {
 	}
 	nw := &Network{eng: eng, p: p, eps: make([]*endpoint, n)}
 	for i := range nw.eps {
-		nw.eps[i] = &endpoint{
-			ioBus: sim.NewBandwidth(fmt.Sprintf("iobus%d", i), p.IOBusBytesNum, p.IOBusBytesDen),
-			niOut: sim.NewFIFO(fmt.Sprintf("niout%d", i)),
-			niIn:  sim.NewFIFO(fmt.Sprintf("niin%d", i)),
-		}
+		nw.eps[i] = newEndpoint(i, p)
 	}
 	return nw
 }
 
-// Params reports the configured communication parameters.
+// NewNetworkPerNode builds an interconnect whose node i uses perNode[i]
+// instead of the base parameters — fast and slow links coexisting in
+// one network.  A node's own parameters govern its side of a transfer:
+// outbound packets pay the source's NI occupancy and I/O bus, inbound
+// packets the destination's, and the wire latency is the slower end's
+// LinkLatency.  Packetization uses the base MaxPacket throughout (one
+// fabric, one MTU).  len(perNode) must be n; a nil perNode degrades to
+// NewNetwork.
+func NewNetworkPerNode(eng *sim.Engine, n int, p Params, perNode []Params) *Network {
+	if perNode == nil {
+		return NewNetwork(eng, n, p)
+	}
+	if len(perNode) != n {
+		panic(fmt.Sprintf("comm: %d per-node params for %d nodes", len(perNode), n))
+	}
+	if p.MaxPacket <= 0 {
+		p.MaxPacket = 4096
+	}
+	nw := &Network{eng: eng, p: p, np: append([]Params(nil), perNode...), eps: make([]*endpoint, n)}
+	for i := range nw.eps {
+		nw.eps[i] = newEndpoint(i, nw.np[i])
+	}
+	return nw
+}
+
+func newEndpoint(i int, p Params) *endpoint {
+	return &endpoint{
+		ioBus: sim.NewBandwidth(fmt.Sprintf("iobus%d", i), p.IOBusBytesNum, p.IOBusBytesDen),
+		niOut: sim.NewFIFO(fmt.Sprintf("niout%d", i)),
+		niIn:  sim.NewFIFO(fmt.Sprintf("niin%d", i)),
+	}
+}
+
+// Params reports the configured (base) communication parameters.
 func (nw *Network) Params() Params { return nw.p }
+
+// ParamsAt reports the communication parameters governing node i's
+// endpoint (the base parameters unless per-node overrides are set).
+func (nw *Network) ParamsAt(i int) Params {
+	if nw.np != nil {
+		return nw.np[i]
+	}
+	return nw.p
+}
 
 // Send injects m into the network at the current engine time.  The host
 // overhead is NOT charged here: the sender charges it in its own context
@@ -109,6 +151,16 @@ func (nw *Network) Send(m *Message) {
 	size := m.Size + HeaderBytes
 	nw.ByteCount += size
 	src := nw.eps[m.Src]
+	niOcc, latency := nw.p.NIOccupancy, nw.p.LinkLatency
+	if nw.np != nil {
+		// The source's NI prepares outbound packets; the wire runs at the
+		// slower end's latency.
+		niOcc = nw.np[m.Src].NIOccupancy
+		latency = nw.np[m.Src].LinkLatency
+		if l := nw.np[m.Dst].LinkLatency; l > latency {
+			latency = l
+		}
+	}
 
 	// Split into packets; pipeline each through source I/O bus and NI.
 	remaining := size
@@ -123,8 +175,8 @@ func (nw *Network) Send(m *Message) {
 		nw.PktCount++
 
 		_, ioEnd := src.ioBus.Reserve(now, pkt)
-		_, niEnd := src.niOut.Reserve(ioEnd, nw.p.NIOccupancy)
-		arrive := niEnd + nw.p.LinkLatency
+		_, niEnd := src.niOut.Reserve(ioEnd, niOcc)
+		arrive := niEnd + latency
 		var lastBit int64
 		if remaining == 0 {
 			lastBit = 1
@@ -153,7 +205,11 @@ func (m *Message) HandleEvent(now sim.Time, arg int64) {
 		return
 	}
 	dst := nw.eps[m.Dst]
-	_, inEnd := dst.niIn.Reserve(now, nw.p.NIOccupancy)
+	niOcc := nw.p.NIOccupancy
+	if nw.np != nil {
+		niOcc = nw.np[m.Dst].NIOccupancy
+	}
+	_, inEnd := dst.niIn.Reserve(now, niOcc)
 	_, depEnd := dst.ioBus.Reserve(inEnd, arg>>1)
 	if arg&1 != 0 {
 		nw.eng.AtHandler(depEnd, m, argDeliver)

@@ -9,6 +9,7 @@ package comm
 
 import (
 	"fmt"
+	"strings"
 
 	"swsm/internal/sim"
 )
@@ -130,30 +131,44 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Set names used by the harness ("A", "B", "H", "W", "B+").  Every
-// returned set is validated, so a future edit to a named set that breaks
-// an invariant fails here with a clear error instead of panicking deep in
-// the packetization loop.
+// namedSets maps set names to constructors, in Names() order.
+var namedSets = []struct {
+	name string
+	fn   func() Params
+}{
+	{"A", Achievable},
+	{"H", Halfway},
+	{"B", Best},
+	{"W", Worse},
+	{"B+", BetterThanBest},
+}
+
+// Names lists the known parameter-set names in canonical order.
+func Names() []string {
+	out := make([]string, len(namedSets))
+	for i, s := range namedSets {
+		out[i] = s.name
+	}
+	return out
+}
+
+// ParamsByName resolves a set name used by the harness (see Names).
+// Every returned set is validated, so a future edit to a named set that
+// breaks an invariant fails here with a clear error instead of
+// panicking deep in the packetization loop.
 func ParamsByName(name string) (Params, error) {
-	var p Params
-	switch name {
-	case "A":
-		p = Achievable()
-	case "B":
-		p = Best()
-	case "H":
-		p = Halfway()
-	case "W":
-		p = Worse()
-	case "B+":
-		p = BetterThanBest()
-	default:
-		return Params{}, fmt.Errorf("comm: unknown parameter set %q (want A, B, H, W or B+)", name)
+	for _, s := range namedSets {
+		if s.name != name {
+			continue
+		}
+		p := s.fn()
+		if err := p.Validate(); err != nil {
+			return Params{}, err
+		}
+		return p, nil
 	}
-	if err := p.Validate(); err != nil {
-		return Params{}, err
-	}
-	return p, nil
+	return Params{}, fmt.Errorf("comm: unknown parameter set %q (known sets: %s)",
+		name, strings.Join(Names(), ", "))
 }
 
 // BandwidthMBs reports the I/O bus bandwidth in MB/s assuming a 200 MHz

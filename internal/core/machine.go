@@ -15,6 +15,7 @@ import (
 	"swsm/internal/comm"
 	"swsm/internal/consistency"
 	"swsm/internal/fault"
+	"swsm/internal/hetero"
 	"swsm/internal/mem"
 	"swsm/internal/proto"
 	"swsm/internal/sim"
@@ -61,6 +62,13 @@ type Config struct {
 	// keeps the paper's perfectly reliable fabric and the plain network
 	// path, untouched.
 	Fault fault.Spec
+	// Hetero configures the per-node machine models: CPU speed
+	// multipliers on compute cycles, accelerator-style protocol-cost
+	// multipliers, and per-node asymmetric communication parameters.
+	// The zero value is the paper's uniform machine and keeps every
+	// fast path untouched.  (The adaptive placement policies in the
+	// same spec are consumed by the protocol layer, not here.)
+	Hetero hetero.Spec
 	// Tracer enables the observability layer when non-nil: typed event
 	// tracing, interval breakdown sampling, and hot-object profiling.
 	// Nil (the default) keeps every hook a no-op on the hot paths.
@@ -129,6 +137,13 @@ type Machine struct {
 	// breakdown sampler keeps rescheduling itself only while live > 0 so
 	// the event queue can drain and Run can terminate.
 	live int
+
+	// nodeSpecs holds the resolved per-node machine models; nil on the
+	// uniform machine, so every heterogeneity check is one nil test.
+	nodeSpecs []hetero.NodeSpec
+	// nodeComm holds per-node communication parameters when any link is
+	// asymmetric (mirrors the network's endpoint build); nil otherwise.
+	nodeComm []comm.Params
 }
 
 // NewMachine builds a cluster running the given protocol.  The protocol
@@ -147,12 +162,32 @@ func NewMachine(cfg Config, p proto.Protocol) *Machine {
 	m := &Machine{
 		Cfg:    cfg,
 		Eng:    eng,
-		Net:    comm.NewNetwork(eng, cfg.Procs, cfg.Comm),
 		Stats:  stats.New(cfg.Procs),
 		Prot:   p,
 		Nodes:  make([]*Node, cfg.Procs),
 		finish: make([]sim.Time, cfg.Procs),
 	}
+	if cfg.Hetero.ModelActive() {
+		if err := cfg.Hetero.Validate(); err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		m.nodeSpecs = make([]hetero.NodeSpec, cfg.Procs)
+		asymLinks := false
+		for i := range m.nodeSpecs {
+			ns := cfg.Hetero.Node(i)
+			m.nodeSpecs[i] = ns
+			if ns.LinkNum != ns.LinkDen {
+				asymLinks = true
+			}
+		}
+		if asymLinks {
+			m.nodeComm = make([]comm.Params, cfg.Procs)
+			for i, ns := range m.nodeSpecs {
+				m.nodeComm[i] = cfg.Comm.Scale(ns.LinkNum, ns.LinkDen)
+			}
+		}
+	}
+	m.Net = comm.NewNetworkPerNode(eng, cfg.Procs, cfg.Comm, m.nodeComm)
 	for i := range m.Nodes {
 		n := &Node{ID: i, Mem: mem.NewNodeMem(cfg.MemLimit)}
 		if cfg.CacheEnabled {
@@ -306,8 +341,7 @@ func (m *Machine) runHandler(n *Node, msg *comm.Message) {
 	}
 	h := &handlerCtx{m: m, node: n.ID}
 	body := m.Prot.Handle(h, msg)
-	cost := m.Cfg.Comm.MsgHandling + body +
-		m.Cfg.Comm.HostOverhead*int64(len(h.sends))
+	cost := m.handlerCost(n.ID, body, len(h.sends))
 	end := start + cost
 	n.cpuFreeAt = end
 	m.Stats.Inc(n.ID, stats.MsgsHandled, 1)
@@ -321,6 +355,27 @@ func (m *Machine) runHandler(n *Node, msg *comm.Message) {
 			}
 		})
 	}
+}
+
+// handlerCost prices one handled protocol message on a node: dispatch
+// (message handling) plus handler body, both run by the node's
+// processor — so a heterogeneous node's protocol-cycle multiplier
+// scales them — plus the per-send host overhead at that node's
+// communication parameters.
+func (m *Machine) handlerCost(node int, body int64, sends int) int64 {
+	mh, ho := m.Cfg.Comm.MsgHandling, m.Cfg.Comm.HostOverhead
+	if m.nodeComm != nil {
+		p := m.nodeComm[node]
+		mh, ho = p.MsgHandling, p.HostOverhead
+	}
+	cost := mh + body
+	if m.nodeSpecs != nil {
+		ns := m.nodeSpecs[node]
+		if ns.ProtoNum != ns.ProtoDen {
+			cost = cost * ns.ProtoNum / ns.ProtoDen
+		}
+	}
+	return cost + ho*int64(sends)
 }
 
 // handlerCtx implements proto.HandlerCtx.

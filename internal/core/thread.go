@@ -55,6 +55,15 @@ type Thread struct {
 	acc      []uint8
 	accShift uint
 	accFree  bool
+
+	// Per-node heterogeneity, resolved at construction: compute and
+	// protocol cycle multipliers (1/1 on the uniform machine) and this
+	// node's send overhead (the base value unless links are asymmetric),
+	// replacing the former direct Cfg.Comm read so a slow endpoint's
+	// software costs follow its NI.
+	compNum, compDen   int64
+	protoNum, protoDen int64
+	hostOverhead       int64
 }
 
 func newThread(m *Machine, n *Node, ledger []int64) *Thread {
@@ -67,6 +76,17 @@ func newThread(m *Machine, n *Node, ledger []int64) *Thread {
 		accessInstr: 1 + m.Cfg.AccessInstrCycles,
 		memLimit:    m.Cfg.MemLimit,
 		chk:         m.Cfg.Check,
+
+		compNum: 1, compDen: 1, protoNum: 1, protoDen: 1,
+		hostOverhead: m.Cfg.Comm.HostOverhead,
+	}
+	if m.nodeSpecs != nil {
+		ns := m.nodeSpecs[n.ID]
+		t.compNum, t.compDen = ns.CompNum, ns.CompDen
+		t.protoNum, t.protoDen = ns.ProtoNum, ns.ProtoDen
+	}
+	if m.nodeComm != nil {
+		t.hostOverhead = m.nodeComm[n.ID].HostOverhead
 	}
 	if m.Cfg.SharedMem {
 		t.mem = m.Nodes[0].Mem
@@ -143,8 +163,7 @@ func (t *Thread) drainHandlers() {
 		n.pendingH = n.pendingH[1:]
 		h := &handlerCtx{m: t.m, node: n.ID}
 		body := t.m.Prot.Handle(h, msg)
-		cost := t.m.Cfg.Comm.MsgHandling + body +
-			t.m.Cfg.Comm.HostOverhead*int64(len(h.sends))
+		cost := t.m.handlerCost(n.ID, body, len(h.sends))
 		t.m.Stats.Inc(n.ID, stats.MsgsHandled, 1)
 		t.m.Stats.AddHandlerBody(n.ID, cost)
 		t.m.Stats.Add(n.ID, stats.Handler, cost)
@@ -160,8 +179,14 @@ func (t *Thread) drainHandlers() {
 }
 
 // Charge advances this thread's time by `cycles` attributed to cat
-// (protocol fault paths use this; it materializes immediately).
+// (protocol fault paths use this; it materializes immediately).  On a
+// heterogeneous node, protocol-software cycles scale by the node's
+// protocol multiplier — an accelerator-style node computes fast but
+// pays dearly for every fault, diff and twin.
 func (t *Thread) Charge(cat stats.Category, cycles int64) {
+	if cat == stats.Protocol && t.protoNum != t.protoDen {
+		cycles = cycles * t.protoNum / t.protoDen
+	}
 	if cycles <= 0 {
 		return
 	}
@@ -174,7 +199,7 @@ func (t *Thread) Charge(cat stats.Category, cycles int64) {
 // Send charges the host overhead to cat and injects m into the network.
 func (t *Thread) Send(cat stats.Category, m *comm.Message) {
 	t.sync()
-	if o := t.m.Cfg.Comm.HostOverhead; o > 0 {
+	if o := t.hostOverhead; o > 0 {
 		t.m.Stats.Add(t.node.ID, cat, o)
 		t.co.Sleep(o)
 	}
@@ -202,8 +227,17 @@ func (t *Thread) BlockFor(cat stats.Category) {
 var _ proto.Thread = (*Thread)(nil)
 
 // Compute charges busy cycles of pure computation (the 1-IPC model's
-// instruction time for work between shared-memory references).
+// instruction time for work between shared-memory references).  A
+// heterogeneous node's CPU speed multiplier applies here, in the
+// time-quantum batching: cycles are the uniform 200 MHz processor's,
+// scaled once on entry so a 2x-slower node takes twice as long.  (The
+// fixed per-reference instruction slot in pre() stays at one cycle —
+// shared references are dominated by the protocol/memory system, whose
+// costs scale through their own multipliers.)
 func (t *Thread) Compute(cycles int64) {
+	if t.compNum != t.compDen {
+		cycles = cycles * t.compNum / t.compDen
+	}
 	q := t.quantum
 	for cycles > 0 {
 		step := cycles

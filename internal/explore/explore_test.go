@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"swsm/internal/harness"
+	"swsm/internal/hetero"
 	"swsm/internal/store"
 
 	// The search tests run real simulations of the fft kernel.
@@ -208,6 +209,8 @@ func TestRequestValidation(t *testing.T) {
 		{App: "fft", Space: Space{HLRCUnitShifts: []uint{13}}},
 		{App: "fft", Space: Space{SCBlocks: []int{8192}}},
 		{App: "fft", Space: Space{DropPPMs: []int64{-1}}},
+		{App: "fft", Space: Space{Skews: []string{"warp9"}}},
+		{App: "fft", Space: Space{Placements: []string{"clairvoyant"}}},
 	}
 	for i, r := range bad {
 		if _, err := r.WithDefaults(); err == nil {
@@ -266,6 +269,66 @@ func TestSpaceCanonAndSize(t *testing.T) {
 		t.Errorf("label = %q", got)
 	}
 	if got := s.label(vec{dimProto: 1, dimBlock: 1}); got != "sc/AO/p4/b64" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+// The heterogeneity dimensions: placements are HLRC-only, adaptive
+// grain collapses the unit dimension, and labels name non-default
+// skew/placement.
+func TestSpaceHeteroDims(t *testing.T) {
+	s := Space{
+		Protocols:      []harness.ProtocolKind{harness.HLRC, harness.SC},
+		CommSets:       []string{"A"},
+		CostSets:       []string{"O"},
+		Procs:          []int{8},
+		HLRCUnitShifts: []uint{0, 10},
+		SCBlocks:       []int{0},
+		DropPPMs:       []int64{0},
+		Skews:          []string{"uniform", "cpu4"},
+		Placements:     []string{"rr", "adaptive", "adaptive+grain"},
+	}.withDefaults()
+	if err := s.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// hlrc: 2 skews x (2 units x 3 placements collapsing to 2x2+1 per the
+	// adaptive+grain pin... size() counts the full product 2*3=6) = 12;
+	// sc: 2 skews x 1 block = 2.
+	if got := s.size(); got != 14 {
+		t.Errorf("size = %d, want 14", got)
+	}
+	// SC pins both unit and placement.
+	sc := s.canon(vec{dimProto: 1, dimUnit: 1, dimPlace: 2, dimSkew: 1})
+	if sc[dimUnit] != 0 || sc[dimPlace] != 0 || sc[dimSkew] != 1 {
+		t.Errorf("sc canon = %v, want unit+placement pinned, skew kept", sc)
+	}
+	// HLRC with adaptive grain pins the unit shift (the harness rejects
+	// the combination); plain adaptive keeps it.
+	ag := s.canon(vec{dimProto: 0, dimUnit: 1, dimPlace: 2})
+	if ag[dimUnit] != 0 || ag[dimPlace] != 2 {
+		t.Errorf("adaptive+grain canon = %v, want unit pinned", ag)
+	}
+	ad := s.canon(vec{dimProto: 0, dimUnit: 1, dimPlace: 1})
+	if ad[dimUnit] != 1 || ad[dimPlace] != 1 {
+		t.Errorf("adaptive canon = %v, want unit kept", ad)
+	}
+	// Materialized specs carry the composed hetero.Spec.
+	spec := s.spec("fft", 0, vec{dimProto: 0, dimSkew: 1, dimPlace: 1})
+	if spec.Hetero.Placement != hetero.PlaceAdaptive || spec.Hetero.SlowNum != 4 {
+		t.Errorf("spec hetero = %+v, want cpu4/adaptive", spec.Hetero)
+	}
+	if err := spec.Hetero.Validate(); err != nil {
+		t.Errorf("materialized hetero spec invalid: %v", err)
+	}
+	grain := s.spec("fft", 0, s.canon(vec{dimProto: 0, dimUnit: 1, dimPlace: 2}))
+	if grain.HLRCUnitShift != 0 || grain.Hetero.Grain != hetero.GrainAdaptive {
+		t.Errorf("adaptive+grain spec = shift %d grain %v, want shift pinned to 0", grain.HLRCUnitShift, grain.Hetero.Grain)
+	}
+	// Labels: default skew and first placement elided only when default.
+	if got := s.label(vec{dimProto: 0, dimSkew: 1, dimPlace: 1}); got != "hlrc/AO/p8/cpu4/adaptive" {
+		t.Errorf("label = %q", got)
+	}
+	if got := s.label(vec{dimProto: 0}); got != "hlrc/AO/p8/rr" {
 		t.Errorf("label = %q", got)
 	}
 }

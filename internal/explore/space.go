@@ -8,6 +8,7 @@ import (
 	"swsm/internal/comm"
 	"swsm/internal/fault"
 	"swsm/internal/harness"
+	"swsm/internal/hetero"
 	"swsm/internal/proto"
 )
 
@@ -42,6 +43,16 @@ type Space struct {
 	// FaultSeed seeds fault injection for points with a nonzero drop
 	// rate (default 1).
 	FaultSeed uint64 `json:"faultSeed,omitempty"`
+	// Skews are named heterogeneity presets (hetero.PresetNames:
+	// "uniform", "cpu2".."cpu8", "accel2".."accel8", "link4"/"link8",
+	// "mixed"); "uniform" means the paper's identical nodes.
+	Skews []string `json:"skews,omitempty"`
+	// Placements are named placement policies (harness.PlacementNames:
+	// "app", "rr", "adaptive", "adaptive+grain").  The adaptive policies
+	// are HLRC-only — the dimension is pinned to its first value
+	// elsewhere, so include "app" or "rr" first when searching several
+	// protocols.
+	Placements []string `json:"placements,omitempty"`
 }
 
 // The search dimensions, in the fixed order every deterministic
@@ -54,6 +65,8 @@ const (
 	dimUnit
 	dimBlock
 	dimDrop
+	dimSkew
+	dimPlace
 	numDims
 )
 
@@ -86,6 +99,12 @@ func (s Space) withDefaults() Space {
 	}
 	if s.FaultSeed == 0 {
 		s.FaultSeed = 1
+	}
+	if len(s.Skews) == 0 {
+		s.Skews = []string{"uniform"}
+	}
+	if len(s.Placements) == 0 {
+		s.Placements = []string{"app"}
 	}
 	return s
 }
@@ -128,6 +147,16 @@ func (s Space) validate() error {
 			return fmt.Errorf("explore: drop rate %d PPM out of range [0,1e6)", d)
 		}
 	}
+	for _, n := range s.Skews {
+		if _, err := hetero.PresetByName(n); err != nil {
+			return fmt.Errorf("explore: skew %q: %v", n, err)
+		}
+	}
+	for _, n := range s.Placements {
+		if _, err := harness.HeteroSpec("uniform", n); err != nil {
+			return fmt.Errorf("explore: placement %q: %v", n, err)
+		}
+	}
 	return nil
 }
 
@@ -141,6 +170,8 @@ func (s Space) dims() [numDims]int {
 		dimUnit:  len(s.HLRCUnitShifts),
 		dimBlock: len(s.SCBlocks),
 		dimDrop:  len(s.DropPPMs),
+		dimSkew:  len(s.Skews),
+		dimPlace: len(s.Placements),
 	}
 }
 
@@ -151,10 +182,10 @@ func (s Space) size() int {
 	n := 0
 	d := s.dims()
 	for _, p := range s.Protocols {
-		per := d[dimComm] * d[dimCost] * d[dimProcs] * d[dimDrop]
+		per := d[dimComm] * d[dimCost] * d[dimProcs] * d[dimDrop] * d[dimSkew]
 		switch p {
 		case harness.HLRC:
-			per *= d[dimUnit]
+			per *= d[dimUnit] * d[dimPlace]
 		case harness.SC:
 			per *= d[dimBlock]
 		}
@@ -170,9 +201,18 @@ func (s Space) canon(v vec) vec {
 	p := s.Protocols[v[dimProto]]
 	if p != harness.HLRC {
 		v[dimUnit] = 0
+		// Adaptive home migration lives in the HLRC protocol; under the
+		// others every placement beyond the first would re-run the same
+		// simulation under a different key.
+		v[dimPlace] = 0
 	}
 	if p != harness.SC {
 		v[dimBlock] = 0
+	}
+	if p == harness.HLRC && s.Placements[v[dimPlace]] == "adaptive+grain" {
+		// Adaptive grain supersedes the static unit-shift override (the
+		// harness rejects the combination).
+		v[dimUnit] = 0
 	}
 	return v
 }
@@ -188,6 +228,11 @@ func (s Space) spec(app string, scale apps.Scale, v vec) harness.RunSpec {
 	if !ok {
 		panic(fmt.Sprintf("explore: validated cost set %q vanished", s.CostSets[v[dimCost]]))
 	}
+	placement := s.Placements[v[dimPlace]]
+	hs, err := harness.HeteroSpec(s.Skews[v[dimSkew]], placement)
+	if err != nil {
+		panic(fmt.Sprintf("explore: validated hetero point vanished: %v", err))
+	}
 	spec := harness.RunSpec{
 		App:          app,
 		Scale:        scale,
@@ -196,8 +241,9 @@ func (s Space) spec(app string, scale apps.Scale, v vec) harness.RunSpec {
 		Comm:         cp,
 		Costs:        costs,
 		CacheEnabled: true,
+		Hetero:       hs,
 	}
-	if spec.Protocol == harness.HLRC {
+	if spec.Protocol == harness.HLRC && spec.Hetero.Grain != hetero.GrainAdaptive {
 		spec.HLRCUnitShift = s.HLRCUnitShifts[v[dimUnit]]
 	}
 	if spec.Protocol == harness.SC {
@@ -228,6 +274,12 @@ func (s Space) label(v vec) string {
 	}
 	if ppm := s.DropPPMs[v[dimDrop]]; ppm != 0 {
 		fmt.Fprintf(&b, "/d%d", ppm)
+	}
+	if skew := s.Skews[v[dimSkew]]; skew != "uniform" {
+		fmt.Fprintf(&b, "/%s", skew)
+	}
+	if pl := s.Placements[v[dimPlace]]; pl != "app" {
+		fmt.Fprintf(&b, "/%s", pl)
 	}
 	return b.String()
 }

@@ -15,7 +15,7 @@ import (
 // that alter cycle counts, application restructurings).  The golden
 // values in key_test.go catch accidental encoding drift; the field-count
 // guard there forces this file to be revisited whenever RunSpec grows.
-const KeyVersion = 1
+const KeyVersion = 2
 
 // Key returns the stable, versioned content key of the spec: a
 // canonical byte encoding of every RunSpec field, hashed with SHA-256.
@@ -56,6 +56,13 @@ func (s RunSpec) Key() string {
 		f.Seed, f.DropPPM, f.DupPPM, f.DelayPPM, f.DelayMax,
 		f.PauseEvery, f.PauseFor, f.PauseMask, f.StallEvery, f.StallFor,
 		f.Reliable)
+	h := s.Hetero
+	fmt.Fprintf(&b, "hetero=%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d,%d,%s,%d,%d,%d,%d\n",
+		h.SlowMask, h.SlowNum, h.SlowDen,
+		h.AccelMask, h.AccelCompNum, h.AccelCompDen, h.AccelProtoNum, h.AccelProtoDen,
+		h.SlowLinkMask, h.LinkNum, h.LinkDen,
+		string(h.Placement), h.RehomeMin, h.RehomeFactor, h.RehomeCap,
+		string(h.Grain), h.FineShift, h.FineWriters, h.FineMaxWords, h.FineCap)
 	fmt.Fprintf(&b, "check=%t\n", s.Check)
 	sum := sha256.Sum256([]byte(b.String()))
 	return fmt.Sprintf("v%d-%x", KeyVersion, sum)

@@ -8,6 +8,7 @@ import (
 	"swsm/internal/apps"
 	"swsm/internal/comm"
 	"swsm/internal/fault"
+	"swsm/internal/hetero"
 	"swsm/internal/proto"
 )
 
@@ -26,7 +27,7 @@ func TestSpecKeyGolden(t *testing.T) {
 		{
 			name: "default-fft-hlrc",
 			spec: DefaultSpec("fft", HLRC),
-			want: "v1-1433e0ef3d5cfbcdfeb4aa63958af9f48e15894c497b7fc435e13da6260e86a8",
+			want: "v2-099ea7828ce91d9fa362820e80b0cff990a7a252045abc929bf05b6b7fc344a8",
 		},
 		{
 			name: "faulted-barnes-sc",
@@ -39,12 +40,12 @@ func TestSpecKeyGolden(t *testing.T) {
 				s.Check = true
 				return s
 			}(),
-			want: "v1-f8f5eb2fa95b04aa0eb2e8f63ea178daed84fb588972dc0bd3413671b244a854",
+			want: "v2-f0d17e412a29d59d98bffe114933158d02f037c093eee306d664234e0314999b",
 		},
 		{
 			name: "baseline-lu-tiny",
 			spec: BaselineSpec("lu", apps.Tiny, true),
-			want: "v1-66683cb70eeb5c5c741ed166702dcd1c7e2428dc95f360c8516e081899a6b954",
+			want: "v2-46ddc4bf70b9dc1548a6e2647a7c235c96d7ae45f8d9cd9c5742404ae78fc7c2",
 		},
 	}
 	for _, g := range golden {
@@ -58,8 +59,8 @@ func TestSpecKeyGolden(t *testing.T) {
 // specs agree, any single-field perturbation disagrees.
 func TestSpecKeyShape(t *testing.T) {
 	base := DefaultSpec("fft", HLRC)
-	if !strings.HasPrefix(base.Key(), "v1-") || len(base.Key()) != len("v1-")+64 {
-		t.Fatalf("key %q is not v1-<64 hex>", base.Key())
+	if !strings.HasPrefix(base.Key(), "v2-") || len(base.Key()) != len("v2-")+64 {
+		t.Fatalf("key %q is not v2-<64 hex>", base.Key())
 	}
 	if base.Key() != DefaultSpec("fft", HLRC).Key() {
 		t.Fatal("equal specs produced different keys")
@@ -82,6 +83,7 @@ func TestSpecKeyShape(t *testing.T) {
 		"Trace":                 func(s *RunSpec) { s.Trace = true },
 		"TraceSample":           func(s *RunSpec) { s.Trace = true; s.TraceSample = 1000 },
 		"Fault":                 func(s *RunSpec) { s.Fault.DropPPM = 1 },
+		"Hetero":                func(s *RunSpec) { s.Hetero.SlowMask = 2; s.Hetero.SlowNum = 2; s.Hetero.SlowDen = 1 },
 		"Check":                 func(s *RunSpec) { s.Check = true },
 	}
 	if want := reflect.TypeOf(RunSpec{}).NumField(); len(perturb) != want {
@@ -108,10 +110,11 @@ func TestSpecKeyFieldGuard(t *testing.T) {
 		typ    reflect.Type
 		fields int
 	}{
-		{reflect.TypeOf(RunSpec{}), 17},
+		{reflect.TypeOf(RunSpec{}), 18},
 		{reflect.TypeOf(comm.Params{}), 7},
 		{reflect.TypeOf(proto.Costs{}), 9},
 		{reflect.TypeOf(fault.Spec{}), 11},
+		{reflect.TypeOf(hetero.Spec{}), 20},
 	} {
 		if got := g.typ.NumField(); got != g.fields {
 			t.Errorf("%s has %d fields, the key encoding covers %d — update RunSpec.Key, bump KeyVersion, re-pin goldens",

@@ -15,6 +15,7 @@ import (
 	"swsm/internal/consistency"
 	"swsm/internal/core"
 	"swsm/internal/fault"
+	"swsm/internal/hetero"
 	"swsm/internal/obs"
 	"swsm/internal/proto"
 	"swsm/internal/proto/hlrc"
@@ -84,6 +85,15 @@ type RunSpec struct {
 	// fabric.  Part of the memo key: faulted and clean runs of the same
 	// point cache separately.
 	Fault fault.Spec
+	// Hetero configures the heterogeneity plane: per-node machine models
+	// (slow CPUs, accelerator nodes, asymmetric links) and the adaptive
+	// home/grain placement policies.  The zero value is the paper's
+	// uniform machine.  Part of the memo key: heterogeneous and uniform
+	// runs of the same point cache separately.  A non-empty Placement
+	// implies DisablePlacement (both the static round-robin baseline and
+	// the adaptive policy start from round-robin homes, so adaptive gains
+	// are attributable to migration, not to ignoring app placement).
+	Hetero hetero.Spec
 	// Check runs the consistency conformance checker over the run: every
 	// load is verified against the writes the protocol's declared model
 	// (RC or SC) permits, and a violation fails the run with a
@@ -184,6 +194,15 @@ func RunInstance(spec RunSpec, inst apps.Instance, newProt func() proto.Protocol
 		return nil, err
 	}
 	cfg.Fault = spec.Fault
+	if err := spec.Hetero.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Hetero = spec.Hetero
+	if spec.Hetero.Placement != hetero.PlaceApp {
+		// rr and adaptive both start from round-robin homes; adaptive must
+		// earn its keep by migrating, not by ignoring app placement.
+		cfg.DisablePlacement = true
+	}
 	if spec.SoftwareAccessControl {
 		// ~2 extra instructions per shared reference approximates the
 		// Table-1 instrumentation percentages at the 1-IPC model.
@@ -199,7 +218,11 @@ func RunInstance(spec RunSpec, inst apps.Instance, newProt func() proto.Protocol
 	} else {
 		switch spec.Protocol {
 		case HLRC:
-			p = hlrc.New(hlrc.Config{Costs: spec.Costs, UnitShift: spec.HLRCUnitShift})
+			if spec.HLRCUnitShift != 0 && spec.Hetero.Grain == hetero.GrainAdaptive {
+				return nil, fmt.Errorf("harness: HLRCUnitShift and adaptive grain are mutually exclusive")
+			}
+			p = hlrc.New(hlrc.Config{Costs: spec.Costs, UnitShift: spec.HLRCUnitShift,
+				Hetero: spec.Hetero})
 		case LRC:
 			p = lrc.New(lrc.Config{Costs: spec.Costs})
 		case SC:

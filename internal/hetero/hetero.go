@@ -1,0 +1,468 @@
+// Package hetero is the heterogeneity plane of the simulated cluster:
+// per-node machine models (slow CPUs, accelerator-style nodes,
+// asymmetric links) and the adaptive placement policies the protocol
+// layer runs against them (migratory page homes, per-page coherence
+// granularity).
+//
+// The paper assumes 16 identical uniprocessor nodes; a Spec perturbs
+// that assumption one axis at a time.  Every field is a scalar so Spec
+// is comparable and participates directly in flat memoization keys,
+// exactly like fault.Spec: a run's outcome is a pure function of its
+// RunSpec, heterogeneity included, which is what keeps serial and
+// 8-wide sweeps byte-identical.
+//
+// Multipliers are integer rationals (num/den), never floats, so scaled
+// cycle counts are bit-reproducible across platforms.  A num/den pair
+// of 0/0 means identity (the zero Spec models the paper's uniform
+// machine and changes nothing).
+package hetero
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Placement names a page-home placement policy.
+type Placement string
+
+const (
+	// PlaceApp (the zero value) honors the application's explicit
+	// Place() calls — the paper's decomposed placement.
+	PlaceApp Placement = ""
+	// PlaceRR ignores application placement and leaves every home
+	// round-robin (the static-home baseline adaptive placement is
+	// measured against).
+	PlaceRR Placement = "rr"
+	// PlaceAdaptive starts from round-robin homes and migrates a page's
+	// home online when one remote node dominates its accesses (HLRC
+	// only; other protocols degrade to PlaceRR).
+	PlaceAdaptive Placement = "adaptive"
+)
+
+// Grain names a per-page coherence-granularity policy.
+type Grain string
+
+const (
+	// GrainPage (the zero value) keeps the protocol's configured
+	// coherence unit everywhere.
+	GrainPage Grain = ""
+	// GrainAdaptive starts every page at the 4 KB page unit and demotes
+	// pages whose profiled sharing pattern shows write-write false
+	// sharing to fine-grained (2^FineShift byte) units — per-page
+	// protocol selection between page HLRC and the fine-grained
+	// delayed-consistency variant (HLRC only).
+	GrainAdaptive Grain = "adaptive"
+)
+
+// DefaultFineShift is the sub-page coherence unit adaptive grain demotes
+// to: 2^10 = 1 KB, the sweet spot of the paper's granularity ablation.
+const DefaultFineShift = 10
+
+// Spec configures the heterogeneity plane.  The zero value is the
+// paper's uniform machine and changes nothing.  Node masks select nodes
+// by bit i%64, like fault.Spec.PauseMask.
+type Spec struct {
+	// SlowMask selects slow-CPU nodes: both compute cycles and protocol
+	// software cycles scale by SlowNum/SlowDen (a 2/1 ratio is a CPU at
+	// half the clock of the paper's 200 MHz processor).
+	SlowMask uint64
+	SlowNum  int64
+	SlowDen  int64
+
+	// AccelMask selects accelerator-style nodes: compute scales by
+	// AccelCompNum/AccelCompDen (typically < 1 — the device computes
+	// faster) while protocol software — page faults, handlers,
+	// diff/twin work, the interrupt-cost-heavy part of SVM — scales by
+	// AccelProtoNum/AccelProtoDen (typically > 1: host round-trips).
+	AccelMask     uint64
+	AccelCompNum  int64
+	AccelCompDen  int64
+	AccelProtoNum int64
+	AccelProtoDen int64
+
+	// SlowLinkMask selects nodes whose network endpoint is slow: their
+	// comm.Params per-unit costs (host overhead, NI occupancy, message
+	// handling) scale by LinkNum/LinkDen and their I/O bus bandwidth
+	// divides by it, so fast and slow links coexist in one network.
+	SlowLinkMask uint64
+	LinkNum      int64
+	LinkDen      int64
+
+	// Placement selects the page-home policy (see Placement).  Any
+	// non-zero value implies round-robin initial homes (application
+	// Place() calls are ignored).
+	Placement Placement
+	// RehomeMin is the minimum access count the dominant remote node
+	// must reach before a page may migrate (default 8).
+	RehomeMin int64
+	// RehomeFactor is the dominance ratio: the dominant node's accesses
+	// must be >= RehomeFactor x everyone else's combined (default 2).
+	RehomeFactor int64
+	// RehomeCap bounds total migrations per run (default 4096).
+	RehomeCap int64
+
+	// Grain selects the per-page coherence-granularity policy.
+	Grain Grain
+	// FineShift is the demoted coherence unit as log2(bytes), in
+	// [6, 12) (default DefaultFineShift).
+	FineShift uint
+	// FineWriters is the minimum number of distinct writers a page must
+	// have seen before it is considered falsely shared (default 2).
+	FineWriters int64
+	// FineMaxWords is the largest mean diff size (in 4-byte words) that
+	// still counts as false sharing — big diffs mean the whole page is
+	// really written and fine units would only add protocol operations
+	// (default 64).
+	FineMaxWords int64
+	// FineCap bounds total demotions per run (default 4096).
+	FineCap int64
+}
+
+// NodeSpec is the resolved machine model of one node: the integer
+// rational multipliers the core applies to that node's cycle charges.
+type NodeSpec struct {
+	CompNum, CompDen   int64 // compute (Busy) cycles
+	ProtoNum, ProtoDen int64 // protocol software + handler cycles
+	LinkNum, LinkDen   int64 // comm.Params per-unit costs
+}
+
+// Uniform reports whether the node runs at the paper's baseline speed.
+func (n NodeSpec) Uniform() bool {
+	return n.CompNum == n.CompDen && n.ProtoNum == n.ProtoDen && n.LinkNum == n.LinkDen
+}
+
+// ratio normalizes a num/den pair: 0/0 means identity.
+func ratio(num, den int64) (int64, int64) {
+	if num == 0 && den == 0 {
+		return 1, 1
+	}
+	return num, den
+}
+
+func maskHas(mask uint64, node int) bool { return mask&(1<<(uint(node)%64)) != 0 }
+
+// Node resolves the machine model of node i by composing the masks the
+// node belongs to.
+func (s Spec) Node(i int) NodeSpec {
+	n := NodeSpec{1, 1, 1, 1, 1, 1}
+	if maskHas(s.SlowMask, i) {
+		num, den := ratio(s.SlowNum, s.SlowDen)
+		n.CompNum, n.CompDen = n.CompNum*num, n.CompDen*den
+		n.ProtoNum, n.ProtoDen = n.ProtoNum*num, n.ProtoDen*den
+	}
+	if maskHas(s.AccelMask, i) {
+		cn, cd := ratio(s.AccelCompNum, s.AccelCompDen)
+		pn, pd := ratio(s.AccelProtoNum, s.AccelProtoDen)
+		n.CompNum, n.CompDen = n.CompNum*cn, n.CompDen*cd
+		n.ProtoNum, n.ProtoDen = n.ProtoNum*pn, n.ProtoDen*pd
+	}
+	if maskHas(s.SlowLinkMask, i) {
+		n.LinkNum, n.LinkDen = ratio(s.LinkNum, s.LinkDen)
+	}
+	return n
+}
+
+// ModelActive reports whether any per-node machine model deviates from
+// the uniform baseline (the signal for the core to build per-node
+// multiplier tables and per-node network endpoints).
+func (s Spec) ModelActive() bool {
+	identity := func(mask uint64, num, den int64) bool {
+		if mask == 0 {
+			return true
+		}
+		n, d := ratio(num, den)
+		return n == d
+	}
+	return !identity(s.SlowMask, s.SlowNum, s.SlowDen) ||
+		!(identity(s.AccelMask, s.AccelCompNum, s.AccelCompDen) &&
+			identity(s.AccelMask, s.AccelProtoNum, s.AccelProtoDen)) ||
+		!identity(s.SlowLinkMask, s.LinkNum, s.LinkDen)
+}
+
+// Enabled reports whether the spec changes anything at all.
+func (s Spec) Enabled() bool {
+	return s.ModelActive() || s.Placement != PlaceApp || s.Grain != GrainPage
+}
+
+// Validate rejects specs the simulator cannot run deterministically.
+func (s Spec) Validate() error {
+	for _, r := range []struct {
+		name     string
+		num, den int64
+	}{
+		{"Slow", s.SlowNum, s.SlowDen},
+		{"AccelComp", s.AccelCompNum, s.AccelCompDen},
+		{"AccelProto", s.AccelProtoNum, s.AccelProtoDen},
+		{"Link", s.LinkNum, s.LinkDen},
+	} {
+		if (r.num == 0) != (r.den == 0) {
+			return fmt.Errorf("hetero: %sNum/%sDen = %d/%d: both must be set or both zero",
+				r.name, r.name, r.num, r.den)
+		}
+		if r.num < 0 || r.den < 0 {
+			return fmt.Errorf("hetero: negative %s ratio %d/%d", r.name, r.num, r.den)
+		}
+		if r.den != 0 && r.num == 0 {
+			return fmt.Errorf("hetero: %s ratio %d/%d would zero every charge", r.name, r.num, r.den)
+		}
+	}
+	switch s.Placement {
+	case PlaceApp, PlaceRR, PlaceAdaptive:
+	default:
+		return fmt.Errorf("hetero: unknown placement %q (want \"\", %q or %q)",
+			s.Placement, PlaceRR, PlaceAdaptive)
+	}
+	switch s.Grain {
+	case GrainPage, GrainAdaptive:
+	default:
+		return fmt.Errorf("hetero: unknown grain %q (want \"\" or %q)", s.Grain, GrainAdaptive)
+	}
+	if s.FineShift != 0 && (s.FineShift < 6 || s.FineShift >= 12) {
+		return fmt.Errorf("hetero: FineShift %d outside [6,12)", s.FineShift)
+	}
+	for _, r := range []struct {
+		name string
+		v    int64
+	}{
+		{"RehomeMin", s.RehomeMin}, {"RehomeFactor", s.RehomeFactor},
+		{"RehomeCap", s.RehomeCap}, {"FineWriters", s.FineWriters},
+		{"FineMaxWords", s.FineMaxWords}, {"FineCap", s.FineCap},
+	} {
+		if r.v < 0 {
+			return fmt.Errorf("hetero: negative %s = %d", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// FineShiftOrDefault resolves the demotion unit.
+func (s Spec) FineShiftOrDefault() uint {
+	if s.FineShift == 0 {
+		return DefaultFineShift
+	}
+	return s.FineShift
+}
+
+func orDefault(v, def int64) int64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// --- policies ---
+//
+// Both policies run at barrier-release time inside the protocol (all
+// nodes quiescent: intervals flushed, twins dropped, acks received), so
+// a decision is a pure function of the protocol's deterministic state
+// and serial-vs-parallel byte-identity holds for free.
+
+// Rehomer decides page-home migrations from per-page, per-node access
+// counts (the same fetch/diff statistics the hot-page profiler reports,
+// maintained online at each page's home).
+type Rehomer struct {
+	min, factor, cap_ int64
+	migrated          int64
+	// pnum/pden hold each node's protocol-cycle multiplier: serving a
+	// remote access from home h costs pnum[h]/pden[h] of the baseline.
+	// Nil (or all-identity) on uniform machines.
+	pnum, pden []int64
+	// CooldownEpochs is how many decision epochs a freshly migrated page
+	// sits out before it may migrate again (ping-pong hysteresis).
+	CooldownEpochs int64
+}
+
+// NewRehomer builds the migration policy for a spec on nprocs nodes.
+func NewRehomer(s Spec, nprocs int) *Rehomer {
+	r := &Rehomer{
+		min:            orDefault(s.RehomeMin, 8),
+		factor:         orDefault(s.RehomeFactor, 2),
+		cap_:           orDefault(s.RehomeCap, 4096),
+		CooldownEpochs: 2,
+	}
+	skewed := false
+	pnum := make([]int64, nprocs)
+	pden := make([]int64, nprocs)
+	for i := range pnum {
+		n := s.Node(i)
+		pnum[i], pden[i] = n.ProtoNum, n.ProtoDen
+		if pnum[i] != pden[i] {
+			skewed = true
+		}
+	}
+	if skewed {
+		r.pnum, r.pden = pnum, pden
+	}
+	return r
+}
+
+// Migrated reports how many migrations the policy has granted.
+func (r *Rehomer) Migrated() int64 { return r.migrated }
+
+// Candidate returns the node a page should migrate to, or -1 to stay,
+// without committing anything — the pure policy test the protocol runs
+// inline when a page's statistics change.  counts[i] is node i's
+// observed access count (remote fetches and diffs; the home's own
+// write faults).
+//
+// On a uniform machine the rule is pure dominance: the busiest node
+// must not be the current home, must clear the minimum, and must
+// dominate all other observers combined by the configured factor.
+//
+// When nodes' protocol multipliers differ, the rule is weighted service
+// cost instead: keeping the home at h makes every remote access pay
+// h's handler multiplier, so cost(h) = (total - counts[h]) x mult(h).
+// The page moves to the sharer minimizing that cost when the move wins
+// by the same hysteresis factor — which both pulls pages toward their
+// dominant accessor and pushes them off slow nodes.
+//
+// Ties break to the lowest node id, so the decision is deterministic.
+func (r *Rehomer) Candidate(home int, counts []int64) int {
+	dom, total := 0, int64(0)
+	for i, c := range counts {
+		total += c
+		if c > counts[dom] {
+			dom = i
+		}
+	}
+	if r.pnum == nil {
+		c := counts[dom]
+		if dom == home || c < r.min || c < r.factor*(total-c) {
+			return -1
+		}
+		return dom
+	}
+	if total < r.min {
+		return -1
+	}
+	// Weighted costs compare exactly by cross-multiplication; candidates
+	// are restricted to nodes that share the page (counts > 0), so the
+	// home set cannot collapse onto an uninvolved fast node.
+	best := home
+	for i, c := range counts {
+		if i == home || c == 0 {
+			continue
+		}
+		// cost(i) < cost(best) ?
+		if (total-c)*r.pnum[i]*r.pden[best] < (total-counts[best])*r.pnum[best]*r.pden[i] {
+			best = i
+		}
+	}
+	if best == home ||
+		r.factor*(total-counts[best])*r.pnum[best]*r.pden[home] > (total-counts[home])*r.pnum[home]*r.pden[best] {
+		return -1
+	}
+	return best
+}
+
+// Decide is Candidate plus commitment: it spends one unit of the
+// migration cap.  Call it only when actually migrating.
+func (r *Rehomer) Decide(home int, counts []int64) int {
+	if r.migrated >= r.cap_ {
+		return -1
+	}
+	dom := r.Candidate(home, counts)
+	if dom >= 0 {
+		r.migrated++
+	}
+	return dom
+}
+
+// GrainSelector decides page demotions to fine-grained coherence units
+// from profiled sharing patterns.
+type GrainSelector struct {
+	writers, maxWords, cap_ int64
+	demoted                 int64
+}
+
+// NewGrainSelector builds the granularity policy for a spec.
+func NewGrainSelector(s Spec) *GrainSelector {
+	return &GrainSelector{
+		writers:  orDefault(s.FineWriters, 2),
+		maxWords: orDefault(s.FineMaxWords, 64),
+		cap_:     orDefault(s.FineCap, 4096),
+	}
+}
+
+// Demoted reports how many pages the policy has demoted.
+func (g *GrainSelector) Demoted() int64 { return g.demoted }
+
+// Candidate reports whether a page with the given profile should
+// switch to fine-grained units, without committing anything: several
+// distinct writers, each diff touching only a small fraction of the
+// page — the write-write false-sharing shape where page units
+// ping-pong but fine units would not.
+func (g *GrainSelector) Candidate(writers uint64, diffs, diffWords int64) bool {
+	if int64(bits.OnesCount64(writers)) < g.writers || diffs < 4 {
+		return false
+	}
+	return diffWords <= g.maxWords*diffs
+}
+
+// Demote is Candidate plus commitment: it spends one unit of the
+// demotion cap.  Call it only when actually demoting.
+func (g *GrainSelector) Demote(writers uint64, diffs, diffWords int64) bool {
+	if g.demoted >= g.cap_ {
+		return false
+	}
+	if !g.Candidate(writers, diffs, diffWords) {
+		return false
+	}
+	g.demoted++
+	return true
+}
+
+// --- named presets ---
+
+// presetOrder lists the named skew presets in definition order.
+var presetOrder = []string{
+	"uniform", "cpu2", "cpu4", "cpu8", "accel2", "accel4", "accel8",
+	"link4", "link8", "mixed",
+}
+
+// oddNodes masks nodes 1, 3, 5, ... — node 0 stays at baseline speed so
+// manager-heavy protocol state (lock 0, barrier 0) keeps a fast host.
+const oddNodes uint64 = 0xAAAAAAAAAAAAAAAA
+
+// PresetNames lists the named heterogeneity presets the sweeps and the
+// explorer enumerate, in canonical order.
+func PresetNames() []string { return append([]string(nil), presetOrder...) }
+
+// PresetByName resolves a named skew preset:
+//
+//	uniform      the paper's identical nodes (zero Spec)
+//	cpuK         odd nodes run K times slower (CPU and protocol software)
+//	accelK       odd nodes compute 2x faster but pay K x protocol cycles
+//	             (accelerator-style: fast device, expensive fault path)
+//	linkK        odd nodes' network endpoints are K times slower
+//	mixed        odd nodes 2x slower CPUs on 4x slower links
+//
+// Placement and grain policies are orthogonal and left zero; callers
+// layer them on top.
+func PresetByName(name string) (Spec, error) {
+	switch name {
+	case "uniform":
+		return Spec{}, nil
+	case "cpu2", "cpu4", "cpu8":
+		k := int64(name[3] - '0')
+		return Spec{SlowMask: oddNodes, SlowNum: k, SlowDen: 1}, nil
+	case "accel2", "accel4", "accel8":
+		k := int64(name[5] - '0')
+		return Spec{
+			AccelMask:    oddNodes,
+			AccelCompNum: 1, AccelCompDen: 2,
+			AccelProtoNum: k, AccelProtoDen: 1,
+		}, nil
+	case "link4", "link8":
+		k := int64(name[4] - '0')
+		return Spec{SlowLinkMask: oddNodes, LinkNum: k, LinkDen: 1}, nil
+	case "mixed":
+		return Spec{
+			SlowMask: oddNodes, SlowNum: 2, SlowDen: 1,
+			SlowLinkMask: oddNodes, LinkNum: 4, LinkDen: 1,
+		}, nil
+	}
+	return Spec{}, fmt.Errorf("hetero: unknown preset %q (want %s)",
+		name, strings.Join(presetOrder, ", "))
+}

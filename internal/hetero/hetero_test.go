@@ -1,0 +1,236 @@
+package hetero
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestZeroSpecIsUniform(t *testing.T) {
+	var s Spec
+	if s.Enabled() || s.ModelActive() {
+		t.Fatalf("zero spec must be disabled: Enabled=%t ModelActive=%t", s.Enabled(), s.ModelActive())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero spec invalid: %v", err)
+	}
+	for i := 0; i < 64; i++ {
+		if n := s.Node(i); !n.Uniform() {
+			t.Fatalf("node %d not uniform: %+v", i, n)
+		}
+	}
+}
+
+func TestIdentityRatiosAreUniform(t *testing.T) {
+	// A mask with a 1/1 ratio is explicitly heterogeneity-free: the core
+	// must keep its zero-hetero fast paths.
+	s := Spec{SlowMask: ^uint64(0), SlowNum: 3, SlowDen: 3}
+	if s.ModelActive() {
+		t.Fatalf("1:1 ratio reported as active model")
+	}
+	if !s.Node(1).Uniform() {
+		t.Fatalf("1:1 node not uniform: %+v", s.Node(1))
+	}
+}
+
+func TestNodeComposition(t *testing.T) {
+	s := Spec{
+		SlowMask: 1 << 3, SlowNum: 4, SlowDen: 1,
+		AccelMask: 1<<3 | 1<<5, AccelCompNum: 1, AccelCompDen: 2, AccelProtoNum: 8, AccelProtoDen: 1,
+		SlowLinkMask: 1 << 5, LinkNum: 4, LinkDen: 1,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Node 3: slow x4 composed with accel (1/2 comp, 8x proto).
+	n3 := s.Node(3)
+	if n3.CompNum*2 != n3.CompDen*4 { // 4/1 * 1/2 = 2
+		t.Fatalf("node 3 comp = %d/%d, want 2/1", n3.CompNum, n3.CompDen)
+	}
+	if n3.ProtoNum != 32 || n3.ProtoDen != 1 {
+		t.Fatalf("node 3 proto = %d/%d, want 32/1", n3.ProtoNum, n3.ProtoDen)
+	}
+	// Node 5: accel + slow link.
+	n5 := s.Node(5)
+	if n5.LinkNum != 4 || n5.LinkDen != 1 || n5.CompNum != 1 || n5.CompDen != 2 {
+		t.Fatalf("node 5 = %+v", n5)
+	}
+	// Node 0 untouched.
+	if !s.Node(0).Uniform() {
+		t.Fatalf("node 0 not uniform: %+v", s.Node(0))
+	}
+	// Masks wrap at 64 like fault.Spec.PauseMask.
+	if s.Node(67).ProtoNum != 32 {
+		t.Fatalf("mask must select node i%%64: node 67 = %+v", s.Node(67))
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Spec{
+		{SlowNum: 2},                        // half a ratio
+		{SlowNum: -1, SlowDen: 1},           // negative
+		{LinkNum: 0, LinkDen: 2},            // zeroing ratio
+		{Placement: "first-touch"},          // unknown policy
+		{Grain: "blocks"},                   // unknown grain
+		{FineShift: 4},                      // below word-addressable floor
+		{FineShift: 12},                     // not sub-page
+		{RehomeMin: -3},                     // negative knob
+		{Grain: GrainAdaptive, FineCap: -1}, // negative cap
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, s)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		s, err := PresetByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+		if name == "uniform" {
+			if s.Enabled() {
+				t.Fatalf("uniform preset not zero")
+			}
+			continue
+		}
+		if !s.ModelActive() {
+			t.Fatalf("%s models nothing", name)
+		}
+		if !s.Node(0).Uniform() {
+			t.Fatalf("%s touches node 0: %+v", name, s.Node(0))
+		}
+		if s.Node(1).Uniform() {
+			t.Fatalf("%s leaves node 1 uniform", name)
+		}
+	}
+	// cpu4: odd nodes 4x slower on compute and protocol.
+	s, _ := PresetByName("cpu4")
+	if n := s.Node(1); n.CompNum != 4 || n.CompDen != 1 || n.ProtoNum != 4 {
+		t.Fatalf("cpu4 node 1 = %+v", n)
+	}
+	// accel4: compute halves, protocol quadruples.
+	s, _ = PresetByName("accel4")
+	if n := s.Node(1); n.CompNum != 1 || n.CompDen != 2 || n.ProtoNum != 4 || n.ProtoDen != 1 {
+		t.Fatalf("accel4 node 1 = %+v", n)
+	}
+}
+
+func TestPresetErrorListsNames(t *testing.T) {
+	_, err := PresetByName("warp9")
+	if err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	for _, name := range PresetNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list preset %q", err, name)
+		}
+	}
+}
+
+func TestRehomerDominance(t *testing.T) {
+	r := NewRehomer(Spec{}, 4)
+	// Below the minimum: stay.
+	if to := r.Decide(0, []int64{0, 7, 0, 0}); to != -1 {
+		t.Fatalf("migrated below min: %d", to)
+	}
+	// Dominant remote node: migrate.
+	if to := r.Decide(0, []int64{0, 20, 3, 2}); to != 1 {
+		t.Fatalf("want migrate to 1, got %d", to)
+	}
+	// Dominant node already home: stay.
+	if to := r.Decide(1, []int64{0, 20, 3, 2}); to != -1 {
+		t.Fatalf("re-homed to current home: %d", to)
+	}
+	// No dominance (factor 2): stay.
+	if to := r.Decide(0, []int64{0, 10, 9, 0}); to != -1 {
+		t.Fatalf("migrated without dominance: %d", to)
+	}
+	// Ties break low.
+	if to := r.Decide(0, []int64{0, 30, 30, 0}); to != -1 {
+		t.Fatalf("30 vs 30 is not dominance: %d", to)
+	}
+	if r.Migrated() != 1 {
+		t.Fatalf("migrated = %d, want 1", r.Migrated())
+	}
+}
+
+func TestRehomerSkewAware(t *testing.T) {
+	// Odd nodes pay 4x protocol cycles (the cpu4 preset).
+	spec := Spec{SlowMask: oddNodes, SlowNum: 4, SlowDen: 1}
+	r := NewRehomer(spec, 4)
+	// Home on slow node 1; node 0 and node 2 split the remote traffic
+	// evenly.  No single node dominates, but moving to fast node 0 cuts
+	// the weighted service cost 4x: cost(1)=20x4 vs cost(0)=10x1.
+	if to := r.Candidate(1, []int64{10, 4, 10, 0}); to != 0 {
+		t.Fatalf("want migrate off slow home to node 0, got %d", to)
+	}
+	// Home already fast and balanced sharing: the move cannot clear the
+	// hysteresis factor.
+	if to := r.Candidate(0, []int64{4, 0, 10, 10}); to != -1 {
+		t.Fatalf("migrated off a fast home without a 2x win: %d", to)
+	}
+	// A slow node never wins the page even if it dominates mildly:
+	// cost(3)=14x4 > cost(0)=20x1... the fast sharer keeps it.
+	if to := r.Candidate(0, []int64{6, 0, 8, 10}); to != -1 {
+		t.Fatalf("migrated to a slow node: %d", to)
+	}
+	// Below the minimum total: stay.
+	if to := r.Candidate(1, []int64{3, 1, 3, 0}); to != -1 {
+		t.Fatalf("migrated below min: %d", to)
+	}
+	// Uniform machines keep the nil fast path.
+	if u := NewRehomer(Spec{}, 4); u.pnum != nil {
+		t.Fatal("uniform rehomer built per-node multiplier tables")
+	}
+}
+
+func TestRehomerCap(t *testing.T) {
+	r := NewRehomer(Spec{RehomeCap: 2}, 2)
+	counts := []int64{0, 100}
+	for i := 0; i < 2; i++ {
+		if r.Decide(0, counts) != 1 {
+			t.Fatalf("migration %d refused under cap", i)
+		}
+	}
+	if r.Decide(0, counts) != -1 {
+		t.Fatal("cap not enforced")
+	}
+}
+
+func TestGrainSelector(t *testing.T) {
+	g := NewGrainSelector(Spec{})
+	// Two writers, tiny diffs: false sharing, demote.
+	if !g.Demote(0b110, 10, 40) {
+		t.Fatal("false-sharing page not demoted")
+	}
+	// Single writer: keep the page unit.
+	if g.Demote(0b010, 10, 40) {
+		t.Fatal("single-writer page demoted")
+	}
+	// Big diffs: page really is written wholesale; keep.
+	if g.Demote(0b110, 10, 10*1024) {
+		t.Fatal("bulk-write page demoted")
+	}
+	// Too few samples.
+	if g.Demote(0b110, 2, 4) {
+		t.Fatal("demoted on 2 samples")
+	}
+	if g.Demoted() != 1 {
+		t.Fatalf("demoted = %d", g.Demoted())
+	}
+}
+
+func TestGrainSelectorCap(t *testing.T) {
+	g := NewGrainSelector(Spec{FineCap: 1})
+	if !g.Demote(0b11, 10, 10) {
+		t.Fatal("first demotion refused")
+	}
+	if g.Demote(0b11, 10, 10) {
+		t.Fatal("cap not enforced")
+	}
+}

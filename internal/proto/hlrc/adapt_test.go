@@ -1,0 +1,139 @@
+package hlrc_test
+
+import (
+	"testing"
+
+	"swsm/internal/core"
+	"swsm/internal/hetero"
+	"swsm/internal/mem"
+	"swsm/internal/proto"
+	"swsm/internal/proto/hlrc"
+	"swsm/internal/stats"
+)
+
+func adaptiveMachine(procs int, hs hetero.Spec) (*core.Machine, *hlrc.Protocol) {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.MemLimit = 4 << 20
+	p := hlrc.New(hlrc.Config{Costs: proto.OriginalCosts(), Hetero: hs})
+	return core.NewMachine(cfg, p), p
+}
+
+// TestAdaptiveRehomesMigratoryPage drives a page that only proc 1 ever
+// writes while its home is proc 0: the dominance policy must migrate the
+// home to the writer at a barrier, after which the writer's stores are
+// home-local (no twin, no diff).
+func TestAdaptiveRehomesMigratoryPage(t *testing.T) {
+	const procs, epochs = 4, 12
+	m, _ := adaptiveMachine(procs, hetero.Spec{Placement: hetero.PlaceAdaptive})
+	// procs consecutive pages: homes are round-robin, so wherever the
+	// arena starts, exactly procs-1 of them are remote to the writer.
+	a := m.AllocPage(int64(procs) * mem.PageSize)
+	_, err := m.Run(func(th *core.Thread) {
+		for e := 0; e < epochs; e++ {
+			if th.Proc() == 1 {
+				for pg := 0; pg < procs; pg++ {
+					for w := 0; w < 8; w++ {
+						th.Store32(a+int64(pg)*mem.PageSize+int64(4*w), uint32(100*e+w))
+					}
+				}
+			}
+			th.Barrier(0)
+		}
+		// The final read-back (after the last epoch's barrier) must see
+		// the writer's values wherever the homes ended up.
+		if got := th.Load32(a); got != uint32(100*(epochs-1)) {
+			t.Errorf("proc %d read %d, want %d", th.Proc(), got, 100*(epochs-1))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every remote page of the writer's working set must follow it home.
+	if got := m.Stats.TotalCount(stats.PagesRehomed); got != procs-1 {
+		t.Fatalf("rehomed %d pages, want %d", got, procs-1)
+	}
+	for pg := 0; pg < procs; pg++ {
+		for w := 0; w < 8; w++ {
+			if got := m.ReadResultWord(a + int64(pg)*mem.PageSize + int64(4*w)); got != uint32(100*(epochs-1)+w) {
+				t.Fatalf("page %d word %d = %d after migration, want %d", pg, w, got, 100*(epochs-1)+w)
+			}
+		}
+	}
+}
+
+// TestAdaptiveGrainDemotesFalseSharing drives the classic false-sharing
+// shape — every proc repeatedly writes its own word of one page — and
+// requires the grain policy to demote the page to fine units while every
+// write survives.
+func TestAdaptiveGrainDemotesFalseSharing(t *testing.T) {
+	const procs, epochs = 8, 8
+	m, _ := adaptiveMachine(procs, hetero.Spec{
+		Placement: hetero.PlaceAdaptive,
+		Grain:     hetero.GrainAdaptive,
+	})
+	a := m.AllocPage(mem.PageSize)
+	_, err := m.Run(func(th *core.Thread) {
+		for e := 0; e < epochs; e++ {
+			th.Store32(a+int64(4*th.Proc()), uint32(1000*e+th.Proc()))
+			th.Barrier(0)
+			// Everyone must observe every writer's latest word, across the
+			// demotion epoch included.
+			for i := 0; i < procs; i++ {
+				if got := th.Load32(a + int64(4*i)); got != uint32(1000*e+i) {
+					t.Errorf("epoch %d proc %d: word %d = %d, want %d", e, th.Proc(), i, got, 1000*e+i)
+				}
+			}
+			th.Barrier(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats.TotalCount(stats.PagesDemoted); got == 0 {
+		t.Fatal("falsely shared page never demoted to fine units")
+	}
+	for i := 0; i < procs; i++ {
+		if got := m.ReadResultWord(a + int64(4*i)); got != uint32(1000*(epochs-1)+i) {
+			t.Fatalf("word %d = %d, want %d", i, got, 1000*(epochs-1)+i)
+		}
+	}
+}
+
+// TestAdaptiveQuietIsFreeOfCharge pins the cost model: with thresholds
+// no workload reaches, adaptive home placement is cycle-identical to the
+// static protocol — the statistics ride existing handler costs and a
+// barrier with nothing queued charges nothing.
+func TestAdaptiveQuietIsFreeOfCharge(t *testing.T) {
+	workload := func(m *core.Machine) int64 {
+		a := m.AllocPage(mem.PageSize)
+		cycles, err := m.Run(func(th *core.Thread) {
+			for e := 0; e < 4; e++ {
+				if th.Proc() == 0 {
+					th.Store32(a+int64(8*e), uint32(e))
+				}
+				th.Barrier(0)
+				_ = th.Load32(a)
+				th.Barrier(1)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	mStatic, _ := machine(4)
+	static := workload(mStatic)
+	// RehomeMin higher than the total traffic: no page ever queues.
+	mAdaptive, _ := adaptiveMachine(4, hetero.Spec{
+		Placement: hetero.PlaceAdaptive,
+		RehomeMin: 1 << 30,
+	})
+	adaptive := workload(mAdaptive)
+	if static != adaptive {
+		t.Fatalf("quiet adaptive run cost %d cycles, static %d — profiling is not free", adaptive, static)
+	}
+	if got := mAdaptive.Stats.TotalCount(stats.PagesRehomed); got != 0 {
+		t.Fatalf("rehomed %d pages below the threshold", got)
+	}
+}

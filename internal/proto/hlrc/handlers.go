@@ -28,24 +28,28 @@ func (p *Protocol) Handle(h proto.HandlerCtx, m *comm.Message) int64 {
 	panic(fmt.Sprintf("hlrc: unknown message kind %d", m.Kind))
 }
 
-// handlePageReq serves a whole-page fetch from the home copy.
+// handlePageReq serves a whole coherence-unit fetch from the home copy.
 func (p *Protocol) handlePageReq(h proto.HandlerCtx, req pageReq) int64 {
 	homeNode := h.Node()
 	if p.home(req.page) != homeNode {
 		panic("hlrc: page request arrived at non-home")
 	}
-	data := p.copyUnit(homeNode, req.page)
 	pg := req.page
+	_, span := p.cu(pg)
+	data := p.copyRange(homeNode, pg, span)
 	dst := req.requester
+	if p.pstats != nil {
+		p.noteFetch(pg, dst)
+	}
 	h.Send(&comm.Message{
-		Src: homeNode, Dst: dst, Size: p.unitBytes + 16,
+		Src: homeNode, Dst: dst, Size: int64(len(data)) + 16,
 		OnDeliver: func(now sim.Time) {
 			// The NI deposits the unit directly into the requester's
 			// memory; the faulting thread finishes the mapping when it
 			// wakes.  The staging buffer's lifetime ends here, so it
 			// goes back on the free list.
 			p.env.NodeMem(dst).CopyIn(p.unitBase(pg), data)
-			p.freeUnitBuf(data)
+			p.freeBuf(data)
 			p.env.WakeThread(dst)
 		},
 	})
@@ -62,15 +66,19 @@ func (p *Protocol) handleDiff(h proto.HandlerCtx, d diffMsg) int64 {
 	// Patch the home copy through the protocol scratch buffer (the
 	// handler runs to completion without yielding, so the scratch is
 	// exclusively ours), then recycle the message's diff words.
-	unit := p.unitScratch
+	_, span := p.cu(d.page)
+	unit := p.unitScratch[:span*p.unitBytes]
 	p.env.NodeMem(homeNode).CopyOut(p.unitBase(d.page), unit)
 	applyDiff(unit, d.words)
 	p.env.NodeMem(homeNode).CopyIn(p.unitBase(d.page), unit)
+	if p.pstats != nil {
+		p.noteDiff(d.page, d.from, int64(len(d.words)))
+	}
 	st := p.env.Metrics()
 	st.Inc(homeNode, stats.DiffsApplied, 1)
 	body := p.cfg.Costs.HandlerBase +
 		proto.WordCost(p.cfg.Costs.DiffApplyQ4, int64(len(d.words)))
-	body += p.env.CacheTouch(homeNode, p.unitBase(d.page), int(p.unitBytes), true)
+	body += p.env.CacheTouch(homeNode, p.unitBase(d.page), int(span*p.unitBytes), true)
 	st.AddDiff(homeNode, body-p.cfg.Costs.HandlerBase)
 	p.tr.DiffApply(p.env.Now(), int32(homeNode), d.page, int64(len(d.words)))
 	p.freeDiffBuf(d.words)
@@ -182,7 +190,15 @@ func (p *Protocol) handleBarArrive(h proto.HandlerCtx, ba barArrive) int64 {
 	bs.arrived = 0
 	bs.procs = bs.procs[:0]
 	bs.vcs = bs.vcs[:0]
-	return p.cfg.Costs.HandlerBase + p.cfg.Costs.HandlerPerItem*int64(items)
+	// Barrier release is the adaptation point: every node is quiescent
+	// (intervals flushed, twins dropped, acks received), so home
+	// migrations and grain demotions commit here without racing any
+	// in-flight protocol traffic.
+	var adapt int64
+	if p.pstats != nil {
+		adapt = p.adaptAtBarrier(h)
+	}
+	return p.cfg.Costs.HandlerBase + p.cfg.Costs.HandlerPerItem*int64(items) + adapt
 }
 
 func (p *Protocol) lockState(lock int) *lockState {

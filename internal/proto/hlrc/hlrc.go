@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"swsm/internal/comm"
+	"swsm/internal/hetero"
 	"swsm/internal/mem"
 	"swsm/internal/proto"
 	"swsm/internal/stats"
@@ -72,6 +73,10 @@ type Config struct {
 	// miss but the consistency checker must catch.  A known-bad shim for
 	// the checker's oracle tests; never set it outside tests.
 	DropNthInvalidation int
+	// Hetero carries the heterogeneity plane's adaptive-placement policy
+	// knobs (Placement and Grain; the machine-model fields are consumed
+	// by core/comm).  The zero value keeps the classic static protocol.
+	Hetero hetero.Spec
 }
 
 // nodeState is one node's view of the shared address space.
@@ -153,24 +158,62 @@ type Protocol struct {
 	// invSeen counts invalidations considered by applyNotices, driving
 	// the Config.DropNthInvalidation oracle hook.
 	invSeen int
+
+	// Adaptive-placement state (heterogeneity plane).  With both policies
+	// off, pageSpan is 1 and everything below is nil, collapsing cu() and
+	// the policy hooks to the classic static protocol.
+	adaptHomes    bool // migrate page homes toward dominant sharers
+	adaptGrain    bool // demote falsely-shared pages to fine-grain units
+	pageSpanShift uint // log2 table units per migratable page
+	pageSpan      int64
+	fine          []bool   // per migratable page: demoted to fine units
+	pageFree      [][]byte // recycled page-sized (pageSpan-unit) buffers
+
+	pstats  map[int64]*pageStat
+	pending []int64 // candidate pages queued for the next barrier commit
+	rehomer *hetero.Rehomer
+	grains  *hetero.GrainSelector
+	epoch   int64 // barrier-release count, the adaptation clock
 }
 
 // New creates an HLRC protocol with the given cost set and defaults.
 func New(cfg Config) *Protocol {
+	if cfg.Hetero.Grain == hetero.GrainAdaptive {
+		if cfg.UnitShift != 0 && cfg.UnitShift != cfg.Hetero.FineShiftOrDefault() {
+			panic("hlrc: explicit UnitShift conflicts with adaptive grain")
+		}
+		// The table runs at the fine unit; coarse pages span several
+		// table units (see cu).
+		cfg.UnitShift = cfg.Hetero.FineShiftOrDefault()
+	}
 	if cfg.UnitShift == 0 {
 		cfg.UnitShift = DefaultUnitShift
 	}
 	if cfg.UnitShift > mem.PageShift+4 {
 		panic("hlrc: coherence unit too large")
 	}
-	return &Protocol{cfg: cfg,
+	p := &Protocol{cfg: cfg,
 		unitShift: cfg.UnitShift, unitBytes: 1 << cfg.UnitShift,
 		unitWords: (1 << cfg.UnitShift) / mem.WordSize,
 		locks:     make(map[int]*lockState), barriers: make(map[int]*barrierState)}
+	p.pageSpan = 1
+	if cfg.Hetero.Grain == hetero.GrainAdaptive {
+		p.adaptGrain = true
+		p.pageSpanShift = mem.PageShift - p.unitShift
+		p.pageSpan = 1 << p.pageSpanShift
+		p.grains = hetero.NewGrainSelector(cfg.Hetero)
+	}
+	if cfg.Hetero.Placement == hetero.PlaceAdaptive {
+		p.adaptHomes = true
+	}
+	return p
 }
 
 // Name identifies the protocol.
 func (p *Protocol) Name() string {
+	if p.adaptGrain {
+		return fmt.Sprintf("hlrc-a%d", p.unitBytes)
+	}
 	if p.unitShift != DefaultUnitShift {
 		return fmt.Sprintf("hlrc-%d", p.unitBytes)
 	}
@@ -187,35 +230,88 @@ func (p *Protocol) unitOf(a int64) int64 { return a >> p.unitShift }
 // unitBase is the first address of unit u.
 func (p *Protocol) unitBase(u int64) int64 { return u << p.unitShift }
 
-// copyUnit extracts unit u from a node's memory into a recycled buffer
-// (return it with freeUnitBuf when its lifetime ends).
-func (p *Protocol) copyUnit(node int, u int64) []byte {
-	buf := p.newUnitBuf()
-	p.env.NodeMem(node).CopyOut(p.unitBase(u), buf)
+// cu resolves the coherence unit containing table unit u: its first
+// unit and its span in table units.  Without adaptive grain the span is
+// always 1 and the coherence unit is the table unit — exactly the
+// static protocol.  With adaptive grain a page still at coarse grain is
+// one coherence unit spanning the whole page; a demoted page's units
+// stand alone.
+func (p *Protocol) cu(u int64) (int64, int64) {
+	if p.pageSpan == 1 || p.fine[u>>p.pageSpanShift] {
+		return u, 1
+	}
+	cs := u &^ (p.pageSpan - 1)
+	span := p.pageSpan
+	if cs+span > p.npages {
+		span = p.npages - cs
+	}
+	return cs, span
+}
+
+// ppageOf maps a table unit to its migratable page (the granularity of
+// home migration and grain demotion).
+func (p *Protocol) ppageOf(u int64) int64 { return u >> p.pageSpanShift }
+
+// setModes sets the access mode of a whole coherence unit.  All mode
+// transitions are unit-wide, so a coarse page's table units always
+// agree — the invariant that lets cu() treat mode[cs] as authoritative.
+func setModes(mode []pageMode, cs, span int64, m pageMode) {
+	for u := cs; u < cs+span; u++ {
+		mode[u] = m
+	}
+}
+
+// copyRange extracts the coherence unit [cs, cs+span) from a node's
+// memory into a recycled buffer (return it with freeBuf when its
+// lifetime ends).
+func (p *Protocol) copyRange(node int, cs, span int64) []byte {
+	buf := p.newBuf(span)
+	p.env.NodeMem(node).CopyOut(p.unitBase(cs), buf)
 	return buf
 }
 
-// newUnitBuf returns a unit-sized buffer from the free list (or a fresh
-// one).  Contents are undefined; every user overwrites the whole unit.
-func (p *Protocol) newUnitBuf() []byte {
-	if n := len(p.unitFree); n > 0 {
-		buf := p.unitFree[n-1]
-		p.unitFree = p.unitFree[:n-1]
+// newBuf returns a span-sized buffer from the matching free list (or a
+// fresh one).  Contents are undefined; every user overwrites the whole
+// range.  Odd spans (a coarse page clamped at the end of memory) are
+// allocated fresh and not recycled.
+func (p *Protocol) newBuf(span int64) []byte {
+	var free *[][]byte
+	switch span {
+	case 1:
+		free = &p.unitFree
+	case p.pageSpan:
+		free = &p.pageFree
+	default:
+		return make([]byte, span*p.unitBytes)
+	}
+	if n := len(*free); n > 0 {
+		buf := (*free)[n-1]
+		*free = (*free)[:n-1]
 		return buf
 	}
-	return make([]byte, p.unitBytes)
+	return make([]byte, span*p.unitBytes)
 }
 
-// freeUnitBuf recycles a twin or page buffer.
-func (p *Protocol) freeUnitBuf(buf []byte) {
-	p.unitFree = append(p.unitFree, buf)
+// freeBuf recycles a twin or page buffer onto the free list matching
+// its size.
+func (p *Protocol) freeBuf(buf []byte) {
+	switch int64(len(buf)) {
+	case p.unitBytes:
+		p.unitFree = append(p.unitFree, buf)
+	case p.pageSpan * p.unitBytes:
+		if p.pageSpan > 1 {
+			p.pageFree = append(p.pageFree, buf)
+		} else {
+			p.unitFree = append(p.unitFree, buf)
+		}
+	}
 }
 
 // dropTwin removes pg's twin (if any) and recycles its buffer.
 func (p *Protocol) dropTwin(ns *nodeState, pg int64) {
 	if twin, ok := ns.twin[pg]; ok {
 		delete(ns.twin, pg)
-		p.freeUnitBuf(twin)
+		p.freeBuf(twin)
 	}
 }
 
@@ -244,9 +340,21 @@ func (p *Protocol) Attach(env proto.Env) {
 	p.npages = (env.NodeMem(0).Limit() + p.unitBytes - 1) >> p.unitShift
 	p.homes = make([]int32, p.npages)
 	for i := int64(0); i < p.npages; i++ {
-		p.homes[i] = int32(i % int64(p.nprocs))
+		// Homes are assigned per migratable page (pageSpanShift is 0
+		// without adaptive grain), so coarse pages match page-HLRC's
+		// round-robin distribution and stay uniform across their units.
+		p.homes[i] = int32((i >> p.pageSpanShift) % int64(p.nprocs))
 	}
-	p.unitScratch = make([]byte, p.unitBytes)
+	if p.adaptGrain {
+		p.fine = make([]bool, (p.npages+p.pageSpan-1)>>p.pageSpanShift)
+	}
+	if p.adaptHomes {
+		p.rehomer = hetero.NewRehomer(p.cfg.Hetero, p.nprocs)
+	}
+	if p.adaptHomes || p.adaptGrain {
+		p.pstats = make(map[int64]*pageStat)
+	}
+	p.unitScratch = make([]byte, p.pageSpan*p.unitBytes)
 	p.vcScratch = make([]int32, p.nprocs)
 	p.nodes = make([]*nodeState, p.nprocs)
 	p.intervals = make([][]interval, p.nprocs)
@@ -272,6 +380,15 @@ func (p *Protocol) AssignHome(addr, size int64, node int) {
 		panic("hlrc: AssignHome before Attach")
 	}
 	first, last := p.unitOf(addr), p.unitOf(addr+size-1)
+	if p.pageSpan > 1 {
+		// Keep homes uniform across each migratable page by rounding the
+		// range out to page boundaries.
+		first &^= p.pageSpan - 1
+		last |= p.pageSpan - 1
+		if last >= p.npages {
+			last = p.npages - 1
+		}
+	}
 	buf := make([]byte, p.unitBytes)
 	for pg := first; pg <= last; pg++ {
 		old := int(p.homes[pg])
@@ -320,8 +437,9 @@ func (p *Protocol) Access(th proto.Thread, addr int64, size int, write bool) {
 }
 
 func (p *Protocol) ensure(th proto.Thread, pg int64, write bool) {
+	cs, span := p.cu(pg)
 	ns := p.nodes[th.Proc()]
-	m := ns.mode[pg]
+	m := ns.mode[cs]
 	if write {
 		if m == modeReadWrite {
 			return
@@ -331,54 +449,57 @@ func (p *Protocol) ensure(th proto.Thread, pg int64, write bool) {
 	}
 	st := p.env.Metrics()
 	me := th.Proc()
-	p.tr.PageFault(p.env.Now(), int32(me), pg, write)
+	p.tr.PageFault(p.env.Now(), int32(me), cs, write)
 
 	if m == modeInvalid {
-		// Read or write fault on an invalid page: fetch from home.
+		// Read or write fault on an invalid unit: fetch from home.
 		th.Charge(stats.Protocol, p.cfg.Costs.FaultBase)
 		st.Inc(me, stats.PageFetches, 1)
 		req := &comm.Message{
-			Src: me, Dst: p.home(pg), Kind: msgPageReq, Size: 16,
-			Payload: pageReq{page: pg, requester: me}, NeedsHandler: true,
+			Src: me, Dst: p.home(cs), Kind: msgPageReq, Size: 16,
+			Payload: pageReq{page: cs, requester: me}, NeedsHandler: true,
 		}
 		fetchStart := p.env.Now()
 		th.Send(stats.DataWait, req)
 		th.BlockFor(stats.DataWait)
-		p.tr.PageFetch(fetchStart, p.env.Now(), int32(me), pg)
-		// The reply's OnDeliver copied the page into our frame and woke us.
-		ns.mode[pg] = modeReadOnly
+		p.tr.PageFetch(fetchStart, p.env.Now(), int32(me), cs)
+		// The reply's OnDeliver copied the unit into our frame and woke us.
+		setModes(ns.mode, cs, span, modeReadOnly)
 		th.Charge(stats.Protocol, p.cfg.Costs.MprotectCost(1))
 		st.Inc(me, stats.PageProtects, 1)
 	}
 
 	if write {
-		// Write fault on a read-only page: twin (unless we are home) and
+		// Write fault on a read-only unit: twin (unless we are home) and
 		// upgrade protection.
-		if p.home(pg) != me {
-			p.makeTwin(th, pg)
+		if p.home(cs) != me {
+			p.makeTwin(th, cs, span)
+		} else if p.pstats != nil {
+			p.noteHomeWrite(cs, me)
 		}
-		ns.dirty = append(ns.dirty, pg)
-		ns.mode[pg] = modeReadWrite
+		ns.dirty = append(ns.dirty, cs)
+		setModes(ns.mode, cs, span, modeReadWrite)
 		th.Charge(stats.Protocol, p.cfg.Costs.MprotectCost(1))
 		st.Inc(me, stats.PageProtects, 1)
 	}
 }
 
-// makeTwin snapshots the unit before the first write of an interval.
-func (p *Protocol) makeTwin(th proto.Thread, pg int64) {
+// makeTwin snapshots the coherence unit before the first write of an
+// interval.
+func (p *Protocol) makeTwin(th proto.Thread, cs, span int64) {
 	me := th.Proc()
 	ns := p.nodes[me]
-	if _, ok := ns.twin[pg]; ok {
+	if _, ok := ns.twin[cs]; ok {
 		return
 	}
-	ns.twin[pg] = p.copyUnit(me, pg)
-	cost := proto.WordCost(p.cfg.Costs.TwinQ4, p.unitWords)
-	cost += p.env.CacheTouch(me, p.unitBase(pg), int(p.unitBytes), false)
+	ns.twin[cs] = p.copyRange(me, cs, span)
+	cost := proto.WordCost(p.cfg.Costs.TwinQ4, span*p.unitWords)
+	cost += p.env.CacheTouch(me, p.unitBase(cs), int(span*p.unitBytes), false)
 	th.Charge(stats.Protocol, cost)
 	st := p.env.Metrics()
 	st.Inc(me, stats.TwinsCreated, 1)
 	st.AddDiff(me, cost)
-	p.tr.Twin(p.env.Now(), int32(me), pg)
+	p.tr.Twin(p.env.Now(), int32(me), cs)
 }
 
 // --- flush (interval close) ---
@@ -425,47 +546,48 @@ func (p *Protocol) flush(th proto.Thread, waitCat stats.Category) {
 	ns.waitingAcks = false
 }
 
-// flushPage diffs one dirty page against its twin and sends the diff to
-// the home (or just downgrades, if this node is the home).
+// flushPage diffs one dirty coherence unit against its twin and sends
+// the diff to the home (or just downgrades, if this node is the home).
 func (p *Protocol) flushPage(th proto.Thread, pg int64, cat stats.Category) {
 	me := th.Proc()
 	ns := p.nodes[me]
-	if ns.mode[pg] == modeReadWrite {
-		ns.mode[pg] = modeReadOnly
+	cs, span := p.cu(pg)
+	if ns.mode[cs] == modeReadWrite {
+		setModes(ns.mode, cs, span, modeReadOnly)
 	}
-	if p.home(pg) == me {
+	if p.home(cs) == me {
 		// Home writes update the home copy in place; no diff needed.
 		return
 	}
-	twin, ok := ns.twin[pg]
+	twin, ok := ns.twin[cs]
 	if !ok {
-		panic(fmt.Sprintf("hlrc: dirty unit %d has no twin on node %d", pg, me))
+		panic(fmt.Sprintf("hlrc: dirty unit %d has no twin on node %d", cs, me))
 	}
 	// Diff into the protocol scratch, then right-size into a recycled
 	// message buffer (the message retains it until the home applies it
 	// and hands it back via freeDiffBuf).
-	cur := p.unitScratch
-	p.env.NodeMem(me).CopyOut(p.unitBase(pg), cur)
+	cur := p.unitScratch[:span*p.unitBytes]
+	p.env.NodeMem(me).CopyOut(p.unitBase(cs), cur)
 	p.diffScratch = diffPageInto(p.diffScratch[:0], twin, cur)
 	d := append(p.newDiffBuf(), p.diffScratch...)
-	p.dropTwin(ns, pg)
+	p.dropTwin(ns, cs)
 
 	st := p.env.Metrics()
-	cost := proto.WordCost(p.cfg.Costs.DiffCompareQ4, p.unitWords) +
+	cost := proto.WordCost(p.cfg.Costs.DiffCompareQ4, span*p.unitWords) +
 		proto.WordCost(p.cfg.Costs.DiffWriteQ4, int64(len(d)))
-	cost += p.env.CacheTouch(me, p.unitBase(pg), int(p.unitBytes), false)
+	cost += p.env.CacheTouch(me, p.unitBase(cs), int(span*p.unitBytes), false)
 	st.AddDiff(me, cost)
 	th.Charge(cat, cost)
 	st.Inc(me, stats.DiffsCreated, 1)
-	st.Inc(me, stats.DiffWordsCompared, p.unitWords)
+	st.Inc(me, stats.DiffWordsCompared, span*p.unitWords)
 	st.Inc(me, stats.DiffWordsWritten, int64(len(d)))
-	p.tr.DiffCreate(p.env.Now(), int32(me), pg, int64(len(d)))
+	p.tr.DiffCreate(p.env.Now(), int32(me), cs, int64(len(d)))
 
 	ns.pendingAcks++
 	msg := &comm.Message{
-		Src: me, Dst: p.home(pg), Kind: msgDiff,
+		Src: me, Dst: p.home(cs), Kind: msgDiff,
 		Size:    16 + int64(len(d))*8,
-		Payload: diffMsg{page: pg, from: me, words: d}, NeedsHandler: true,
+		Payload: diffMsg{page: cs, from: me, words: d}, NeedsHandler: true,
 	}
 	th.Send(cat, msg)
 }

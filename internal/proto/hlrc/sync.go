@@ -94,10 +94,14 @@ func (p *Protocol) applyNotices(th proto.Thread, g *grantPayload) {
 		}
 		if iv.owner != me {
 			for _, pg := range iv.pages {
-				if p.home(pg) == me {
+				// Notices name coherence-unit starts; with adaptive grain
+				// classes only change at barriers when pre-change notices
+				// are VC-dead, so resolving the span here is safe.
+				cs, span := p.cu(pg)
+				if p.home(cs) == me {
 					continue // the home copy is always current
 				}
-				if ns.mode[pg] == modeInvalid {
+				if ns.mode[cs] == modeInvalid {
 					continue
 				}
 				p.invSeen++
@@ -107,14 +111,14 @@ func (p *Protocol) applyNotices(th proto.Thread, g *grantPayload) {
 					// notice is never reapplied — silent staleness.
 					continue
 				}
-				if ns.mode[pg] == modeReadWrite {
+				if ns.mode[cs] == modeReadWrite {
 					// Concurrent writers: save our modifications first.
-					p.flushPageFromInvalidation(th, pg)
+					p.flushPageFromInvalidation(th, cs)
 				}
-				ns.mode[pg] = modeInvalid
-				p.dropTwin(ns, pg)
-				p.env.CacheInvalidate(me, p.unitBase(pg), int(p.unitBytes))
-				p.tr.Invalidate(p.env.Now(), int32(me), pg)
+				setModes(ns.mode, cs, span, modeInvalid)
+				p.dropTwin(ns, cs)
+				p.env.CacheInvalidate(me, p.unitBase(cs), int(span*p.unitBytes))
+				p.tr.Invalidate(p.env.Now(), int32(me), cs)
 				invalidated++
 			}
 		}

@@ -252,6 +252,9 @@ func ValidateRequest(req api.RunRequest) error {
 	if err := spec.Fault.Validate(); err != nil {
 		return err
 	}
+	if err := spec.Hetero.Validate(); err != nil {
+		return err
+	}
 	if spec.Trace {
 		return errors.New("traced runs are not served remotely: trace capture is an in-process artifact (run svmsim -trace locally)")
 	}

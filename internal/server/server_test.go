@@ -73,6 +73,43 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunHeteroSpec pins the job API's heterogeneity plane: a RunSpec
+// carrying a skewed machine model and adaptive placement round-trips
+// through the daemon's JSON wire format and store and agrees with a
+// local in-process run bit for bit.
+func TestRunHeteroSpec(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Parallel: 2})
+	spec := tinySpec(4)
+	hs, err := harness.HeteroSpec("cpu4", "adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Hetero = hs
+	st, err := c.Run(context.Background(), api.RunRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone || st.Row == nil {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Key != spec.Key() {
+		t.Fatalf("key mismatch: daemon %s, local %s (hetero fields lost on the wire?)", st.Key, spec.Key())
+	}
+	local, err := harness.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Row.Cycles != local.Cycles {
+		t.Fatalf("remote cycles %d != local %d", st.Row.Cycles, local.Cycles)
+	}
+	// An invalid hetero spec must be rejected at admission.
+	bad := tinySpec(4)
+	bad.Hetero.SlowNum = 3 // den left zero
+	if _, err := c.Run(context.Background(), api.RunRequest{Spec: bad}); err == nil {
+		t.Fatal("invalid hetero spec accepted")
+	}
+}
+
 // TestConcurrentIdenticalPOSTs pins the acceptance criterion: N
 // identical concurrent requests execute the simulation exactly once
 // (HTTP-layer coalescing + runner single-flight + memoization).

@@ -72,6 +72,12 @@ const (
 	MsgsDropped
 	AcksSent
 	DupsSuppressed
+	// Adaptive-placement counters (nonzero only when the heterogeneity
+	// plane's placement/grain policies are on): page homes migrated and
+	// pages demoted to fine-grain coherence units, attributed to the
+	// barrier manager that committed the decision.
+	PagesRehomed
+	PagesDemoted
 	NumCounters
 )
 
@@ -82,6 +88,7 @@ var counterNames = [NumCounters]string{
 	"barriersCrossed", "pageProtects", "loads", "stores", "l1Misses",
 	"l2Misses", "taskSteals",
 	"retransmits", "msgsDropped", "acksSent", "dupsSuppressed",
+	"pagesRehomed", "pagesDemoted",
 }
 
 // String returns the counter label.

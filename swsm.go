@@ -51,6 +51,7 @@ import (
 	"swsm/internal/fault"
 	"swsm/internal/harness"
 	"swsm/internal/harness/runner"
+	"swsm/internal/hetero"
 	"swsm/internal/proto"
 	"swsm/internal/proto/hlrc"
 	"swsm/internal/proto/ideal"
@@ -338,6 +339,43 @@ var (
 	FaultedSpec         = harness.FaultedSpec
 	FormatDegradation   = harness.FormatDegradation
 	WriteDegradationCSV = harness.WriteDegradationCSV
+)
+
+// Heterogeneous clusters: set RunSpec.Hetero and every node gets its own
+// machine model (CPU, accelerator and link-speed multipliers as exact
+// integer rationals), with optional adaptive page-home migration and
+// per-page coherence-granularity selection inside the HLRC protocol.
+// Session.HeterogeneitySweep measures skew x placement x protocol and
+// derives where the paper's uniform-cluster protocol verdicts flip.
+type (
+	// HeteroSpec is the per-node machine model + placement policy plane
+	// of a RunSpec.  The zero value is the paper's uniform cluster.
+	HeteroSpec = hetero.Spec
+	// HeteroNodeSpec is one node's resolved cycle multipliers.
+	HeteroNodeSpec = hetero.NodeSpec
+	// HeteroPoint is one app x skew x placement x protocol measurement.
+	HeteroPoint = harness.HeteroPoint
+	// HeteroFlip is one row of the protocol-verdict table.
+	HeteroFlip = harness.HeteroFlip
+)
+
+// The placement policies a HeteroSpec can carry.
+const (
+	PlaceApp      = hetero.PlaceApp
+	PlaceRR       = hetero.PlaceRR
+	PlaceAdaptive = hetero.PlaceAdaptive
+)
+
+// Heterogeneity-sweep helpers: presets and placement policies by name,
+// spec composition, the verdict table, and the render/export paths.
+var (
+	HeteroPresetNames     = hetero.PresetNames
+	HeteroPresetByName    = hetero.PresetByName
+	HeteroPlacementNames  = harness.PlacementNames
+	ComposeHeteroSpec     = harness.HeteroSpec
+	HeteroVerdicts        = harness.HeteroVerdicts
+	FormatHeterogeneity   = harness.FormatHeterogeneity
+	WriteHeterogeneityCSV = harness.WriteHeterogeneityCSV
 )
 
 // Consistency conformance checking: set RunSpec.Check and every load of
